@@ -1,0 +1,92 @@
+package hydrogen
+
+import (
+	"testing"
+)
+
+func tinyConfig() Config {
+	cfg := QuickConfig()
+	cfg.Hybrid.FastCapacityBytes = 4 << 20
+	cfg.Hybrid.RemapCacheBytes = 16 << 10
+	cfg.LLC.SizeBytes = 256 << 10
+	cfg.EpochLen = 100_000
+	cfg.Cycles = 500_000
+	return cfg
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := tinyConfig()
+	base, err := Run(cfg, DesignBaseline, "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Run(cfg, DesignHydrogen, "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := WeightedSpeedup(h, base, 12, 1); s <= 0 {
+		t.Fatalf("weighted speedup %f", s)
+	}
+}
+
+func TestDesignAndComboListings(t *testing.T) {
+	if len(Designs()) != 7 {
+		t.Fatalf("%d designs", len(Designs()))
+	}
+	if len(Combos()) != 12 {
+		t.Fatalf("%d combos", len(Combos()))
+	}
+	if len(CPUWorkloads()) != 10 || len(GPUWorkloads()) != 9 {
+		t.Fatalf("workload listings: %d CPU, %d GPU", len(CPUWorkloads()), len(GPUWorkloads()))
+	}
+	if _, err := ComboByID("C7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(tinyConfig(), DesignHydrogen, "C99"); err == nil {
+		t.Fatal("unknown combo accepted")
+	}
+	if _, err := Run(tinyConfig(), "NotADesign", "C1"); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+func TestCustomSystemWithOperatingPoint(t *testing.T) {
+	cfg := tinyConfig()
+	combo, err := ComboByID("C5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
+	cfg.GPUProfile = combo.GPU
+	sys, err := NewSystem(cfg, HydrogenFactory(HydrogenOptions{Tokens: true, TokIdx: 3, Climb: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if res.CPUIPC <= 0 || res.GPUIPC <= 0 {
+		t.Fatal("no progress")
+	}
+	if _, _, _, ok := sys.OperatingPoint(); !ok {
+		t.Fatal("Hydrogen system has no operating point")
+	}
+	if _, ok := sys.PolicyStats(); !ok {
+		t.Fatal("Hydrogen system has no policy stats")
+	}
+	if len(res.Epochs) == 0 {
+		t.Fatal("no epoch samples")
+	}
+}
+
+func TestQuickAndPaperConfigs(t *testing.T) {
+	q, p := QuickConfig(), PaperConfig()
+	if p.Hybrid.FastCapacityBytes <= q.Hybrid.FastCapacityBytes {
+		t.Fatal("paper config not larger than quick")
+	}
+	if p.EpochLen != 10_000_000 {
+		t.Fatalf("paper epoch %d, want the Table I 10M cycles", p.EpochLen)
+	}
+	// Bandwidths must be unscaled in both (contention preservation).
+	if q.Fast.BytesPerCycle != p.Fast.BytesPerCycle {
+		t.Fatal("quick config scaled bandwidth; it must only scale capacity")
+	}
+}

@@ -1,0 +1,189 @@
+// Command hydroexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hydroexp [flags] <experiment> [<experiment>...]
+//
+// Experiments: table1 table2 fig2a fig2b fig2c fig2d fig5a fig5b fig6
+// fig7a fig7b fig8 fig9a fig9b fig10a fig10b fig11 all
+//
+// Examples:
+//
+//	hydroexp fig5a                      # main comparison, quick scale
+//	hydroexp -combos C1,C5 -csv fig5a   # two combos, CSV output
+//	hydroexp -paper all                 # full-scale everything (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strings"
+
+	"github.com/hydrogen-sim/hydrogen/experiments"
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+)
+
+func main() {
+	var (
+		paper    = flag.Bool("paper", false, "use the full Table I scale (slow)")
+		cycles   = flag.Uint64("cycles", 0, "override simulated cycles per run")
+		combos   = flag.String("combos", "", "comma-separated combo subset (e.g. C1,C5)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		parallel = flag.Int("parallel", 1, "concurrent simulations")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	debug.SetGCPercent(800)
+
+	base := system.Quick()
+	if *paper {
+		base = system.Paper()
+	}
+	if *cycles > 0 {
+		base.Cycles = *cycles
+	}
+	base.Seed = *seed
+
+	opts := experiments.Options{Base: base, Parallel: *parallel}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	if *combos != "" {
+		opts.Combos = strings.Split(*combos, ",")
+	}
+
+	// The heavy sweeps default to a representative combo subset so
+	// `hydroexp all` finishes in reasonable time; pass -combos to widen.
+	subset := func(ids ...string) experiments.Options {
+		o := opts
+		if len(o.Combos) == 0 {
+			o.Combos = ids
+		}
+		return o
+	}
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"table1", "table2", "fig2a", "fig2b", "fig2c", "fig2d",
+			"fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b",
+			"fig10a", "fig10b", "fig11"}
+	}
+
+	emit := func(t *experiments.Table) {
+		if *csv {
+			t.WriteCSV(os.Stdout)
+		} else {
+			t.WriteText(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	// fig6 reuses the fig5a runs; cache them across requested experiments.
+	var fig5Cache *experiments.Fig5Result
+	fig5a := func() (*experiments.Fig5Result, error) {
+		if fig5Cache != nil {
+			return fig5Cache, nil
+		}
+		r, err := experiments.Fig5(opts, false)
+		fig5Cache = r
+		return r, err
+	}
+
+	for _, name := range names {
+		var err error
+		switch name {
+		case "table1":
+			emit(experiments.Table1(base))
+		case "table2":
+			emit(experiments.Table2())
+		case "fig2a":
+			var rows []experiments.Fig2aRow
+			if rows, err = experiments.Fig2a(opts); err == nil {
+				emit(experiments.Fig2aTable(rows))
+			}
+		case "fig2b", "fig2c", "fig2d":
+			knob := map[string]experiments.SensitivityKnob{
+				"fig2b": experiments.KnobFastBW,
+				"fig2c": experiments.KnobFastCapacity,
+				"fig2d": experiments.KnobSlowBW,
+			}[name]
+			var rows []experiments.Fig2SensRow
+			if rows, err = experiments.Fig2Sensitivity(opts, "C1", knob, nil); err == nil {
+				emit(experiments.Fig2SensTable(knob, rows))
+			}
+		case "fig5a":
+			var r *experiments.Fig5Result
+			if r, err = fig5a(); err == nil {
+				emit(r.Table("Fig. 5(a): weighted speedup over baseline (HBM2E)"))
+				ratio, best := r.HydrogenVsBest()
+				fmt.Printf("Hydrogen vs best baseline (%s): %.3fx geomean\n\n", best, ratio)
+			}
+		case "fig5b":
+			var r *experiments.Fig5Result
+			if r, err = experiments.Fig5(opts, true); err == nil {
+				emit(r.Table("Fig. 5(b): weighted speedup over baseline (HBM3)"))
+			}
+		case "fig6":
+			var r *experiments.Fig5Result
+			if r, err = fig5a(); err == nil {
+				emit(r.Fig6Table())
+			}
+		case "fig7a":
+			var m map[string]float64
+			if m, err = experiments.Fig7a(subset("C1", "C5", "C8", "C11")); err == nil {
+				emit(experiments.Fig7aTable(m))
+			}
+		case "fig7b":
+			var m map[string]float64
+			if m, err = experiments.Fig7b(subset("C1", "C5")); err == nil {
+				emit(experiments.Fig7bTable(m))
+			}
+		case "fig8":
+			var r *experiments.Fig8Result
+			if r, err = experiments.Fig8(opts, "C5", experiments.Full); err == nil {
+				emit(r.Table())
+				fmt.Printf("Hydrogen reaches %.1f%% of the static optimum %s\n\n",
+					100*r.HydrogenVsOptimal(), r.Best().Point)
+			}
+		case "fig9a":
+			var rows []experiments.Fig9Row
+			if rows, err = experiments.Fig9Phase(subset("C1", "C5"), nil); err == nil {
+				emit(experiments.Fig9Table("Fig. 9(a): phase length sensitivity", rows))
+			}
+		case "fig9b":
+			var rows []experiments.Fig9Row
+			if rows, err = experiments.Fig9Epoch(subset("C1", "C5"), nil); err == nil {
+				emit(experiments.Fig9Table("Fig. 9(b): sampling epoch length sensitivity", rows))
+			}
+		case "fig10a":
+			var rows []experiments.Fig10aRow
+			if rows, err = experiments.Fig10a(opts, "C6", nil); err == nil {
+				emit(experiments.Fig10aTable("C6", rows))
+			}
+		case "fig10b":
+			var rows []experiments.Fig10bRow
+			if rows, err = experiments.Fig10b(subset("C1", "C5"), nil); err == nil {
+				emit(experiments.Fig10bTable(rows))
+			}
+		case "fig11":
+			var rows []experiments.Fig11Row
+			if rows, err = experiments.Fig11(subset("C1", "C5"), nil); err == nil {
+				emit(experiments.Fig11Table(rows))
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "hydroexp: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydroexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

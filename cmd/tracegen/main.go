@@ -1,0 +1,171 @@
+// Command tracegen generates, inspects, and converts workload traces —
+// the analog of the paper artifact's trace-generation task (T1), with
+// synthetic generators standing in for the Pin/CUDA tracers.
+//
+// Usage:
+//
+//	tracegen gen  -workload mcf -n 1000000 -o mcf.trace
+//	tracegen info -i mcf.trace
+//	tracegen dump -i mcf.trace -n 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/hydrogen-sim/hydrogen/internal/trace"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "dump":
+		cmdDump(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tracegen gen|info|dump [flags]")
+	fmt.Fprintln(os.Stderr, "CPU workloads:", workloads.CPUNames())
+	fmt.Fprintln(os.Stderr, "GPU workloads:", workloads.GPUNames())
+	os.Exit(2)
+}
+
+func buildGen(name string, fastCap uint64, seed int64) (trace.Generator, error) {
+	if p, err := workloads.CPUProfile(name, fastCap); err == nil {
+		return trace.NewCPU(p, 0, seed), nil
+	}
+	p, err := workloads.GPUProfile(name, fastCap)
+	if err != nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	return trace.NewGPU(p, 0, seed), nil
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	workload := fs.String("workload", "mcf", "workload profile name")
+	n := fs.Uint64("n", 1_000_000, "operations to generate")
+	out := fs.String("o", "", "output file (default <workload>.trace)")
+	fastCap := fs.Uint64("fastcap", 16<<20, "fast-tier capacity the profile scales to")
+	seed := fs.Int64("seed", 1, "generator seed")
+	fs.Parse(args)
+
+	gen, err := buildGen(*workload, *fastCap, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *workload + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lim := &trace.Limit{G: gen, N: *n}
+	for {
+		op, ok := lim.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(op); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %d ops to %s (%.1f MB, %.2f bytes/op)\n",
+		w.Count(), path, float64(st.Size())/1e6, float64(st.Size())/float64(w.Count()))
+}
+
+func openTrace(path string) (*os.File, *trace.Reader) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f, r
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "trace file")
+	fs.Parse(args)
+	f, r := openTrace(*in)
+	defer f.Close()
+
+	var ops, writes, instrs uint64
+	var minAddr, maxAddr uint64 = ^uint64(0), 0
+	seq := uint64(0)
+	var prev uint64
+	for {
+		op, ok := r.Next()
+		if !ok {
+			break
+		}
+		ops++
+		instrs += uint64(op.Gap) + 1
+		if op.Write {
+			writes++
+		}
+		if op.Addr < minAddr {
+			minAddr = op.Addr
+		}
+		if op.Addr > maxAddr {
+			maxAddr = op.Addr
+		}
+		if ops > 1 && op.Addr == prev+64 {
+			seq++
+		}
+		prev = op.Addr
+	}
+	if err := r.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d ops, %d instructions (%.1f per op)\n", *in, ops, instrs,
+		float64(instrs)/float64(ops))
+	fmt.Printf("writes: %.1f%%; sequential: %.1f%%; span: [%#x, %#x]\n",
+		100*float64(writes)/float64(ops), 100*float64(seq)/float64(ops), minAddr, maxAddr)
+}
+
+func cmdDump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("i", "", "trace file")
+	n := fs.Int("n", 20, "ops to print")
+	fs.Parse(args)
+	f, r := openTrace(*in)
+	defer f.Close()
+	for i := 0; i < *n; i++ {
+		op, ok := r.Next()
+		if !ok {
+			break
+		}
+		kind := "R"
+		if op.Write {
+			kind = "W"
+		}
+		fmt.Printf("%6d  gap %4d  %s %#012x\n", i, op.Gap, kind, op.Addr)
+	}
+}

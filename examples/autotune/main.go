@@ -1,0 +1,65 @@
+// Autotune: watch Hydrogen's epoch-based hill climbing (paper
+// Section IV-C) explore the (cap, bw, tok) design space online. The
+// example prints the weighted-IPC trajectory across sampling epochs and
+// the operating point the search converged to.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	hydrogen "github.com/hydrogen-sim/hydrogen"
+)
+
+func main() {
+	comboID := flag.String("combo", "C5", "Table II combo to tune on")
+	flag.Parse()
+
+	cfg := hydrogen.QuickConfig()
+	combo, err := hydrogen.ComboByID(*comboID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
+	cfg.GPUProfile = combo.GPU
+
+	sys, err := hydrogen.NewSystem(cfg, hydrogen.HydrogenFactory(hydrogen.HydrogenOptions{
+		Tokens: true, TokIdx: 3, Climb: true,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sys.Run()
+
+	fmt.Printf("hill climbing on %s (%s + %s), %d epochs of %d cycles\n\n",
+		combo.ID, strings.Join(combo.CPU, "-"), combo.GPU, len(res.Epochs), cfg.EpochLen)
+	fmt.Println("epoch  weighted-IPC  trajectory")
+	peak := 0.0
+	for _, e := range res.Epochs {
+		if e.WeightedIPC > peak {
+			peak = e.WeightedIPC
+		}
+	}
+	for i, e := range res.Epochs {
+		bar := int(e.WeightedIPC / peak * 48)
+		if bar < 0 {
+			bar = 0
+		}
+		fmt.Printf("%5d  %12.2f  %s\n", i+1, e.WeightedIPC, strings.Repeat("#", bar))
+	}
+
+	if cap, bw, tok, ok := sys.OperatingPoint(); ok {
+		fmt.Printf("\nconverged operating point: cap=%d CPU ways, bw=%d dedicated CPU channel groups, tok level %d\n",
+			cap, bw, tok)
+	}
+	if st, ok := sys.PolicyStats(); ok {
+		fmt.Printf("search: %d trials, %d improvements, %d reconfigurations, %d phases\n",
+			st.ClimbTrials, st.ClimbImproves, st.Reconfigs, st.PhasesStarted)
+		fmt.Printf("tokens: %d granted, %d denied (slow-bandwidth protection)\n",
+			st.TokensGranted, st.TokensDenied)
+	}
+	fmt.Printf("\nfinal IPC: CPU %.2f, GPU %.2f; fast-tier hit rates %.0f%% / %.0f%%\n",
+		res.CPUIPC, res.GPUIPC, 100*res.Hybrid.HitRate(0), 100*res.Hybrid.HitRate(1))
+}

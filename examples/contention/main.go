@@ -1,0 +1,46 @@
+// Contention study: reproduce the motivation analysis of the paper's
+// Section III-B on one combo — how much do the CPU and GPU slow each
+// other down when sharing the hybrid memory (Fig. 2(a)), and how
+// sensitive is each to the three memory resources (Fig. 2(b)-(d))?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	hydrogen "github.com/hydrogen-sim/hydrogen"
+	"github.com/hydrogen-sim/hydrogen/experiments"
+)
+
+func main() {
+	combo := flag.String("combo", "C1", "Table II combo to analyze")
+	flag.Parse()
+
+	cfg := hydrogen.QuickConfig()
+	cfg.Cycles = 4_000_000
+	opts := experiments.Options{Base: cfg, Combos: []string{*combo}, Progress: os.Stderr}
+
+	rows, err := experiments.Fig2a(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.Fig2aTable(rows).WriteText(os.Stdout)
+	fmt.Println()
+
+	for _, knob := range []experiments.SensitivityKnob{
+		experiments.KnobFastBW, experiments.KnobFastCapacity, experiments.KnobSlowBW,
+	} {
+		sens, err := experiments.Fig2Sensitivity(opts, *combo, knob, []float64{1, 0.5, 0.25})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.Fig2SensTable(knob, sens).WriteText(os.Stdout)
+		fmt.Println()
+	}
+
+	fmt.Println("Expected shape (paper Insights 1-3): the CPU suffers more from")
+	fmt.Println("capacity loss, the GPU from fast-bandwidth loss, and both from")
+	fmt.Println("slow-bandwidth loss.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: run one workload combination under the unpartitioned
+// baseline and under Hydrogen, and report the weighted speedup — the
+// smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	hydrogen "github.com/hydrogen-sim/hydrogen"
+)
+
+func main() {
+	comboID := "C1"
+	if len(os.Args) > 1 {
+		comboID = os.Args[1]
+	}
+
+	cfg := hydrogen.QuickConfig()
+	cfg.Cycles = 4_000_000 // keep the demo snappy
+
+	combo, err := hydrogen.ComboByID(comboID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("combo %s: CPU %v + GPU %s on %d cores / 96 EUs\n",
+		combo.ID, combo.CPU, combo.GPU, cfg.Cores)
+
+	base, err := hydrogen.Run(cfg, hydrogen.DesignBaseline, comboID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline:  CPU IPC %5.2f   GPU IPC %6.2f   fast hit rates %.0f%% / %.0f%%\n",
+		base.CPUIPC, base.GPUIPC, 100*base.Hybrid.HitRate(0), 100*base.Hybrid.HitRate(1))
+
+	h, err := hydrogen.Run(cfg, hydrogen.DesignHydrogen, comboID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hydrogen:  CPU IPC %5.2f   GPU IPC %6.2f   fast hit rates %.0f%% / %.0f%%\n",
+		h.CPUIPC, h.GPUIPC, 100*h.Hybrid.HitRate(0), 100*h.Hybrid.HitRate(1))
+
+	s := hydrogen.WeightedSpeedup(h, base, 12, 1)
+	fmt.Printf("weighted speedup (CPU:GPU = 12:1): %.3fx\n", s)
+}

@@ -1,0 +1,171 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables I–II, Figures 2 and 5–11). Each experiment returns
+// structured rows and can render itself as an aligned text table or CSV,
+// mirroring the artifact workflow (T2 simulate → T3 extract perf.csv).
+//
+// All experiments accept a base system configuration so the quick
+// (scaled) and paper-sized setups share one code path; see DESIGN.md
+// section 4 for the scaling rules.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// Options controls experiment execution.
+type Options struct {
+	Base     system.Config // base system config (system.Quick() or Paper())
+	Combos   []string      // workload combos to run; nil = all C1..C12
+	Progress io.Writer     // optional live progress sink
+	Parallel int           // concurrent simulations; <=1 serial
+}
+
+// DefaultOptions returns quick-scale options over all combos.
+func DefaultOptions() Options {
+	return Options{Base: system.Quick()}
+}
+
+func (o *Options) combos() []workloads.Combo {
+	if len(o.Combos) == 0 {
+		return workloads.Combos
+	}
+	var out []workloads.Combo
+	for _, id := range o.Combos {
+		if c, err := workloads.ComboByID(id); err == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// run executes jobs (optionally in parallel) preserving result order.
+func runAll(par int, jobs []func()) {
+	if par <= 1 {
+		for _, j := range jobs {
+			j()
+		}
+		return
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			j()
+			<-sem
+		}()
+	}
+	wg.Wait()
+}
+
+// WeightedSpeedup is the paper's end metric (artifact appendix): the
+// per-processor speedups over the baseline combined with the IPC
+// weights.
+func WeightedSpeedup(r, base system.Results, wCPU, wGPU float64) float64 {
+	scpu, sgpu := 1.0, 1.0
+	if base.CPUIPC > 0 {
+		scpu = r.CPUIPC / base.CPUIPC
+	}
+	if base.GPUIPC > 0 {
+		sgpu = r.GPUIPC / base.GPUIPC
+	}
+	return (wCPU*scpu + wGPU*sgpu) / (wCPU + wGPU)
+}
+
+// Geomean returns the geometric mean of xs (ignoring non-positives).
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Table is a generic result table that renders as text or CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddF appends a row with a label and formatted float cells.
+func (t *Table) AddF(label string, vals ...float64) {
+	row := []string{label}
+	for _, v := range vals {
+		row = append(row, fmt.Sprintf("%.3f", v))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteText renders an aligned text table.
+func (t *Table) WriteText(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV renders the table as CSV (matching the artifact's perf.csv
+// style output).
+func (t *Table) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

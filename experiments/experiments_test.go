@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+)
+
+// tinyOptions returns options that keep experiment tests fast: one
+// combo, a small fast tier, short runs.
+func tinyOptions() Options {
+	base := system.Quick()
+	base.Hybrid.FastCapacityBytes = 4 << 20
+	base.Hybrid.RemapCacheBytes = 16 << 10
+	base.LLC.SizeBytes = 256 << 10
+	base.EpochLen = 100_000
+	base.Cycles = 600_000
+	return Options{Base: base, Combos: []string{"C1"}}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %f", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %f", g)
+	}
+	if g := Geomean([]float64{1, 0, -5}); math.Abs(g-1) > 1e-9 {
+		t.Fatalf("geomean ignoring non-positives = %f", g)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	var base, r system.Results
+	base.CPUIPC, base.GPUIPC = 2, 10
+	r.CPUIPC, r.GPUIPC = 4, 5 // CPU 2x, GPU 0.5x
+	s := WeightedSpeedup(r, base, 12, 1)
+	want := (12*2.0 + 0.5) / 13
+	if math.Abs(s-want) > 1e-9 {
+		t.Fatalf("weighted speedup %f, want %f", s, want)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "b"}}
+	tab.Add("x", "1")
+	tab.AddF("y", 2.5)
+	var text, csv bytes.Buffer
+	tab.WriteText(&text)
+	tab.WriteCSV(&csv)
+	if !strings.Contains(text.String(), "demo") || !strings.Contains(text.String(), "2.500") {
+		t.Fatalf("text table:\n%s", text.String())
+	}
+	if !strings.HasPrefix(csv.String(), "a,b\n") {
+		t.Fatalf("csv table:\n%s", csv.String())
+	}
+}
+
+func TestTables1And2(t *testing.T) {
+	t1 := Table1(system.Quick())
+	if len(t1.Rows) < 8 {
+		t.Fatalf("Table I has %d rows", len(t1.Rows))
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 12 {
+		t.Fatalf("Table II has %d rows, want 12", len(t2.Rows))
+	}
+}
+
+func TestFig2aSmoke(t *testing.T) {
+	rows, err := Fig2a(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Combo != "C1" {
+		t.Fatalf("rows %+v", rows)
+	}
+	if rows[0].CPUSlowdown <= 0 || rows[0].GPUSlowdown <= 0 {
+		t.Fatalf("non-positive slowdowns %+v", rows[0])
+	}
+}
+
+func TestFig2SensitivitySmoke(t *testing.T) {
+	rows, err := Fig2Sensitivity(tinyOptions(), "C1", KnobFastBW, []float64{1, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if math.Abs(rows[0].CPUPerf-1) > 1e-9 || math.Abs(rows[0].GPUPerf-1) > 1e-9 {
+		t.Fatalf("scale-1 point not normalized to 1: %+v", rows[0])
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	r, err := Fig5(tinyOptions(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Combos) != 1 || len(r.Designs) != 7 {
+		t.Fatalf("combos %v designs %v", r.Combos, r.Designs)
+	}
+	if s := r.Speedup["C1"][system.DesignBaseline]; math.Abs(s-1) > 1e-9 {
+		t.Fatalf("baseline speedup vs itself = %f", s)
+	}
+	for _, d := range r.Designs {
+		if r.Speedup["C1"][d] <= 0 {
+			t.Fatalf("design %s speedup %f", d, r.Speedup["C1"][d])
+		}
+	}
+	if ratio, best := r.HydrogenVsBest(); ratio <= 0 || best == "" {
+		t.Fatalf("HydrogenVsBest = %f, %q", ratio, best)
+	}
+	// Fig. 6 derives from the same runs.
+	energy := r.Fig6Table()
+	if len(energy.Rows) != 2 { // 1 combo + geomean
+		t.Fatalf("fig6 rows %d", len(energy.Rows))
+	}
+	// HAShCache normalized to itself must be 1.
+	if energy.Rows[0][1] != "1.000" {
+		t.Fatalf("HAShCache self-normalization = %s", energy.Rows[0][1])
+	}
+}
+
+func TestStaticGrid(t *testing.T) {
+	full := StaticGrid(Full)
+	co := StaticGrid(Coarse)
+	if len(co) >= len(full) {
+		t.Fatalf("coarse grid (%d) not smaller than full (%d)", len(co), len(full))
+	}
+	for _, p := range full {
+		if p.CPUGroups > p.CPUWays {
+			t.Fatalf("infeasible point %+v (bw > cap)", p)
+		}
+		if p.CPUWays < 1 || p.CPUWays > 3 {
+			t.Fatalf("cap out of range: %+v", p)
+		}
+	}
+	// 9 (cap,bw) combos x 7 tok levels.
+	if len(full) != 63 {
+		t.Fatalf("full grid has %d points, want 63", len(full))
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	o := tinyOptions()
+	r, err := Fig8(o, "C1", Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Rows must be sorted descending.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Speedup > r.Rows[i-1].Speedup {
+			t.Fatal("rows not sorted by speedup")
+		}
+	}
+	if r.Best().Speedup < r.Median().Speedup {
+		t.Fatal("best below median")
+	}
+	if v := r.HydrogenVsOptimal(); v <= 0 {
+		t.Fatalf("HydrogenVsOptimal %f", v)
+	}
+}
+
+func TestFig10aSmoke(t *testing.T) {
+	rows, err := Fig10a(tinyOptions(), "C1", [][2]float64{{1, 1}, {32, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CPUSlowdown <= 0 || r.GPUSlowdown <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	rows, err := Fig11(tinyOptions(), []Fig11Config{{1, 64}, {4, 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Hydrogen <= 0 || r.HAShCache <= 0 || r.Profess <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	o := tinyOptions()
+	serial, err := Fig2a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Parallel = 4
+	par, err := Fig2a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial[0] != par[0] {
+		t.Fatalf("parallel execution changed results: %+v vs %+v", serial[0], par[0])
+	}
+}

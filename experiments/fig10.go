@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// Fig10aRow is one IPC-weight setting's result on the weight-study
+// combo: the CPU and GPU slowdowns (vs running alone) under Hydrogen.
+type Fig10aRow struct {
+	WCPU, WGPU  float64
+	CPUSlowdown float64
+	GPUSlowdown float64
+}
+
+// Fig10a reproduces "Fig. 10(a): impact of different CPU:GPU IPC
+// weights" on one combo (the paper uses C6): higher CPU weights reduce
+// the CPU slowdown at a small GPU cost. Lower slowdown is better.
+func Fig10a(o Options, comboID string, weights [][2]float64) ([]Fig10aRow, error) {
+	combo, err := workloads.ComboByID(comboID)
+	if err != nil {
+		return nil, err
+	}
+	if len(weights) == 0 {
+		weights = [][2]float64{{1, 1}, {4, 1}, {12, 1}, {32, 1}}
+	}
+	// Alone runs are weight-independent.
+	cpuAlone, gpuAlone, _, err := aloneAndTogether(o.Base, system.DesignBaseline, combo)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Fig10aRow, len(weights))
+	var mu sync.Mutex
+	var firstErr error
+	jobs := make([]func(), len(weights))
+	for i, w := range weights {
+		i, w := i, w
+		jobs[i] = func() {
+			cfg := o.Base
+			cfg.WeightCPU, cfg.WeightGPU = w[0], w[1]
+			cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
+			cfg.GPUProfile = combo.GPU
+			sys, err := system.New(cfg, system.HydrogenFactory(system.HydrogenOptions{
+				Tokens: true, TokIdx: 3, Climb: true,
+			}))
+			var r system.Results
+			if err == nil {
+				r = sys.Run()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			rows[i] = Fig10aRow{
+				WCPU: w[0], WGPU: w[1],
+				CPUSlowdown: safeDiv(cpuAlone.CPUIPC, r.CPUIPC),
+				GPUSlowdown: safeDiv(gpuAlone.GPUIPC, r.GPUIPC),
+			}
+			o.logf("fig10a %g:%g cpu %.2fx gpu %.2fx", w[0], w[1], rows[i].CPUSlowdown, rows[i].GPUSlowdown)
+		}
+	}
+	runAll(o.Parallel, jobs)
+	return rows, firstErr
+}
+
+// Fig10aTable renders Fig. 10(a).
+func Fig10aTable(comboID string, rows []Fig10aRow) *Table {
+	t := &Table{Title: fmt.Sprintf("Fig. 10(a): IPC weight impact on %s (Hydrogen; lower slowdown is better)", comboID),
+		Columns: []string{"weights CPU:GPU", "CPU slowdown", "GPU slowdown"}}
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%g:%g", r.WCPU, r.WGPU),
+			fmt.Sprintf("%.2f", r.CPUSlowdown), fmt.Sprintf("%.2f", r.GPUSlowdown))
+	}
+	return t
+}
+
+// Fig10bRow is one core-count configuration's result.
+type Fig10bRow struct {
+	Cores   int
+	Speedup float64 // Hydrogen weighted speedup vs baseline at that count
+	Profess float64 // best baseline design for reference
+}
+
+// Fig10b reproduces "Fig. 10(b): impact of CPU core counts": the CPU
+// core count scales while the GPU stays at 96 EUs, with IPC weights
+// following the core-count ratio (wCPU = 96/cores).
+func Fig10b(o Options, counts []int) ([]Fig10bRow, error) {
+	if len(counts) == 0 {
+		counts = []int{4, 8, 16}
+	}
+	combos := o.combos()
+	rows := make([]Fig10bRow, len(counts))
+	var mu sync.Mutex
+	var firstErr error
+	var jobs []func()
+	hydro := make([][]float64, len(counts))
+	prof := make([][]float64, len(counts))
+	for i, n := range counts {
+		for _, combo := range combos {
+			i, n, combo := i, n, combo
+			jobs = append(jobs, func() {
+				cfg := o.Base
+				cfg.Cores = n
+				cfg.WeightCPU, cfg.WeightGPU = 96/float64(n), 1
+				baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				h, err1 := system.RunDesign(cfg, system.DesignHydrogen, combo)
+				p, err2 := system.RunDesign(cfg, system.DesignProfess, combo)
+				mu.Lock()
+				defer mu.Unlock()
+				if err1 != nil || err2 != nil {
+					if firstErr == nil {
+						firstErr = err1
+						if firstErr == nil {
+							firstErr = err2
+						}
+					}
+					return
+				}
+				hydro[i] = append(hydro[i], WeightedSpeedup(h, baseline, cfg.WeightCPU, cfg.WeightGPU))
+				prof[i] = append(prof[i], WeightedSpeedup(p, baseline, cfg.WeightCPU, cfg.WeightGPU))
+				o.logf("fig10b cores=%d %s done", n, combo.ID)
+			})
+		}
+	}
+	runAll(o.Parallel, jobs)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i, n := range counts {
+		rows[i] = Fig10bRow{Cores: n, Speedup: Geomean(hydro[i]), Profess: Geomean(prof[i])}
+	}
+	return rows, nil
+}
+
+// Fig10bTable renders Fig. 10(b).
+func Fig10bTable(rows []Fig10bRow) *Table {
+	t := &Table{Title: "Fig. 10(b): CPU core count impact (geomean weighted speedup vs baseline)",
+		Columns: []string{"cores", "Hydrogen", "Profess"}}
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%d", r.Cores), fmt.Sprintf("%.3f", r.Speedup), fmt.Sprintf("%.3f", r.Profess))
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+)
+
+// Fig11Config is one (associativity, block size) organization.
+type Fig11Config struct {
+	Assoc      int
+	BlockBytes uint64
+}
+
+func (c Fig11Config) String() string { return fmt.Sprintf("A%d-B%d", c.Assoc, c.BlockBytes) }
+
+// DefaultFig11Configs is the organization sweep shown in the paper's
+// Fig. 11 (a subset of the full A{1..16} x B{64..2048} space).
+func DefaultFig11Configs() []Fig11Config {
+	return []Fig11Config{
+		{1, 64}, {1, 256}, {2, 256}, {4, 256}, {8, 256}, {16, 256}, {4, 64}, {4, 1024}, {4, 2048},
+	}
+}
+
+// Fig11Row is one organization's design comparison.
+type Fig11Row struct {
+	Config    Fig11Config
+	HAShCache float64
+	Profess   float64
+	Hydrogen  float64
+}
+
+// Fig11 reproduces "Fig. 11: impact of different associativities (A) and
+// block sizes (B)", with each design normalized to the unpartitioned
+// baseline *of the same organization*. The paper's key crossover: at
+// A1-B64 HAShCache's chaining wins; everywhere else Hydrogen leads, and
+// at large blocks its migration throttling matters most.
+func Fig11(o Options, configs []Fig11Config) ([]Fig11Row, error) {
+	if len(configs) == 0 {
+		configs = DefaultFig11Configs()
+	}
+	combos := o.combos()
+	wCPU, wGPU := weightsOf(o.Base)
+
+	type cell struct{ hash, prof, hydro []float64 }
+	cells := make([]cell, len(configs))
+	var mu sync.Mutex
+	var firstErr error
+	var jobs []func()
+	for i, fc := range configs {
+		for _, combo := range combos {
+			i, fc, combo := i, fc, combo
+			jobs = append(jobs, func() {
+				cfg := o.Base
+				cfg.Hybrid.Assoc = fc.Assoc
+				cfg.Hybrid.BlockBytes = fc.BlockBytes
+				// Keep capacity a multiple of the set size.
+				setBytes := fc.BlockBytes * uint64(fc.Assoc)
+				cfg.Hybrid.FastCapacityBytes = cfg.Hybrid.FastCapacityBytes / setBytes * setBytes
+
+				baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				var sp [3]float64
+				for j, d := range []string{system.DesignHAShCache, system.DesignProfess, system.DesignHydrogen} {
+					r, err := system.RunDesign(cfg, d, combo)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					sp[j] = WeightedSpeedup(r, baseline, wCPU, wGPU)
+				}
+				mu.Lock()
+				cells[i].hash = append(cells[i].hash, sp[0])
+				cells[i].prof = append(cells[i].prof, sp[1])
+				cells[i].hydro = append(cells[i].hydro, sp[2])
+				mu.Unlock()
+				o.logf("fig11 %s %s done", fc, combo.ID)
+			})
+		}
+	}
+	runAll(o.Parallel, jobs)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rows := make([]Fig11Row, len(configs))
+	for i, fc := range configs {
+		rows[i] = Fig11Row{
+			Config:    fc,
+			HAShCache: Geomean(cells[i].hash),
+			Profess:   Geomean(cells[i].prof),
+			Hydrogen:  Geomean(cells[i].hydro),
+		}
+	}
+	return rows, nil
+}
+
+// Fig11Table renders the organization sweep.
+func Fig11Table(rows []Fig11Row) *Table {
+	t := &Table{Title: "Fig. 11: associativity and block size impact (speedup vs same-config baseline)",
+		Columns: []string{"config", "HAShCache", "Profess", "Hydrogen"}}
+	for _, r := range rows {
+		t.Add(r.Config.String(), fmt.Sprintf("%.3f", r.HAShCache),
+			fmt.Sprintf("%.3f", r.Profess), fmt.Sprintf("%.3f", r.Hydrogen))
+	}
+	return t
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// aloneAndTogether runs a combo's CPU-alone, GPU-alone, and co-run
+// configurations under the given design.
+func aloneAndTogether(base system.Config, design string, combo workloads.Combo) (cpuAlone, gpuAlone, together system.Results, err error) {
+	ca := base
+	ca.CPUProfiles = combo.CPUAssignment(base.Cores)
+	ca.GPUProfile = ""
+	f, err := system.ApplyDesign(&ca, design)
+	if err != nil {
+		return
+	}
+	sys, err := system.New(ca, f)
+	if err != nil {
+		return
+	}
+	cpuAlone = sys.Run()
+
+	ga := base
+	ga.Cores = 0
+	ga.GPUProfile = combo.GPU
+	f, err = system.ApplyDesign(&ga, design)
+	if err != nil {
+		return
+	}
+	sys, err = system.New(ga, f)
+	if err != nil {
+		return
+	}
+	gpuAlone = sys.Run()
+
+	together, err = system.RunDesign(base, design, combo)
+	return
+}
+
+// Fig2aRow is one combo's co-run slowdowns.
+type Fig2aRow struct {
+	Combo       string
+	CPUSlowdown float64
+	GPUSlowdown float64
+}
+
+// Fig2a reproduces "Fig. 2(a): slowdown of CPU and GPU workloads when
+// running them together compared to running each alone" on the
+// unpartitioned baseline.
+func Fig2a(o Options) ([]Fig2aRow, error) {
+	combos := o.combos()
+	rows := make([]Fig2aRow, len(combos))
+	var mu sync.Mutex
+	var firstErr error
+	jobs := make([]func(), len(combos))
+	for i, c := range combos {
+		i, c := i, c
+		jobs[i] = func() {
+			ca, ga, tog, err := aloneAndTogether(o.Base, system.DesignBaseline, c)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			rows[i] = Fig2aRow{
+				Combo:       c.ID,
+				CPUSlowdown: safeDiv(ca.CPUIPC, tog.CPUIPC),
+				GPUSlowdown: safeDiv(ga.GPUIPC, tog.GPUIPC),
+			}
+			o.logf("fig2a: %s cpu %.2fx gpu %.2fx", c.ID, rows[i].CPUSlowdown, rows[i].GPUSlowdown)
+		}
+	}
+	runAll(o.Parallel, jobs)
+	return rows, firstErr
+}
+
+// Fig2aTable renders the Fig. 2(a) rows.
+func Fig2aTable(rows []Fig2aRow) *Table {
+	t := &Table{Title: "Fig. 2(a): co-run slowdown vs running alone (baseline)",
+		Columns: []string{"combo", "CPU slowdown", "GPU slowdown"}}
+	for _, r := range rows {
+		t.Add(r.Combo, fmt.Sprintf("%.2f", r.CPUSlowdown), fmt.Sprintf("%.2f", r.GPUSlowdown))
+	}
+	return t
+}
+
+// SensitivityKnob selects which resource Fig. 2(b)-(d) scales.
+type SensitivityKnob int
+
+// Fig. 2 sensitivity knobs.
+const (
+	KnobFastBW       SensitivityKnob = iota // Fig. 2(b)
+	KnobFastCapacity                        // Fig. 2(c)
+	KnobSlowBW                              // Fig. 2(d)
+)
+
+// String names the knob.
+func (k SensitivityKnob) String() string {
+	switch k {
+	case KnobFastBW:
+		return "fast-bandwidth"
+	case KnobFastCapacity:
+		return "fast-capacity"
+	default:
+		return "slow-bandwidth"
+	}
+}
+
+// Fig2SensRow is one scale point of a sensitivity sweep.
+type Fig2SensRow struct {
+	Scale   float64
+	CPUPerf float64 // normalized to scale=1
+	GPUPerf float64
+}
+
+// Fig2Sensitivity reproduces Fig. 2(b)-(d): performance of the CPU and
+// GPU workloads in one combo (the paper uses C1) as one memory resource
+// is scaled down, normalized to the full-resource point.
+func Fig2Sensitivity(o Options, comboID string, knob SensitivityKnob, scales []float64) ([]Fig2SensRow, error) {
+	combo, err := workloads.ComboByID(comboID)
+	if err != nil {
+		return nil, err
+	}
+	if len(scales) == 0 {
+		scales = []float64{1, 0.5, 0.25}
+	}
+	results := make([]system.Results, len(scales))
+	var firstErr error
+	var mu sync.Mutex
+	jobs := make([]func(), len(scales))
+	for i, sc := range scales {
+		i, sc := i, sc
+		jobs[i] = func() {
+			cfg := o.Base
+			switch knob {
+			case KnobFastBW:
+				cfg.FastBWScale = sc
+			case KnobSlowBW:
+				cfg.SlowBWScale = sc
+			case KnobFastCapacity:
+				// Shrink the tier, not the workloads.
+				cfg.ProfileScaleBytes = cfg.Hybrid.FastCapacityBytes
+				cap := uint64(float64(cfg.Hybrid.FastCapacityBytes) * sc)
+				setBytes := cfg.Hybrid.BlockBytes * uint64(cfg.Hybrid.Assoc)
+				if setBytes == 0 {
+					setBytes = 1024
+				}
+				cfg.Hybrid.FastCapacityBytes = cap / setBytes * setBytes
+			}
+			r, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			results[i] = r
+			o.logf("fig2 %s: scale %.2f done", knob, sc)
+		}
+	}
+	runAll(o.Parallel, jobs)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rows := make([]Fig2SensRow, len(scales))
+	ref := results[0]
+	for i, sc := range scales {
+		rows[i] = Fig2SensRow{
+			Scale:   sc,
+			CPUPerf: safeDiv(results[i].CPUIPC, ref.CPUIPC),
+			GPUPerf: safeDiv(results[i].GPUIPC, ref.GPUIPC),
+		}
+	}
+	return rows, nil
+}
+
+// Fig2SensTable renders a sensitivity sweep.
+func Fig2SensTable(knob SensitivityKnob, rows []Fig2SensRow) *Table {
+	t := &Table{Title: fmt.Sprintf("Fig. 2: %s sensitivity (normalized perf)", knob),
+		Columns: []string{"scale", "CPU perf", "GPU perf"}}
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%.2f", r.Scale), fmt.Sprintf("%.3f", r.CPUPerf), fmt.Sprintf("%.3f", r.GPUPerf))
+	}
+	return t
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

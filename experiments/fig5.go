@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// Fig5Result holds the full Figure 5 (and Figure 6) dataset: per-combo,
+// per-design results plus the baseline used for normalization.
+type Fig5Result struct {
+	Designs []string
+	Combos  []string
+	// Speedup[combo][design] is the weighted speedup over Baseline.
+	Speedup map[string]map[string]float64
+	// Raw[combo][design] keeps the underlying run results (used by the
+	// energy figure and the analysis tooling).
+	Raw map[string]map[string]system.Results
+	// Weights used for the weighted speedup.
+	WCPU, WGPU float64
+}
+
+// Fig5 reproduces "Fig. 5: Performance comparison between HAShCache,
+// Profess, WayPart, and several Hydrogen variants", normalized to the
+// no-partitioning baseline. Setting hbm3 reproduces Fig. 5(b), which
+// swaps the fast tier for HBM3 with doubled bandwidth.
+func Fig5(o Options, hbm3 bool) (*Fig5Result, error) {
+	base := o.Base
+	if hbm3 {
+		base.Fast = dram.HBM3()
+	}
+	wCPU, wGPU := base.WeightCPU, base.WeightGPU
+	if wCPU == 0 && wGPU == 0 {
+		wCPU, wGPU = 12, 1
+	}
+
+	combos := o.combos()
+	designs := system.Designs()
+	res := &Fig5Result{
+		Designs: designs,
+		Speedup: map[string]map[string]float64{},
+		Raw:     map[string]map[string]system.Results{},
+		WCPU:    wCPU, WGPU: wGPU,
+	}
+	for _, c := range combos {
+		res.Combos = append(res.Combos, c.ID)
+		res.Speedup[c.ID] = map[string]float64{}
+		res.Raw[c.ID] = map[string]system.Results{}
+	}
+
+	type job struct {
+		combo  workloads.Combo
+		design string
+	}
+	var list []job
+	for _, c := range combos {
+		for _, d := range designs {
+			list = append(list, job{c, d})
+		}
+	}
+	var mu sync.Mutex
+	jobs := make([]func(), len(list))
+	var firstErr error
+	for i, j := range list {
+		j := j
+		jobs[i] = func() {
+			r, err := system.RunDesign(base, j.design, j.combo)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			res.Raw[j.combo.ID][j.design] = r
+			o.logf("fig5: %s %s done (cpu %.2f gpu %.2f)", j.combo.ID, j.design, r.CPUIPC, r.GPUIPC)
+		}
+	}
+	runAll(o.Parallel, jobs)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for _, c := range combos {
+		baseRun := res.Raw[c.ID][system.DesignBaseline]
+		for _, d := range designs {
+			res.Speedup[c.ID][d] = WeightedSpeedup(res.Raw[c.ID][d], baseRun, wCPU, wGPU)
+		}
+	}
+	return res, nil
+}
+
+// GeomeanBy returns the geometric-mean speedup of one design across
+// combos.
+func (f *Fig5Result) GeomeanBy(design string) float64 {
+	var xs []float64
+	for _, c := range f.Combos {
+		xs = append(xs, f.Speedup[c][design])
+	}
+	return Geomean(xs)
+}
+
+// HydrogenVsBest returns Hydrogen's geomean speedup relative to the best
+// non-Hydrogen baseline design (the paper's headline 1.16x metric) and
+// that design's name.
+func (f *Fig5Result) HydrogenVsBest() (float64, string) {
+	bestName, best := "", 0.0
+	for _, d := range []string{system.DesignHAShCache, system.DesignProfess, system.DesignWayPart} {
+		if g := f.GeomeanBy(d); g > best {
+			best, bestName = g, d
+		}
+	}
+	if best == 0 {
+		return 0, ""
+	}
+	return f.GeomeanBy(system.DesignHydrogen) / best, bestName
+}
+
+// Table renders the speedup matrix (one row per combo, one column per
+// design, plus the geomean row — the shape of the Fig. 5 bar groups).
+func (f *Fig5Result) Table(title string) *Table {
+	t := &Table{Title: title, Columns: append([]string{"combo"}, f.Designs...)}
+	for _, c := range f.Combos {
+		row := []string{c}
+		for _, d := range f.Designs {
+			row = append(row, fmt.Sprintf("%.3f", f.Speedup[c][d]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	gm := []string{"geomean"}
+	for _, d := range f.Designs {
+		gm = append(gm, fmt.Sprintf("%.3f", f.GeomeanBy(d)))
+	}
+	t.Rows = append(t.Rows, gm)
+	return t
+}
+
+// Fig6Table derives "Fig. 6: Memory energy comparison" from the Fig. 5
+// runs: total memory energy (dynamic + static, both tiers) normalized to
+// HAShCache, for HAShCache, Profess, and Hydrogen.
+func (f *Fig5Result) Fig6Table() *Table {
+	designs := []string{system.DesignHAShCache, system.DesignProfess, system.DesignHydrogen}
+	t := &Table{Title: "Fig. 6: memory energy (normalized to HAShCache)",
+		Columns: append([]string{"combo"}, designs...)}
+	var sums [3][]float64
+	for _, c := range f.Combos {
+		hash := f.Raw[c][system.DesignHAShCache]
+		ref := hash.TotalEnergyPJ()
+		row := []string{c}
+		for i, d := range designs {
+			r := f.Raw[c][d]
+			norm := 0.0
+			if ref > 0 {
+				norm = r.TotalEnergyPJ() / ref
+			}
+			sums[i] = append(sums[i], norm)
+			row = append(row, fmt.Sprintf("%.3f", norm))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	gm := []string{"geomean"}
+	for i := range designs {
+		gm = append(gm, fmt.Sprintf("%.3f", Geomean(sums[i])))
+	}
+	t.Rows = append(t.Rows, gm)
+	return t
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/core"
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// runHydrogenVariant runs one combo under a Hydrogen options variant and
+// the baseline, returning the weighted speedup.
+func runHydrogenVariant(base system.Config, opts system.HydrogenOptions, combo workloads.Combo, wCPU, wGPU float64) (float64, error) {
+	baseline, err := system.RunDesign(base, system.DesignBaseline, combo)
+	if err != nil {
+		return 0, err
+	}
+	cfg := base
+	cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
+	cfg.GPUProfile = combo.GPU
+	sys, err := system.New(cfg, system.HydrogenFactory(opts))
+	if err != nil {
+		return 0, err
+	}
+	r := sys.Run()
+	return WeightedSpeedup(r, baseline, wCPU, wGPU), nil
+}
+
+// variantGeomean evaluates a set of Hydrogen option variants over the
+// option's combos and returns geomean weighted speedups by variant name.
+func variantGeomean(o Options, variants map[string]system.HydrogenOptions) (map[string]float64, error) {
+	combos := o.combos()
+	wCPU, wGPU := weightsOf(o.Base)
+
+	type key struct{ v, c string }
+	results := map[key]float64{}
+	var mu sync.Mutex
+	var firstErr error
+	var jobs []func()
+	for name, opts := range variants {
+		for _, combo := range combos {
+			name, opts, combo := name, opts, combo
+			jobs = append(jobs, func() {
+				s, err := runHydrogenVariant(o.Base, opts, combo, wCPU, wGPU)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				results[key{name, combo.ID}] = s
+				o.logf("fig7: %s %s speedup %.3f", name, combo.ID, s)
+			})
+		}
+	}
+	runAll(o.Parallel, jobs)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := map[string]float64{}
+	for name := range variants {
+		var xs []float64
+		for _, combo := range combos {
+			xs = append(xs, results[key{name, combo.ID}])
+		}
+		out[name] = Geomean(xs)
+	}
+	return out, nil
+}
+
+func weightsOf(base system.Config) (float64, float64) {
+	if base.WeightCPU == 0 && base.WeightGPU == 0 {
+		return 12, 1
+	}
+	return base.WeightCPU, base.WeightGPU
+}
+
+// Fig7a reproduces "Fig. 7(a): performance impact of fast memory swap
+// methods": Ideal (free swaps), Hydrogen (default), Prob (half the swaps
+// bypassed), NoSwap. Geomean weighted speedups over the baseline.
+func Fig7a(o Options) (map[string]float64, error) {
+	full := system.HydrogenOptions{Tokens: true, TokIdx: 3, Climb: true}
+	mk := func(m core.SwapMode) system.HydrogenOptions {
+		v := full
+		v.Swap = m
+		return v
+	}
+	return variantGeomean(o, map[string]system.HydrogenOptions{
+		"Ideal":    mk(core.SwapIdeal),
+		"Hydrogen": mk(core.SwapOn),
+		"Prob":     mk(core.SwapProb),
+		"NoSwap":   mk(core.SwapOff),
+	})
+}
+
+// Fig7aTable renders Fig. 7(a).
+func Fig7aTable(m map[string]float64) *Table {
+	t := &Table{Title: "Fig. 7(a): fast memory swap methods (geomean weighted speedup)",
+		Columns: []string{"variant", "speedup"}}
+	for _, k := range []string{"Ideal", "Hydrogen", "Prob", "NoSwap"} {
+		t.Add(k, fmt.Sprintf("%.3f", m[k]))
+	}
+	return t
+}
+
+// Fig7b reproduces "Fig. 7(b): reconfiguration overheads": Hydrogen's
+// lazy reconfiguration vs an ideal zero-cost reconfigure, plus the
+// offline exhaustive search upper bound (best static operating point per
+// combo, the Fig. 8 oracle).
+func Fig7b(o Options) (map[string]float64, error) {
+	full := system.HydrogenOptions{Tokens: true, TokIdx: 3, Climb: true}
+	ideal := full
+	ideal.IdealReconfig = true
+	m, err := variantGeomean(o, map[string]system.HydrogenOptions{
+		"Hydrogen":         full,
+		"IdealReconfigure": ideal,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Offline exhaustive oracle over a coarse static grid.
+	combos := o.combos()
+	wCPU, wGPU := weightsOf(o.Base)
+	var xs []float64
+	for _, combo := range combos {
+		points := StaticGrid(coarse)
+		best := 0.0
+		baseline, err := system.RunDesign(o.Base, system.DesignBaseline, combo)
+		if err != nil {
+			return nil, err
+		}
+		var mu sync.Mutex
+		jobs := make([]func(), len(points))
+		for i, p := range points {
+			p := p
+			jobs[i] = func() {
+				s, err := runStaticPoint(o.Base, p, combo, baseline, wCPU, wGPU)
+				mu.Lock()
+				defer mu.Unlock()
+				if err == nil && s > best {
+					best = s
+				}
+			}
+		}
+		runAll(o.Parallel, jobs)
+		o.logf("fig7b: %s exhaustive best %.3f", combo.ID, best)
+		xs = append(xs, best)
+	}
+	m["ExhaustiveOffline"] = Geomean(xs)
+	return m, nil
+}
+
+// Fig7bTable renders Fig. 7(b).
+func Fig7bTable(m map[string]float64) *Table {
+	t := &Table{Title: "Fig. 7(b): reconfiguration overheads (geomean weighted speedup)",
+		Columns: []string{"variant", "speedup"}}
+	for _, k := range []string{"IdealReconfigure", "Hydrogen", "ExhaustiveOffline"} {
+		t.Add(k, fmt.Sprintf("%.3f", m[k]))
+	}
+	return t
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// StaticPoint is one fixed (cap, bw, tok) operating point.
+type StaticPoint struct {
+	CPUWays   int
+	CPUGroups int
+	TokIdx    int
+}
+
+func (p StaticPoint) String() string {
+	return fmt.Sprintf("cap=%d bw=%d tok=%d", p.CPUWays, p.CPUGroups, p.TokIdx)
+}
+
+// GridDensity selects how fine the exhaustive grid is.
+type GridDensity int
+
+// Grid densities.
+const (
+	coarse GridDensity = iota
+	// Full enumerates every feasible (cap, bw, tok) combination.
+	Full
+)
+
+// Coarse is the reduced grid used by the Fig. 7(b) oracle.
+const Coarse = coarse
+
+// StaticGrid enumerates static operating points for a 4-way, 4-group
+// system. The full grid is what Fig. 8 sweeps; the coarse grid samples
+// it for the Fig. 7(b) oracle.
+func StaticGrid(d GridDensity) []StaticPoint {
+	var toks []int
+	if d == Full {
+		toks = []int{0, 1, 2, 3, 4, 5, 6}
+	} else {
+		toks = []int{1, 3, 6}
+	}
+	var out []StaticPoint
+	for cap := 1; cap <= 3; cap++ {
+		for bw := 0; bw <= cap && bw <= 3; bw++ {
+			if d == coarse && bw != 1 && bw != cap {
+				continue
+			}
+			for _, tok := range toks {
+				out = append(out, StaticPoint{cap, bw, tok})
+			}
+		}
+	}
+	return out
+}
+
+// runStaticPoint runs one combo at a pinned operating point (climbing
+// disabled) and returns the weighted speedup over the provided baseline.
+func runStaticPoint(base system.Config, p StaticPoint, combo workloads.Combo, baseline system.Results, wCPU, wGPU float64) (float64, error) {
+	fixed := [3]int{p.CPUWays, p.CPUGroups, p.TokIdx}
+	cfg := base
+	cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
+	cfg.GPUProfile = combo.GPU
+	sys, err := system.New(cfg, system.HydrogenFactory(system.HydrogenOptions{
+		Tokens:     true,
+		FixedPoint: &fixed,
+	}))
+	if err != nil {
+		return 0, err
+	}
+	r := sys.Run()
+	return WeightedSpeedup(r, baseline, wCPU, wGPU), nil
+}
+
+// Fig8Row is one static configuration's result.
+type Fig8Row struct {
+	Point   StaticPoint
+	Speedup float64 // weighted speedup vs baseline
+}
+
+// Fig8Result holds the exhaustive sweep plus Hydrogen's online result.
+type Fig8Result struct {
+	Combo    string
+	Rows     []Fig8Row // sorted by speedup descending
+	Hydrogen float64   // online hill-climbing result
+}
+
+// Fig8 reproduces "Fig. 8: performance of the exhaustive search
+// configurations and the one found by Hydrogen" on one combo (the paper
+// uses C5). Rows are normalized to Hydrogen in the rendered table, as in
+// the figure.
+func Fig8(o Options, comboID string, d GridDensity) (*Fig8Result, error) {
+	combo, err := workloads.ComboByID(comboID)
+	if err != nil {
+		return nil, err
+	}
+	wCPU, wGPU := weightsOf(o.Base)
+	baseline, err := system.RunDesign(o.Base, system.DesignBaseline, combo)
+	if err != nil {
+		return nil, err
+	}
+
+	points := StaticGrid(d)
+	rows := make([]Fig8Row, len(points))
+	var mu sync.Mutex
+	var firstErr error
+	jobs := make([]func(), len(points))
+	for i, p := range points {
+		i, p := i, p
+		jobs[i] = func() {
+			s, err := runStaticPoint(o.Base, p, combo, baseline, wCPU, wGPU)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			rows[i] = Fig8Row{Point: p, Speedup: s}
+			o.logf("fig8: %s -> %.3f", p, s)
+		}
+	}
+	runAll(o.Parallel, jobs)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	hydro, err := runHydrogenVariant(o.Base,
+		system.HydrogenOptions{Tokens: true, TokIdx: 3, Climb: true}, combo, wCPU, wGPU)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Speedup > rows[j].Speedup })
+	return &Fig8Result{Combo: comboID, Rows: rows, Hydrogen: hydro}, nil
+}
+
+// Best returns the best static configuration.
+func (f *Fig8Result) Best() Fig8Row { return f.Rows[0] }
+
+// Median returns the median static configuration.
+func (f *Fig8Result) Median() Fig8Row { return f.Rows[len(f.Rows)/2] }
+
+// HydrogenVsOptimal returns online-Hydrogen's fraction of the static
+// optimum (the paper reports 96.1%).
+func (f *Fig8Result) HydrogenVsOptimal() float64 {
+	return safeDiv(f.Hydrogen, f.Best().Speedup)
+}
+
+// Table renders the sweep normalized to Hydrogen, as in the figure.
+func (f *Fig8Result) Table() *Table {
+	t := &Table{Title: fmt.Sprintf("Fig. 8: exhaustive configurations on %s (normalized to Hydrogen)", f.Combo),
+		Columns: []string{"configuration", "vs Hydrogen", "vs baseline"}}
+	for _, r := range f.Rows {
+		t.Add(r.Point.String(), fmt.Sprintf("%.3f", safeDiv(r.Speedup, f.Hydrogen)),
+			fmt.Sprintf("%.3f", r.Speedup))
+	}
+	t.Add("Hydrogen (online)", "1.000", fmt.Sprintf("%.3f", f.Hydrogen))
+	return t
+}

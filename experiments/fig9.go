@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+)
+
+// Fig9Row is one epoch- or phase-length sample.
+type Fig9Row struct {
+	Label   string
+	Factor  float64 // multiple of the base length
+	Speedup float64 // geomean weighted speedup vs baseline
+}
+
+// Fig9Epoch reproduces "Fig. 9(b): sensitivity to sampling epoch length":
+// geomean Hydrogen speedup with the epoch scaled by each factor. The
+// paper's sweet spot is 10 M cycles — too-short epochs pay
+// reconfiguration churn, too-long ones adapt too slowly.
+func Fig9Epoch(o Options, factors []float64) ([]Fig9Row, error) {
+	if len(factors) == 0 {
+		factors = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	return fig9sweep(o, factors, "epoch", func(cfg *system.Config, f float64) {
+		cfg.EpochLen = uint64(float64(cfg.EpochLen) * f)
+		if cfg.EpochLen == 0 {
+			cfg.EpochLen = 1
+		}
+	})
+}
+
+// Fig9Phase reproduces "Fig. 9(a): sensitivity to phase length": the
+// interval at which exploration restarts, in multiples of the default
+// 50-epoch phase.
+func Fig9Phase(o Options, factors []float64) ([]Fig9Row, error) {
+	if len(factors) == 0 {
+		factors = []float64{0.25, 0.5, 1, 2}
+	}
+	rows := make([]Fig9Row, len(factors))
+	var mu sync.Mutex
+	var firstErr error
+	var jobs []func()
+	wCPU, wGPU := weightsOf(o.Base)
+	combos := o.combos()
+	speedups := make([][]float64, len(factors))
+	for i, f := range factors {
+		phaseEpochs := uint64(50 * f)
+		if phaseEpochs == 0 {
+			phaseEpochs = 1
+		}
+		for _, combo := range combos {
+			i, f, combo, phaseEpochs := i, f, combo, phaseEpochs
+			jobs = append(jobs, func() {
+				s, err := runHydrogenVariant(o.Base, system.HydrogenOptions{
+					Tokens: true, TokIdx: 3, Climb: true, PhaseEpochs: phaseEpochs,
+				}, combo, wCPU, wGPU)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				speedups[i] = append(speedups[i], s)
+				o.logf("fig9 phase x%.2f %s: %.3f", f, combo.ID, s)
+			})
+		}
+	}
+	runAll(o.Parallel, jobs)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i, f := range factors {
+		rows[i] = Fig9Row{Label: fmt.Sprintf("phase x%.2f", f), Factor: f, Speedup: Geomean(speedups[i])}
+	}
+	return rows, nil
+}
+
+func fig9sweep(o Options, factors []float64, label string, mutate func(*system.Config, float64)) ([]Fig9Row, error) {
+	wCPU, wGPU := weightsOf(o.Base)
+	combos := o.combos()
+	speedups := make([][]float64, len(factors))
+	var mu sync.Mutex
+	var firstErr error
+	var jobs []func()
+	for i, f := range factors {
+		for _, combo := range combos {
+			i, f, combo := i, f, combo
+			jobs = append(jobs, func() {
+				cfg := o.Base
+				mutate(&cfg, f)
+				baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				c2 := cfg
+				c2.CPUProfiles = combo.CPUAssignment(c2.Cores)
+				c2.GPUProfile = combo.GPU
+				sys, err := system.New(c2, system.HydrogenFactory(system.HydrogenOptions{
+					Tokens: true, TokIdx: 3, Climb: true,
+				}))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				r := sys.Run()
+				s := WeightedSpeedup(r, baseline, wCPU, wGPU)
+				mu.Lock()
+				speedups[i] = append(speedups[i], s)
+				mu.Unlock()
+				o.logf("fig9 %s x%.2f %s: %.3f", label, f, combo.ID, s)
+			})
+		}
+	}
+	runAll(o.Parallel, jobs)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rows := make([]Fig9Row, len(factors))
+	for i, f := range factors {
+		rows[i] = Fig9Row{Label: fmt.Sprintf("%s x%.2f", label, f), Factor: f, Speedup: Geomean(speedups[i])}
+	}
+	return rows, nil
+}
+
+// Fig9Table renders a Fig. 9 sweep.
+func Fig9Table(title string, rows []Fig9Row) *Table {
+	t := &Table{Title: title, Columns: []string{"setting", "geomean speedup"}}
+	for _, r := range rows {
+		t.Add(r.Label, fmt.Sprintf("%.3f", r.Speedup))
+	}
+	return t
+}

@@ -1,0 +1,3 @@
+module github.com/hydrogen-sim/hydrogen
+
+go 1.22

@@ -1,0 +1,185 @@
+// Package caches provides the SRAM cache models of the processor
+// hierarchy: per-core CPU L1/L2, per-subslice GPU L1, and the shared LLC
+// (Table I). The caches are functional — they decide hit/miss, maintain
+// LRU state and dirty bits, and surface dirty victims — while their
+// latency contribution is added by the core models on the request path.
+package caches
+
+import "fmt"
+
+// Config sizes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  uint64
+	Assoc      int
+	BlockBytes uint64
+	Latency    uint64 // access latency in cycles
+}
+
+// Validate reports whether the configuration describes a buildable cache.
+func (c *Config) Validate() error {
+	switch {
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache %s: assoc %d", c.Name, c.Assoc)
+	case c.BlockBytes == 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("cache %s: block size %d not a power of two", c.Name, c.BlockBytes)
+	case c.SizeBytes < c.BlockBytes*uint64(c.Assoc):
+		return fmt.Errorf("cache %s: size %d smaller than one set", c.Name, c.SizeBytes)
+	case c.SizeBytes%(c.BlockBytes*uint64(c.Assoc)) != 0:
+		return fmt.Errorf("cache %s: size %d not a multiple of set size", c.Name, c.SizeBytes)
+	}
+	return nil
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// Cache is a set-associative write-back SRAM cache with LRU replacement.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	numSets uint64
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache; it panics on an invalid config because cache shapes
+// are fixed at system construction and a bad one is a programming error.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.BlockBytes * uint64(cfg.Assoc))
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*uint64(cfg.Assoc))
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &Cache{cfg: cfg, sets: sets, numSets: numSets}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Latency returns the configured access latency in cycles.
+func (c *Cache) Latency() uint64 { return c.cfg.Latency }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr / c.cfg.BlockBytes
+	return blk % c.numSets, blk / c.numSets
+}
+
+// Victim describes a dirty block evicted by a fill.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+	Valid bool // false when the fill used an empty way
+}
+
+// Access looks up addr, updating LRU state and the dirty bit on a write
+// hit. It reports whether the access hit. Misses do NOT allocate; call
+// Fill once the data returns, which mirrors how the request path works.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	set, tag := c.index(addr)
+	c.tick++
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.tick
+			if write {
+				l.dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports whether addr is cached, without touching LRU state.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs addr (marking it dirty if dirty is set) and returns the
+// victim it displaced. Filling a block that is already present only
+// updates its dirty bit.
+func (c *Cache) Fill(addr uint64, dirty bool) Victim {
+	set, tag := c.index(addr)
+	c.tick++
+	lines := c.sets[set]
+	victim := 0
+	for i := range lines {
+		l := &lines[i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.tick
+			l.dirty = l.dirty || dirty
+			return Victim{}
+		}
+		if !lines[victim].valid {
+			continue
+		}
+		if !l.valid || l.lastUse < lines[victim].lastUse {
+			victim = i
+		}
+	}
+	v := &lines[victim]
+	out := Victim{}
+	if v.valid {
+		out = Victim{Addr: c.addrOf(set, v.tag), Dirty: v.dirty, Valid: true}
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: c.tick}
+	return out
+}
+
+// Invalidate drops addr if present and returns its victim record (so a
+// dirty copy can be written back).
+func (c *Cache) Invalidate(addr uint64) Victim {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			out := Victim{Addr: c.addrOf(set, tag), Dirty: l.dirty, Valid: true}
+			*l = line{}
+			return out
+		}
+	}
+	return Victim{}
+}
+
+func (c *Cache) addrOf(set, tag uint64) uint64 {
+	return (tag*c.numSets + set) * c.cfg.BlockBytes
+}
+
+// HitRate returns hits/(hits+misses), or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,49 @@
+// Package chash implements rendezvous (highest-random-weight) hashing,
+// the consistent-hashing scheme Hydrogen uses to pick which shared-channel
+// ways of each set are allocated to the CPU (paper Section IV-D).
+//
+// Rendezvous hashing has exactly the property the reconfiguration needs:
+// when the number of selected buckets changes by one, the selection for
+// every key changes by at most one bucket, so growing or shrinking the
+// CPU's capacity share relocates at most one way per set.
+package chash
+
+import "sort"
+
+// Score returns a deterministic 64-bit weight for the (key, bucket) pair.
+// It is a splitmix64-style finalizer over the mixed inputs; quality only
+// needs to be good enough to spread way selection across sets.
+func Score(key, bucket uint64) uint64 {
+	x := key*0x9e3779b97f4a7c15 ^ (bucket+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Rank returns the buckets ordered by descending score for key. Ties are
+// broken by bucket value, so the order is total and deterministic.
+func Rank(key uint64, buckets []int) []int {
+	out := make([]int, len(buckets))
+	copy(out, buckets)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := Score(key, uint64(out[i])), Score(key, uint64(out[j]))
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Select returns the k highest-ranked buckets for key. If k exceeds the
+// number of buckets, all buckets are returned.
+func Select(key uint64, buckets []int, k int) []int {
+	r := Rank(key, buckets)
+	if k > len(r) {
+		k = len(r)
+	}
+	return r[:k]
+}

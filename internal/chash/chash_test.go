@@ -1,0 +1,123 @@
+package chash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScoreDeterministic(t *testing.T) {
+	if Score(1, 2) != Score(1, 2) {
+		t.Fatal("Score is not deterministic")
+	}
+	if Score(1, 2) == Score(2, 1) {
+		t.Fatal("Score ignores argument order; keys and buckets collide")
+	}
+}
+
+func TestRankIsPermutation(t *testing.T) {
+	buckets := []int{0, 1, 2, 3}
+	r := Rank(42, buckets)
+	if len(r) != len(buckets) {
+		t.Fatalf("rank has %d entries, want %d", len(r), len(buckets))
+	}
+	seen := map[int]bool{}
+	for _, b := range r {
+		if seen[b] {
+			t.Fatalf("bucket %d appears twice in %v", b, r)
+		}
+		seen[b] = true
+	}
+}
+
+func TestRankDoesNotMutateInput(t *testing.T) {
+	buckets := []int{3, 1, 2, 0}
+	Rank(7, buckets)
+	want := []int{3, 1, 2, 0}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("input mutated to %v", buckets)
+		}
+	}
+}
+
+// The key consistency property: Select(key, b, k) is a prefix of
+// Select(key, b, k+1), so resizing the CPU share moves at most one way.
+func TestSelectMonotone(t *testing.T) {
+	buckets := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for key := uint64(0); key < 2000; key++ {
+		prev := Select(key, buckets, 0)
+		for k := 1; k <= len(buckets); k++ {
+			cur := Select(key, buckets, k)
+			if len(cur) != k {
+				t.Fatalf("key %d k %d: got %d selections", key, k, len(cur))
+			}
+			for i := range prev {
+				if cur[i] != prev[i] {
+					t.Fatalf("key %d: Select(%d)=%v is not a prefix of Select(%d)=%v",
+						key, k-1, prev, k, cur)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// Removing one bucket only remaps keys that had selected that bucket.
+func TestBucketRemovalMinimalChurn(t *testing.T) {
+	all := []int{0, 1, 2, 3}
+	without2 := []int{0, 1, 3}
+	for key := uint64(0); key < 2000; key++ {
+		before := Select(key, all, 1)[0]
+		after := Select(key, without2, 1)[0]
+		if before != 2 && after != before {
+			t.Fatalf("key %d moved from %d to %d though bucket 2 was removed", key, before, after)
+		}
+	}
+}
+
+// Selection should spread roughly evenly across buckets over many keys,
+// since Hydrogen relies on GPU ways landing on different channels in
+// different sets to recover full shared-channel bandwidth.
+func TestSelectionBalance(t *testing.T) {
+	buckets := []int{0, 1, 2, 3}
+	counts := map[int]int{}
+	const n = 40000
+	for key := uint64(0); key < n; key++ {
+		counts[Select(key, buckets, 1)[0]]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.22 || frac > 0.28 {
+			t.Fatalf("bucket %d selected %.3f of keys, want ~0.25", b, frac)
+		}
+	}
+}
+
+func TestSelectKTooLarge(t *testing.T) {
+	got := Select(1, []int{5, 6}, 10)
+	if len(got) != 2 {
+		t.Fatalf("Select with k>len returned %v", got)
+	}
+}
+
+func TestPropertyPrefix(t *testing.T) {
+	f := func(key uint64, nb uint8) bool {
+		n := int(nb%8) + 2
+		buckets := make([]int, n)
+		for i := range buckets {
+			buckets[i] = i
+		}
+		for k := 1; k < n; k++ {
+			a, b := Select(key, buckets, k), Select(key, buckets, k+1)
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

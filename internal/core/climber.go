@@ -1,0 +1,163 @@
+package core
+
+// climber implements the epoch-based hill climbing of Section IV-C.
+// Each sampling epoch yields one weighted-IPC observation for whatever
+// operating point was active during that epoch. The climber walks one
+// parameter at a time (cap, bw, tok), keeps moves that improve the
+// score, and declares convergence after a full unproductive sweep; a new
+// exploration phase starts every PhaseLen cycles to follow program
+// phase changes.
+type climber struct {
+	h       *Hydrogen
+	enabled bool
+
+	state      climbState
+	best       [3]int
+	bestScore  float64
+	dim, dir   int
+	fails      int
+	phaseStart uint64
+}
+
+type climbState uint8
+
+const (
+	climbMeasure climbState = iota // next sample scores the current best point
+	climbTrial                     // next sample scores a candidate move
+	climbIdle                      // converged; wait for the next phase
+)
+
+// improveEps is the relative improvement a trial must show to be kept;
+// it filters measurement noise between epochs.
+const improveEps = 1.005
+
+func newClimber(h *Hydrogen, enabled bool) climber {
+	return climber{h: h, enabled: enabled, state: climbMeasure}
+}
+
+// dimsFreedom reports whether dimension d has more than one feasible value.
+func (c *climber) dimFree(d int) bool {
+	switch d {
+	case 0:
+		return c.h.cfg.Assoc > 2
+	case 1:
+		return c.h.cfg.Groups > 1
+	default:
+		return c.h.cfg.EnableTokens && len(c.h.cfg.TokLevels) > 1
+	}
+}
+
+func (c *climber) point() [3]int {
+	var p [3]int
+	p[0], p[1], p[2] = c.h.Point()
+	return p
+}
+
+func (c *climber) apply(p [3]int) { c.h.SetPoint(p[0], p[1], p[2]) }
+
+func (c *climber) sample(now uint64, score float64) {
+	if !c.enabled {
+		return
+	}
+	switch c.state {
+	case climbIdle:
+		if c.h.cfg.PhaseLen > 0 && now-c.phaseStart >= c.h.cfg.PhaseLen {
+			c.phaseStart = now
+			c.h.stats.PhasesStarted++
+			c.state = climbMeasure
+		}
+	case climbMeasure:
+		c.best = c.point()
+		c.bestScore = score
+		c.dim, c.dir, c.fails = 0, +1, 0
+		c.tryNext()
+	case climbTrial:
+		c.h.stats.ClimbTrials++
+		if score > c.bestScore*improveEps {
+			c.h.stats.ClimbImproves++
+			c.best = c.point()
+			c.bestScore = score
+			c.fails = 0
+			c.tryAgainSameDirection()
+		} else {
+			c.apply(c.best)
+			c.advance()
+		}
+	}
+}
+
+// tryAgainSameDirection keeps climbing in the direction that just paid off.
+func (c *climber) tryAgainSameDirection() {
+	cand := c.best
+	cand[c.dim] += c.dir
+	c.apply(cand)
+	if c.point() == c.best {
+		// Clamped: nothing further in this direction.
+		c.advance()
+		return
+	}
+	c.state = climbTrial
+}
+
+// advance moves to the next direction/dimension, converging after a
+// full sweep (both directions of every free dimension) without gain.
+func (c *climber) advance() {
+	c.fails++
+	limit := 0
+	for d := 0; d < 3; d++ {
+		if c.dimFree(d) {
+			limit += 2
+		}
+	}
+	if c.fails >= limit || limit == 0 {
+		c.apply(c.best)
+		c.state = climbIdle
+		return
+	}
+	if c.dir == +1 {
+		c.dir = -1
+	} else {
+		c.dir = +1
+		c.dim = (c.dim + 1) % 3
+	}
+	c.tryNext()
+}
+
+// tryNext applies the candidate move for the current (dim, dir); if the
+// dimension is pinned or the move clamps to a no-op, it skips ahead.
+func (c *climber) tryNext() {
+	for {
+		if !c.dimFree(c.dim) {
+			c.fails++ // both directions of a pinned dim count as failed
+			c.fails++
+			if c.dim == 2 && !c.anyFree() {
+				c.state = climbIdle
+				return
+			}
+			c.dim = (c.dim + 1) % 3
+			c.dir = +1
+			if c.fails >= 6 {
+				c.apply(c.best)
+				c.state = climbIdle
+				return
+			}
+			continue
+		}
+		cand := c.best
+		cand[c.dim] += c.dir
+		c.apply(cand)
+		if c.point() == c.best {
+			c.advance()
+			return
+		}
+		c.state = climbTrial
+		return
+	}
+}
+
+func (c *climber) anyFree() bool {
+	return c.dimFree(0) || c.dimFree(1) || c.dimFree(2)
+}
+
+// Converged reports whether the climber is holding a best point.
+func (c *climber) Converged() bool { return c.state == climbIdle }

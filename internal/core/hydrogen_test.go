@@ -1,0 +1,486 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/hybrid"
+)
+
+func defaultCfg() Config {
+	return Config{
+		Groups: 4, Assoc: 4,
+		CPUWays: 3, CPUGroups: 1,
+		EnableTokens: true, TokIdx: 3,
+		TokenPeriod: 1000, SlowBytesPerCycle: 64, BlockBytes: 256,
+		LazyReconfig: true,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Hydrogen {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetNumSets(1024)
+	return h
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := defaultCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := defaultCfg()
+	bad.CPUWays = 4 // must leave at least one GPU way
+	if err := bad.Validate(); err == nil {
+		t.Fatal("CPUWays == Assoc validated")
+	}
+	bad = defaultCfg()
+	bad.CPUGroups = 4
+	if err := bad.Validate(); err == nil {
+		t.Fatal("CPUGroups == Groups validated")
+	}
+	bad = defaultCfg()
+	bad.TokIdx = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("TokIdx out of range validated")
+	}
+}
+
+// gpuWay returns the single GPU-owned way of set (cap=3 of 4).
+func gpuWay(h *Hydrogen, set uint64) int {
+	for w := 0; w < 4; w++ {
+		if h.Owner(set, w) == hybrid.OwnerGPU {
+			return w
+		}
+	}
+	return -1
+}
+
+func TestOwnership(t *testing.T) {
+	h := mustNew(t, defaultCfg())
+	for set := uint64(0); set < 64; set++ {
+		cpu := 0
+		for w := 0; w < 4; w++ {
+			if h.Owner(set, w) == hybrid.OwnerCPU {
+				cpu++
+			}
+		}
+		if cpu != 3 {
+			t.Fatalf("set %d has %d CPU ways, want cap=3", set, cpu)
+		}
+		// Way 0 backs the dedicated channel group 0, so it must be CPU.
+		if h.Owner(set, 0) != hybrid.OwnerCPU {
+			t.Fatalf("set %d: dedicated way 0 not CPU-owned", set)
+		}
+	}
+}
+
+// Decoupling: ways are pinned to groups (way w -> group w), the GPU way
+// varies across sets over all *shared* groups, and never lands on the
+// dedicated group — that is how the GPU keeps full shared bandwidth
+// while the CPU keeps 3/4 of the capacity (Fig. 3(b)).
+func TestWayGroupDecoupling(t *testing.T) {
+	h := mustNew(t, defaultCfg())
+	variety := map[int]int{}
+	for set := uint64(0); set < 1024; set++ {
+		for w := 0; w < 4; w++ {
+			if g := h.WayGroup(set, w); g != w {
+				t.Fatalf("set %d way %d mapped to group %d; ways must stay pinned", set, w, g)
+			}
+		}
+		gw := gpuWay(h, set)
+		if gw < 0 {
+			t.Fatalf("set %d has no GPU way", set)
+		}
+		if g := h.WayGroup(set, gw); g == 0 {
+			t.Fatalf("set %d: GPU way landed on the dedicated group", set)
+		}
+		variety[h.WayGroup(set, gw)]++
+	}
+	for g := 1; g <= 3; g++ {
+		if frac := float64(variety[g]) / 1024; frac < 0.15 {
+			t.Fatalf("GPU way lands on group %d only %.2f of sets; not spread", g, frac)
+		}
+	}
+}
+
+func TestVictimRespectsPartition(t *testing.T) {
+	h := mustNew(t, defaultCfg())
+	ways := make([]hybrid.WayView, 4)
+	for i := range ways {
+		ways[i] = hybrid.WayView{Valid: true, LastUse: uint64(10 - i)}
+	}
+	gw := gpuWay(h, 0)
+	if v := h.Victim(0, ways, dram.SourceGPU); v != gw {
+		t.Fatalf("GPU victim way %d, want its only way %d", v, gw)
+	}
+	v := h.Victim(0, ways, dram.SourceCPU)
+	if v < 0 || v == gw {
+		t.Fatalf("CPU victim way %d landed on the GPU way %d", v, gw)
+	}
+	// Busy ways are never victims.
+	ways[gw].Busy = true
+	if v := h.Victim(0, ways, dram.SourceGPU); v != -1 {
+		t.Fatalf("GPU victim %d with its only way busy, want -1", v)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.TokLevels = []float64{0.5}
+	cfg.TokIdx = 0
+	cfg.TokenPeriod = 1000
+	cfg.SlowBytesPerCycle = 64
+	cfg.BlockBytes = 256
+	h := mustNew(t, cfg)
+	// Quota = 0.5 * 1000 * 64 / 256 = 125 tokens per period.
+	granted := 0
+	for i := 0; i < 200; i++ {
+		if h.AllowMigration(dram.SourceGPU, 1, 10) {
+			granted++
+		}
+	}
+	if granted != 125 {
+		t.Fatalf("granted %d migrations in one period, want 125", granted)
+	}
+	// CPU is never throttled.
+	if !h.AllowMigration(dram.SourceCPU, 2, 10) {
+		t.Fatal("CPU migration denied")
+	}
+	// Refill after a period elapses.
+	if !h.AllowMigration(dram.SourceGPU, 1, 1500) {
+		t.Fatal("no tokens after faucet period")
+	}
+}
+
+func TestTokenCostTwoForDirty(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.TokLevels = []float64{0.025}
+	cfg.TokIdx = 0
+	cfg.TokenPeriod = 1000
+	// Quota = 0.025*1000*64/256 = 6.25 tokens.
+	h := mustNew(t, cfg)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if h.AllowMigration(dram.SourceGPU, 2, 5) {
+			granted++
+		}
+	}
+	if granted != 3 {
+		t.Fatalf("granted %d cost-2 migrations from 6.25 tokens, want 3", granted)
+	}
+}
+
+func TestTokensDisabled(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.EnableTokens = false
+	h := mustNew(t, cfg)
+	for i := 0; i < 10000; i++ {
+		if !h.AllowMigration(dram.SourceGPU, 2, 0) {
+			t.Fatal("migration denied with tokens disabled")
+		}
+	}
+}
+
+// sharedCPUWay returns a CPU-owned way of set 0 that is not dedicated.
+func sharedCPUWay(h *Hydrogen, set uint64) int {
+	for w := 1; w < 4; w++ {
+		if h.Owner(set, w) == hybrid.OwnerCPU {
+			return w
+		}
+	}
+	return -1
+}
+
+func TestSwapTarget(t *testing.T) {
+	h := mustNew(t, defaultCfg())
+	ways := make([]hybrid.WayView, 4)
+	for i := range ways {
+		ways[i] = hybrid.WayView{Valid: true, LastUse: uint64(i + 1)}
+	}
+	scw := sharedCPUWay(h, 0)
+	// CPU hit in a shared CPU way promotes into dedicated way 0.
+	if tgt := h.SwapTarget(0, scw, ways, dram.SourceCPU); tgt != 0 {
+		t.Fatalf("swap target %d, want dedicated way 0", tgt)
+	}
+	// Hit in the dedicated way itself: no swap.
+	if tgt := h.SwapTarget(0, 0, ways, dram.SourceCPU); tgt != -1 {
+		t.Fatalf("dedicated-way hit proposed swap %d", tgt)
+	}
+	// GPU hits never swap.
+	if tgt := h.SwapTarget(0, scw, ways, dram.SourceGPU); tgt != -1 {
+		t.Fatalf("GPU hit proposed swap %d", tgt)
+	}
+	// Hits in the GPU's way are not CPU-promotable.
+	if tgt := h.SwapTarget(0, gpuWay(h, 0), ways, dram.SourceCPU); tgt != -1 {
+		t.Fatalf("non-CPU way proposed swap %d", tgt)
+	}
+}
+
+func TestSwapModes(t *testing.T) {
+	offCfg := defaultCfg()
+	offCfg.Swap = SwapOff
+	h := mustNew(t, offCfg)
+	ways := []hybrid.WayView{{Valid: true}, {Valid: true}, {Valid: true}, {Valid: true}}
+	if tgt := h.SwapTarget(0, 2, ways, dram.SourceCPU); tgt != -1 {
+		t.Fatal("SwapOff still proposed a swap")
+	}
+
+	idealCfg := defaultCfg()
+	idealCfg.Swap = SwapIdeal
+	h = mustNew(t, idealCfg)
+	if !h.SwapIsFree() {
+		t.Fatal("SwapIdeal not free")
+	}
+
+	probCfg := defaultCfg()
+	probCfg.Swap = SwapProb
+	h = mustNew(t, probCfg)
+	scw := sharedCPUWay(h, 0)
+	proposed := 0
+	for i := 0; i < 1000; i++ {
+		if h.SwapTarget(0, scw, ways, dram.SourceCPU) >= 0 {
+			proposed++
+		}
+	}
+	if proposed < 350 || proposed > 650 {
+		t.Fatalf("SwapProb proposed %d of 1000, want ~500", proposed)
+	}
+}
+
+func TestMisplaced(t *testing.T) {
+	h := mustNew(t, defaultCfg())
+	gpuBlockInCPUWay := hybrid.WayView{Valid: true, Src: dram.SourceGPU}
+	if !h.Misplaced(0, 0, gpuBlockInCPUWay) {
+		t.Fatal("GPU block in CPU way not flagged misplaced")
+	}
+	cpuBlockInCPUWay := hybrid.WayView{Valid: true, Src: dram.SourceCPU}
+	if h.Misplaced(0, 0, cpuBlockInCPUWay) {
+		t.Fatal("correctly placed block flagged misplaced")
+	}
+	ideal := defaultCfg()
+	ideal.LazyReconfig = false
+	h = mustNew(t, ideal)
+	if h.Misplaced(0, 0, gpuBlockInCPUWay) {
+		t.Fatal("ideal-reconfig variant flagged a misplacement")
+	}
+}
+
+func TestSetPointClampsAndCounts(t *testing.T) {
+	h := mustNew(t, defaultCfg())
+	h.SetPoint(10, 10, 100)
+	c, b, tok := h.Point()
+	if c != 3 || b != 3 || tok != len(DefaultTokLevels)-1 {
+		t.Fatalf("clamped point (%d,%d,%d)", c, b, tok)
+	}
+	if h.Stats().Reconfigs != 1 {
+		t.Fatalf("reconfigs %d, want 1", h.Stats().Reconfigs)
+	}
+	h.SetPoint(c, b, tok) // no-op
+	if h.Stats().Reconfigs != 1 {
+		t.Fatal("no-op SetPoint counted as reconfig")
+	}
+	// bw may never exceed cap.
+	h.SetPoint(1, 3, 0)
+	c, b, _ = h.Point()
+	if b > c {
+		t.Fatalf("bw %d exceeds cap %d", b, c)
+	}
+}
+
+// The consistency property of Section IV-D: a one-step move of cap or
+// bw flips the alloc bit of at most one way per set, and the way-to-
+// channel mapping never changes at all (so no data relocates eagerly).
+func TestReconfigMinimalChurn(t *testing.T) {
+	snapshot := func(h *Hydrogen) (owners map[uint64][4]hybrid.Owner, groups map[uint64][4]int) {
+		owners = map[uint64][4]hybrid.Owner{}
+		groups = map[uint64][4]int{}
+		for set := uint64(0); set < 512; set++ {
+			var os [4]hybrid.Owner
+			var gs [4]int
+			for w := 0; w < 4; w++ {
+				os[w] = h.Owner(set, w)
+				gs[w] = h.WayGroup(set, w)
+			}
+			owners[set] = os
+			groups[set] = gs
+		}
+		return owners, groups
+	}
+	moves := []struct {
+		name    string
+		c, b    int
+		maxFlip int
+	}{
+		{"cap 3->2", 2, 1, 1},
+		// bw 1->2 with cap fixed at 3: way 1 must join the CPU and, to
+		// keep cap at 3, exactly one former extra CPU way returns to the
+		// GPU; 2 flips is the attainable minimum (0 in sets where way 1
+		// was already a CPU extra, thanks to rendezvous consistency).
+		{"bw 1->2 (cap 3)", 3, 2, 2},
+	}
+	for _, mv := range moves {
+		h := mustNew(t, defaultCfg())
+		preO, preG := snapshot(h)
+		h.SetPoint(mv.c, mv.b, 3)
+		postO, postG := snapshot(h)
+		for set := uint64(0); set < 512; set++ {
+			if preG[set] != postG[set] {
+				t.Fatalf("%s: set %d way-to-group mapping changed; data would relocate", mv.name, set)
+			}
+			flips := 0
+			for w := 0; w < 4; w++ {
+				if preO[set][w] != postO[set][w] {
+					flips++
+				}
+			}
+			if flips > mv.maxFlip {
+				t.Fatalf("%s: set %d flipped %d alloc bits, want <= %d", mv.name, set, flips, mv.maxFlip)
+			}
+		}
+	}
+}
+
+func TestClimberConvergesToBestCap(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.Assoc = 4
+	cfg.EnableClimb = true
+	cfg.EnableTokens = false
+	cfg.PhaseLen = 0
+	h := mustNew(t, cfg)
+	// Synthetic objective: weighted IPC peaks at cap=2, bw=2.
+	objective := func() float64 {
+		c, b, _ := h.Point()
+		return 10 - float64((c-2)*(c-2)) - float64((b-2)*(b-2))
+	}
+	for epoch := uint64(1); epoch < 60; epoch++ {
+		h.OnEpoch(hybrid.EpochMetrics{Now: epoch * 1000, WeightedIPC: objective()})
+	}
+	if !h.climb.Converged() {
+		t.Fatal("climber did not converge in 60 epochs")
+	}
+	c, b, _ := h.Point()
+	if c != 2 || b != 2 {
+		t.Fatalf("converged to cap=%d bw=%d, want (2,2)", c, b)
+	}
+	if h.Stats().ClimbImproves == 0 {
+		t.Fatal("no improvements recorded on the way to optimum")
+	}
+}
+
+func TestClimberRestartsEachPhase(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.EnableClimb = true
+	cfg.PhaseLen = 10_000
+	h := mustNew(t, cfg)
+	for epoch := uint64(1); epoch < 100; epoch++ {
+		h.OnEpoch(hybrid.EpochMetrics{Now: epoch * 1000, WeightedIPC: 1})
+	}
+	if h.Stats().PhasesStarted < 2 {
+		t.Fatalf("phases started %d, want >= 2 over 100 epochs with 10-epoch phases", h.Stats().PhasesStarted)
+	}
+}
+
+func TestClimberDisabled(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.EnableClimb = false
+	h := mustNew(t, cfg)
+	c0, b0, t0 := h.Point()
+	for epoch := uint64(1); epoch < 50; epoch++ {
+		h.OnEpoch(hybrid.EpochMetrics{Now: epoch * 1000, WeightedIPC: float64(epoch)})
+	}
+	c, b, tok := h.Point()
+	if c != c0 || b != b0 || tok != t0 {
+		t.Fatal("disabled climber moved the operating point")
+	}
+}
+
+// Property: WayGroup is always a valid group and dedicated ways are
+// stable across any sequence of SetPoint calls.
+func TestPropertyWayGroupInRange(t *testing.T) {
+	f := func(set uint64, cap8, bw8, tok8 uint8) bool {
+		h, err := New(defaultCfg())
+		if err != nil {
+			return false
+		}
+		h.SetNumSets(256)
+		h.SetPoint(int(cap8%5), int(bw8%5), int(tok8%8))
+		set %= 256
+		for w := 0; w < 4; w++ {
+			g := h.WayGroup(set, w)
+			if g < 0 || g >= 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectMappedDegeneration(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.Assoc = 1
+	cfg.CPUWays = 1
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetNumSets(64)
+	if h.Owner(0, 0) != hybrid.OwnerShared {
+		t.Fatal("direct-mapped fast tier should share its single way")
+	}
+	ways := []hybrid.WayView{{Valid: true, LastUse: 1}}
+	if v := h.Victim(0, ways, dram.SourceGPU); v != 0 {
+		t.Fatalf("direct-mapped victim %d, want 0", v)
+	}
+}
+
+func TestClimberExploresTokenDimension(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.EnableClimb = true
+	cfg.EnableTokens = true
+	cfg.PhaseLen = 0
+	h := mustNew(t, cfg)
+	// Objective peaks at the lowest token level: heavy GPU migration
+	// waste, so throttling pays (the C5/streamcluster situation).
+	objective := func() float64 {
+		_, _, tok := h.Point()
+		return 10 - float64(tok)
+	}
+	for epoch := uint64(1); epoch < 80; epoch++ {
+		h.OnEpoch(hybrid.EpochMetrics{Now: epoch * 1000, WeightedIPC: objective()})
+	}
+	if _, _, tok := h.Point(); tok != 0 {
+		t.Fatalf("climber settled at token level %d, want 0", tok)
+	}
+}
+
+func TestClimberRespectsFeasibility(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.EnableClimb = true
+	cfg.PhaseLen = 0
+	h := mustNew(t, cfg)
+	// Push toward maximal CPU share: cap and bw must stay coupled
+	// (bw <= cap) and within bounds at every step.
+	objective := func() float64 {
+		c, b, _ := h.Point()
+		return float64(3*c + b)
+	}
+	for epoch := uint64(1); epoch < 80; epoch++ {
+		h.OnEpoch(hybrid.EpochMetrics{Now: epoch * 1000, WeightedIPC: objective()})
+		c, b, tok := h.Point()
+		if c < 1 || c > 3 || b < 0 || b > 3 || b > c || tok < 0 || tok >= len(DefaultTokLevels) {
+			t.Fatalf("infeasible point (%d,%d,%d) during climb", c, b, tok)
+		}
+	}
+	c, b, _ := h.Point()
+	if c != 3 || b != 3 {
+		t.Fatalf("converged to (%d,%d), want the objective's peak (3,3)", c, b)
+	}
+}

@@ -1,0 +1,188 @@
+// Package cpu models the latency-sensitive CPU cores of Table I: 8
+// trace-driven cores, each with a private L2 (1 MB, 9 cycles) behind the
+// shared LLC (16 MB, 38 cycles). The trace abstraction level is post-L1
+// (DESIGN.md): the L1 and the core pipeline are folded into the base IPC
+// and the instruction gaps of the trace.
+//
+// The defining property the paper leans on (Section III-B): CPUs have a
+// small memory-level-parallelism window, so load misses serialize and
+// memory *latency* directly throttles IPC — which is why CPUs prefer
+// fast-memory capacity (more hits) over bandwidth.
+package cpu
+
+import (
+	"github.com/hydrogen-sim/hydrogen/internal/caches"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+	"github.com/hydrogen-sim/hydrogen/internal/trace"
+)
+
+// Config shapes one core.
+type Config struct {
+	BaseIPC uint32 // retire width on non-memory instructions (Table I class core: 2)
+	MLP     int    // outstanding load misses before the core stalls
+	L2      caches.Config
+	LLCLat  uint64 // shared LLC access latency
+}
+
+// DefaultConfig returns the Table I core: 2-wide, MLP 4, 1 MB 8-way L2
+// at 9 cycles.
+func DefaultConfig() Config {
+	return Config{
+		BaseIPC: 2,
+		MLP:     4,
+		L2: caches.Config{
+			Name: "L2", SizeBytes: 1 << 20, Assoc: 8, BlockBytes: 64, Latency: 9,
+		},
+		LLCLat: 38,
+	}
+}
+
+// Memory is the interface the core drives below the LLC; implemented by
+// hybrid.Controller.
+type Memory interface {
+	Access(addr uint64, write bool, src dram.Source, done func(uint64))
+}
+
+// Core is one trace-driven CPU core.
+type Core struct {
+	eng *sim.Engine
+	cfg Config
+	id  int
+	gen trace.Generator
+	l2  *caches.Cache
+	llc *caches.Cache
+	mem Memory
+
+	outstanding int
+	blocked     bool
+	exhausted   bool
+	pending     map[uint64]bool // lines with an in-flight miss (MSHR)
+
+	instrs uint64 // retired instructions
+	loads  uint64
+	stores uint64
+	stalls uint64 // times the MLP window filled
+}
+
+// New builds a core. llc is the shared last-level cache instance.
+func New(eng *sim.Engine, cfg Config, id int, gen trace.Generator, llc *caches.Cache, mem Memory) *Core {
+	return &Core{
+		eng: eng, cfg: cfg, id: id, gen: gen,
+		l2: caches.New(cfg.L2), llc: llc, mem: mem,
+		pending: map[uint64]bool{},
+	}
+}
+
+// Start schedules the core's first issue event.
+func (c *Core) Start() { c.eng.After(1, c.step) }
+
+// Instructions returns the retired instruction count.
+func (c *Core) Instructions() uint64 { return c.instrs }
+
+// Stats returns (loads, stores, stall events).
+func (c *Core) Stats() (loads, stores, stalls uint64) { return c.loads, c.stores, c.stalls }
+
+// L2Stats exposes the private-cache counters.
+func (c *Core) L2Stats() caches.Stats { return c.l2.Stats() }
+
+// Exhausted reports whether the trace ended.
+func (c *Core) Exhausted() bool { return c.exhausted }
+
+func (c *Core) step() {
+	if c.blocked || c.exhausted {
+		return
+	}
+	op, ok := c.gen.Next()
+	if !ok {
+		c.exhausted = true
+		return
+	}
+	// Non-memory instructions retire at the base IPC.
+	cost := uint64(op.Gap) / uint64(c.cfg.BaseIPC)
+	if cost == 0 {
+		cost = 1
+	}
+	c.instrs += uint64(op.Gap) + 1
+
+	if op.Write {
+		c.stores++
+		c.store(op.Addr)
+		c.eng.After(cost, c.step)
+		return
+	}
+	c.loads++
+	c.load(op.Addr, cost)
+}
+
+// store is fire-and-forget through the write buffer: dirty the caches on
+// a hit, write around to memory on a full miss.
+func (c *Core) store(addr uint64) {
+	if c.l2.Access(addr, true) {
+		return
+	}
+	if c.llc.Access(addr, true) {
+		return
+	}
+	c.mem.Access(addr, true, dram.SourceCPU, nil)
+}
+
+// load walks L2 -> LLC -> memory. Hit latencies serialize (low MLP);
+// misses occupy an MLP slot and stall the core when the window fills.
+func (c *Core) load(addr uint64, cost uint64) {
+	if c.l2.Access(addr, false) {
+		c.eng.After(cost+c.l2.Latency(), c.step)
+		return
+	}
+	if c.llc.Access(addr, false) {
+		c.fillL2(addr)
+		c.eng.After(cost+c.l2.Latency()+c.cfg.LLCLat, c.step)
+		return
+	}
+	traversal := c.l2.Latency() + c.cfg.LLCLat
+	line := addr &^ 63
+	if c.pending[line] {
+		// MSHR hit: the line is already on its way; don't issue a
+		// duplicate memory access or occupy another window slot.
+		c.eng.After(cost+traversal, c.step)
+		return
+	}
+	c.pending[line] = true
+	c.outstanding++
+	c.mem.Access(addr, false, dram.SourceCPU, func(uint64) { c.completeLoad(addr) })
+	if c.outstanding >= c.cfg.MLP {
+		c.blocked = true
+		c.stalls++
+		return
+	}
+	c.eng.After(cost+traversal, c.step)
+}
+
+func (c *Core) completeLoad(addr uint64) {
+	delete(c.pending, addr&^63)
+	c.outstanding--
+	c.fillLLC(addr)
+	c.fillL2(addr)
+	if c.blocked {
+		c.blocked = false
+		c.eng.After(1, c.step)
+	}
+}
+
+func (c *Core) fillL2(addr uint64) {
+	v := c.l2.Fill(addr, false)
+	if v.Valid && v.Dirty {
+		// Dirty L2 victims land in the (inclusive-enough) LLC when
+		// present, else go to memory.
+		if !c.llc.Access(v.Addr, true) {
+			c.mem.Access(v.Addr, true, dram.SourceCPU, nil)
+		}
+	}
+}
+
+func (c *Core) fillLLC(addr uint64) {
+	v := c.llc.Fill(addr, false)
+	if v.Valid && v.Dirty {
+		c.mem.Access(v.Addr, true, dram.SourceCPU, nil)
+	}
+}

@@ -1,0 +1,188 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/caches"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+	"github.com/hydrogen-sim/hydrogen/internal/trace"
+)
+
+// fakeMem is a Memory with a fixed latency and request log.
+type fakeMem struct {
+	eng     *sim.Engine
+	latency uint64
+	reads   int
+	writes  int
+}
+
+func (m *fakeMem) Access(addr uint64, write bool, src dram.Source, done func(uint64)) {
+	if write {
+		m.writes++
+	} else {
+		m.reads++
+	}
+	if done != nil {
+		m.eng.After(m.latency, func() { done(m.eng.Now()) })
+	}
+}
+
+// scriptGen plays a fixed op list.
+type scriptGen struct {
+	ops []trace.Op
+	i   int
+}
+
+func (g *scriptGen) Next() (trace.Op, bool) {
+	if g.i >= len(g.ops) {
+		return trace.Op{}, false
+	}
+	op := g.ops[g.i]
+	g.i++
+	return op, true
+}
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.L2.SizeBytes = 8 << 10
+	return cfg
+}
+
+func newLLC() *caches.Cache {
+	return caches.New(caches.Config{Name: "LLC", SizeBytes: 64 << 10, Assoc: 8, BlockBytes: 64, Latency: 38})
+}
+
+func TestRetiresInstructions(t *testing.T) {
+	eng := sim.New()
+	mem := &fakeMem{eng: eng, latency: 100}
+	ops := []trace.Op{{Gap: 10, Addr: 0}, {Gap: 10, Addr: 64}, {Gap: 10, Addr: 128}}
+	c := New(eng, smallCfg(), 0, &scriptGen{ops: ops}, newLLC(), mem)
+	c.Start()
+	eng.Run()
+	if !c.Exhausted() {
+		t.Fatal("trace not consumed")
+	}
+	if got := c.Instructions(); got != 33 {
+		t.Fatalf("retired %d instructions, want 33 (3 x (10+1))", got)
+	}
+	loads, stores, _ := c.Stats()
+	if loads != 3 || stores != 0 {
+		t.Fatalf("loads %d stores %d", loads, stores)
+	}
+}
+
+func TestLoadMissGoesToMemoryOnceThenHits(t *testing.T) {
+	eng := sim.New()
+	mem := &fakeMem{eng: eng, latency: 100}
+	// The first op's gap retires over 150 cycles, past the 100-cycle
+	// memory latency, so the second access finds the line filled in L2.
+	ops := []trace.Op{{Gap: 300, Addr: 0x1000}, {Gap: 1, Addr: 0x1000}}
+	c := New(eng, smallCfg(), 0, &scriptGen{ops: ops}, newLLC(), mem)
+	c.Start()
+	eng.Run()
+	if mem.reads != 1 {
+		t.Fatalf("memory reads %d, want 1 (second access hits L2)", mem.reads)
+	}
+	l2 := c.L2Stats()
+	if l2.Hits != 1 {
+		t.Fatalf("L2 hits %d, want 1", l2.Hits)
+	}
+}
+
+func TestMSHRCoalescesSameLine(t *testing.T) {
+	eng := sim.New()
+	mem := &fakeMem{eng: eng, latency: 1000}
+	// Back-to-back accesses to one line while the miss is in flight.
+	ops := []trace.Op{{Gap: 1, Addr: 0x2000}, {Gap: 1, Addr: 0x2010}, {Gap: 1, Addr: 0x2020}}
+	c := New(eng, smallCfg(), 0, &scriptGen{ops: ops}, newLLC(), mem)
+	c.Start()
+	eng.Run()
+	if mem.reads != 1 {
+		t.Fatalf("memory reads %d, want 1 (MSHR coalescing)", mem.reads)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	eng := sim.New()
+	mem := &fakeMem{eng: eng, latency: 10_000}
+	var ops []trace.Op
+	for i := 0; i < 50; i++ {
+		ops = append(ops, trace.Op{Gap: 1, Addr: uint64(i) * 4096, Write: true})
+	}
+	c := New(eng, smallCfg(), 0, &scriptGen{ops: ops}, newLLC(), mem)
+	c.Start()
+	eng.RunUntil(5000)
+	if !c.Exhausted() {
+		t.Fatal("store-only trace did not finish quickly; stores are stalling")
+	}
+	if mem.writes != 50 {
+		t.Fatalf("memory writes %d, want 50 (write-around)", mem.writes)
+	}
+}
+
+func TestMLPWindowStalls(t *testing.T) {
+	eng := sim.New()
+	mem := &fakeMem{eng: eng, latency: 10_000}
+	cfg := smallCfg()
+	cfg.MLP = 2
+	var ops []trace.Op
+	for i := 0; i < 10; i++ {
+		ops = append(ops, trace.Op{Gap: 1, Addr: uint64(i) * 4096})
+	}
+	c := New(eng, cfg, 0, &scriptGen{ops: ops}, newLLC(), mem)
+	c.Start()
+	eng.RunUntil(5000)
+	// With MLP 2 and 10k-cycle memory, only 2 loads can be outstanding.
+	if mem.reads != 2 {
+		t.Fatalf("outstanding loads %d, want MLP limit 2", mem.reads)
+	}
+	_, _, stalls := c.Stats()
+	if stalls == 0 {
+		t.Fatal("no stall recorded at MLP limit")
+	}
+	eng.Run()
+	if mem.reads != 10 {
+		t.Fatalf("total reads %d, want 10 after completions unblock the core", mem.reads)
+	}
+}
+
+func TestLowerLatencyMeansHigherIPC(t *testing.T) {
+	run := func(lat uint64) float64 {
+		eng := sim.New()
+		mem := &fakeMem{eng: eng, latency: lat}
+		var ops []trace.Op
+		for i := 0; i < 500; i++ {
+			ops = append(ops, trace.Op{Gap: 20, Addr: uint64(i) * 4096})
+		}
+		c := New(eng, smallCfg(), 0, &scriptGen{ops: ops}, newLLC(), mem)
+		c.Start()
+		eng.Run()
+		return float64(c.Instructions()) / float64(eng.Now())
+	}
+	fast, slow := run(50), run(500)
+	if fast <= slow*1.5 {
+		t.Fatalf("IPC %f at 50cyc vs %f at 500cyc; core is not latency-sensitive", fast, slow)
+	}
+}
+
+func TestDirtyL2VictimWritesBack(t *testing.T) {
+	eng := sim.New()
+	mem := &fakeMem{eng: eng, latency: 10}
+	cfg := smallCfg()
+	cfg.L2.SizeBytes = 1 << 10 // 16 lines: tiny, forces evictions
+	cfg.L2.Assoc = 2
+	var ops []trace.Op
+	ops = append(ops, trace.Op{Gap: 1, Addr: 0})              // load, miss, fill
+	ops = append(ops, trace.Op{Gap: 1, Addr: 0, Write: true}) // dirty it in L2
+	for i := 1; i < 40; i++ {                                 // push it out
+		ops = append(ops, trace.Op{Gap: 1, Addr: uint64(i) * 64})
+	}
+	llc := caches.New(caches.Config{Name: "LLC", SizeBytes: 512, Assoc: 2, BlockBytes: 64, Latency: 38})
+	c := New(eng, cfg, 0, &scriptGen{ops: ops}, llc, mem)
+	c.Start()
+	eng.Run()
+	if mem.writes == 0 {
+		t.Fatal("dirty eviction chain produced no memory writes")
+	}
+}

@@ -1,0 +1,223 @@
+// Package gpu models the integrated GPU of Table I: 96 execution units
+// organized as 6 subslices of 16 EUs (the Xe-LPG organization of
+// Section II-B), each subslice with a 128 kB L1, all behind the shared
+// LLC.
+//
+// The defining property (Section III-B): massive thread-level
+// parallelism gives each subslice a deep window of outstanding misses,
+// so the GPU tolerates latency and is throttled by *bandwidth* — which
+// is why it prefers fast-memory bandwidth over capacity.
+package gpu
+
+import (
+	"github.com/hydrogen-sim/hydrogen/internal/caches"
+	"github.com/hydrogen-sim/hydrogen/internal/cpu"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+	"github.com/hydrogen-sim/hydrogen/internal/trace"
+)
+
+// Config shapes the GPU.
+type Config struct {
+	Subslices   int    // 6 in Table I (16 EUs each)
+	IssuePerCyc uint32 // GPU instructions retired per cycle per subslice
+	Window      int    // outstanding load misses per subslice
+	L1          caches.Config
+	LLCLat      uint64
+}
+
+// DefaultConfig returns the Table I GPU: 6 subslices, 128 kB L1 per
+// subslice.
+func DefaultConfig() Config {
+	return Config{
+		Subslices:   6,
+		IssuePerCyc: 8,
+		Window:      128,
+		L1: caches.Config{
+			Name: "GPUL1", SizeBytes: 128 << 10, Assoc: 8, BlockBytes: 64, Latency: 4,
+		},
+		LLCLat: 38,
+	}
+}
+
+// GPU is the integrated GPU: a set of subslices sharing the LLC path.
+type GPU struct {
+	eng       *sim.Engine
+	cfg       Config
+	subslices []*subslice
+}
+
+type subslice struct {
+	g   *GPU
+	id  int
+	gen trace.Generator
+	l1  *caches.Cache
+	llc *caches.Cache
+	mem cpu.Memory
+
+	outstanding int
+	blocked     bool
+	exhausted   bool
+	pending     map[uint64]bool // lines with an in-flight miss (MSHR)
+
+	instrs uint64
+	loads  uint64
+	stores uint64
+	stalls uint64
+}
+
+// New builds the GPU; gens must provide one generator per subslice and
+// llc is the shared LLC instance.
+func New(eng *sim.Engine, cfg Config, gens []trace.Generator, llc *caches.Cache, mem cpu.Memory) *GPU {
+	g := &GPU{eng: eng, cfg: cfg}
+	for i := 0; i < cfg.Subslices && i < len(gens); i++ {
+		g.subslices = append(g.subslices, &subslice{
+			g: g, id: i, gen: gens[i],
+			l1: caches.New(cfg.L1), llc: llc, mem: mem,
+			pending: map[uint64]bool{},
+		})
+	}
+	return g
+}
+
+// Start schedules every subslice's first issue event.
+func (g *GPU) Start() {
+	for _, s := range g.subslices {
+		s := s
+		g.eng.After(1, s.step)
+	}
+}
+
+// Instructions returns GPU instructions retired across all subslices.
+func (g *GPU) Instructions() uint64 {
+	var total uint64
+	for _, s := range g.subslices {
+		total += s.instrs
+	}
+	return total
+}
+
+// Stats returns aggregate (loads, stores, stall events).
+func (g *GPU) Stats() (loads, stores, stalls uint64) {
+	for _, s := range g.subslices {
+		loads += s.loads
+		stores += s.stores
+		stalls += s.stalls
+	}
+	return
+}
+
+// L1Stats sums the subslice L1 counters.
+func (g *GPU) L1Stats() caches.Stats {
+	var total caches.Stats
+	for _, s := range g.subslices {
+		st := s.l1.Stats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Evictions += st.Evictions
+		total.Writebacks += st.Writebacks
+	}
+	return total
+}
+
+// Exhausted reports whether every subslice ran out of trace.
+func (g *GPU) Exhausted() bool {
+	for _, s := range g.subslices {
+		if !s.exhausted {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *subslice) step() {
+	if s.blocked || s.exhausted {
+		return
+	}
+	op, ok := s.gen.Next()
+	if !ok {
+		s.exhausted = true
+		return
+	}
+	cost := uint64(op.Gap) / uint64(s.g.cfg.IssuePerCyc)
+	if cost == 0 {
+		cost = 1
+	}
+	s.instrs += uint64(op.Gap) + 1
+
+	if op.Write {
+		s.stores++
+		s.store(op.Addr)
+		s.g.eng.After(cost, s.step)
+		return
+	}
+	s.loads++
+	s.load(op.Addr, cost)
+}
+
+func (s *subslice) store(addr uint64) {
+	if s.l1.Access(addr, true) {
+		return
+	}
+	if s.llc.Access(addr, true) {
+		return
+	}
+	s.mem.Access(addr, true, dram.SourceGPU, nil)
+}
+
+// load: hits cost nothing extra (latency is hidden by TLP); misses take
+// a window slot, and only a full window stalls issue — the
+// bandwidth-bound behavior.
+func (s *subslice) load(addr uint64, cost uint64) {
+	if s.l1.Access(addr, false) {
+		s.g.eng.After(cost, s.step)
+		return
+	}
+	if s.llc.Access(addr, false) {
+		s.fillL1(addr)
+		s.g.eng.After(cost, s.step)
+		return
+	}
+	line := addr &^ 63
+	if s.pending[line] {
+		// MSHR hit: coalesce with the in-flight miss.
+		s.g.eng.After(cost, s.step)
+		return
+	}
+	s.pending[line] = true
+	s.outstanding++
+	s.mem.Access(addr, false, dram.SourceGPU, func(uint64) { s.completeLoad(addr) })
+	if s.outstanding >= s.g.cfg.Window {
+		s.blocked = true
+		s.stalls++
+		return
+	}
+	s.g.eng.After(cost, s.step)
+}
+
+func (s *subslice) completeLoad(addr uint64) {
+	delete(s.pending, addr&^63)
+	s.outstanding--
+	s.fillLLC(addr)
+	s.fillL1(addr)
+	if s.blocked {
+		s.blocked = false
+		s.g.eng.After(1, s.step)
+	}
+}
+
+func (s *subslice) fillL1(addr uint64) {
+	v := s.l1.Fill(addr, false)
+	if v.Valid && v.Dirty {
+		if !s.llc.Access(v.Addr, true) {
+			s.mem.Access(v.Addr, true, dram.SourceGPU, nil)
+		}
+	}
+}
+
+func (s *subslice) fillLLC(addr uint64) {
+	v := s.llc.Fill(addr, false)
+	if v.Valid && v.Dirty {
+		s.mem.Access(v.Addr, true, dram.SourceGPU, nil)
+	}
+}

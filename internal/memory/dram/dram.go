@@ -1,0 +1,431 @@
+// Package dram models DRAM channels with bank/row timing, FR-FCFS
+// scheduling, bandwidth occupancy, and energy accounting. It is the
+// substrate both tiers of the hybrid memory are built on: HBM2E/HBM3 as
+// the fast tier and DDR4 as the slow tier (Table I of the paper).
+//
+// The model is request-level: a channel owns a queue and a set of banks;
+// each request pays row-buffer preparation latency (CAS on a row hit,
+// RCD+CAS on an empty row, RP+RCD+CAS on a conflict) plus data-bus burst
+// occupancy. Bandwidth contention emerges from bus serialization and
+// queueing, which is the effect the paper's partitioning schemes target.
+package dram
+
+import (
+	"fmt"
+
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+)
+
+// Source identifies which processor issued a request. The scheduler and
+// the statistics both distinguish the two, because every policy in the
+// paper treats CPU and GPU traffic differently.
+type Source uint8
+
+// Request sources.
+const (
+	SourceCPU Source = iota
+	SourceGPU
+	numSources
+)
+
+// String returns "CPU" or "GPU".
+func (s Source) String() string {
+	if s == SourceCPU {
+		return "CPU"
+	}
+	return "GPU"
+}
+
+// Config describes one kind of DRAM device. All timings are in cycles of
+// the global 1600 MHz controller clock.
+type Config struct {
+	Name            string
+	Channels        int    // number of physical channels of this kind
+	BanksPerChannel int    // ranks x banks, flattened
+	RowBytes        uint64 // row-buffer size per bank
+	TRCD            uint64 // activate-to-read
+	TCAS            uint64 // read latency after activation
+	TRP             uint64 // precharge
+	BytesPerCycle   uint64 // data-bus throughput per channel
+
+	// Energy model (Table I): dynamic pJ/bit for data movement, a fixed
+	// cost per activate/precharge pair, and background (static) power
+	// expressed per channel per cycle.
+	ReadPJPerBit     float64
+	WritePJPerBit    float64
+	ActPrePJ         float64
+	StaticPJPerCycle float64
+
+	// CPUPriority makes the scheduler always prefer CPU requests over GPU
+	// requests regardless of row state. HAShCache uses this.
+	CPUPriority bool
+
+	// MaxStarve bounds FR-FCFS starvation: once the oldest queued request
+	// has waited this many cycles, it is scheduled next regardless of row
+	// state, as in real controllers' starvation counters. 0 selects the
+	// default of 200 cycles.
+	MaxStarve uint64
+}
+
+func (c *Config) maxStarve() uint64 {
+	if c.MaxStarve == 0 {
+		return 200
+	}
+	return c.MaxStarve
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c *Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("dram %s: Channels = %d, must be positive", c.Name, c.Channels)
+	case c.BanksPerChannel <= 0:
+		return fmt.Errorf("dram %s: BanksPerChannel = %d, must be positive", c.Name, c.BanksPerChannel)
+	case c.RowBytes == 0 || c.RowBytes&(c.RowBytes-1) != 0:
+		return fmt.Errorf("dram %s: RowBytes = %d, must be a power of two", c.Name, c.RowBytes)
+	case c.BytesPerCycle == 0:
+		return fmt.Errorf("dram %s: BytesPerCycle must be positive", c.Name)
+	}
+	return nil
+}
+
+// HBM2E returns the fast-tier preset from Table I: 16 channels x 1 rank x
+// 16 banks at 1600 MHz, RCD-CAS-RP 23-23-23, 6.4 pJ/bit, ACT/PRE 15 nJ.
+// Each channel moves 32 B/cycle (3.2 Gb/s/pin, 128-bit channel).
+func HBM2E() Config {
+	return Config{
+		Name:             "HBM2E",
+		Channels:         16,
+		BanksPerChannel:  16,
+		RowBytes:         1024,
+		TRCD:             23,
+		TCAS:             23,
+		TRP:              23,
+		BytesPerCycle:    32,
+		ReadPJPerBit:     6.4,
+		WritePJPerBit:    6.4,
+		ActPrePJ:         15000,
+		StaticPJPerCycle: 100,
+	}
+}
+
+// HBM3 returns the Fig. 5(b) fast-tier preset: HBM2E with doubled
+// per-channel bandwidth and scaled timing parameters.
+func HBM3() Config {
+	c := HBM2E()
+	c.Name = "HBM3"
+	c.BytesPerCycle = 64
+	c.TRCD, c.TCAS, c.TRP = 21, 21, 21
+	c.ReadPJPerBit, c.WritePJPerBit = 5.6, 5.6
+	return c
+}
+
+// DDR4 returns the slow-tier preset from Table I: DDR4-3200 with 4
+// channels x 2 ranks x 16 banks, RCD-CAS-RP 22-22-22, 33 pJ/bit.
+// Each channel moves 16 B/cycle (64-bit bus, double data rate).
+func DDR4() Config {
+	return Config{
+		Name:             "DDR4",
+		Channels:         4,
+		BanksPerChannel:  32,
+		RowBytes:         2048,
+		TRCD:             22,
+		TCAS:             22,
+		TRP:              22,
+		BytesPerCycle:    16,
+		ReadPJPerBit:     33,
+		WritePJPerBit:    33,
+		ActPrePJ:         15000,
+		StaticPJPerCycle: 300,
+	}
+}
+
+// Request is a single transfer on one channel. Done, if non-nil, runs at
+// the completion time. Requests are owned by the channel once enqueued.
+type Request struct {
+	Addr   uint64
+	Bytes  uint64
+	Write  bool
+	Source Source
+	// Lo marks background traffic (migration refills, writebacks, swap
+	// copies): the scheduler serves demand requests first, as real
+	// memory controllers prioritize demand over prefetch/migration.
+	Lo   bool
+	Done func(now uint64)
+
+	arrive uint64
+}
+
+type bank struct {
+	openRow  int64  // -1 when closed
+	actReady uint64 // earliest time the next activate may start (crude tRAS)
+}
+
+// Stats aggregates one channel's activity. Energy is in picojoules.
+type Stats struct {
+	Reads, Writes           uint64
+	BytesRead, BytesWritten uint64
+	RowHits, RowMisses      uint64
+	Activations             uint64
+	QueueDelaySum           uint64 // cycles from arrival to data start
+	ServiceSum              uint64 // cycles from arrival to completion
+	BusBusyCycles           uint64
+	DynamicPJ               float64
+
+	// Per-source breakdowns, used by the policies and the energy figure.
+	ReqsBySource  [2]uint64
+	BytesBySource [2]uint64
+	DelayBySource [2]uint64 // completion-arrival sums
+}
+
+// Add accumulates other into s (for summing channels into a tier).
+func (s *Stats) Add(other *Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	s.RowHits += other.RowHits
+	s.RowMisses += other.RowMisses
+	s.Activations += other.Activations
+	s.QueueDelaySum += other.QueueDelaySum
+	s.ServiceSum += other.ServiceSum
+	s.BusBusyCycles += other.BusBusyCycles
+	s.DynamicPJ += other.DynamicPJ
+	for i := range s.ReqsBySource {
+		s.ReqsBySource[i] += other.ReqsBySource[i]
+		s.BytesBySource[i] += other.BytesBySource[i]
+		s.DelayBySource[i] += other.DelayBySource[i]
+	}
+}
+
+// Channel is one physical DRAM channel: a request queue, banks, and a
+// data bus. It must only be used from the engine's event context.
+type Channel struct {
+	eng *sim.Engine
+	cfg *Config
+	id  int
+
+	queue        []*Request
+	banks        []bank
+	busBusyUntil uint64
+	issueAt      uint64 // earliest already-scheduled issue event, or 0
+	issueArmed   bool
+
+	stats Stats
+}
+
+// lookahead bounds how far ahead of "now" the data bus may be reserved.
+// It must cover the worst-case preparation latency (RP+RCD+CAS) so that
+// command prep fully overlaps earlier bursts and streaming reaches bus
+// bandwidth, while staying small enough that late-arriving row hits can
+// still reorder ahead of queued conflicts.
+func (c *Channel) lookahead() uint64 {
+	return c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
+}
+
+// NewChannel creates channel id of the given device kind on eng.
+func NewChannel(eng *sim.Engine, cfg *Config, id int) *Channel {
+	c := &Channel{eng: eng, cfg: cfg, id: id, banks: make([]bank, cfg.BanksPerChannel)}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	return c
+}
+
+// ID returns the channel index within its tier.
+func (c *Channel) ID() int { return c.id }
+
+// Config returns the device configuration this channel models.
+func (c *Channel) Config() *Config { return c.cfg }
+
+// Stats returns a snapshot of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// QueueLen returns the number of requests waiting to issue.
+func (c *Channel) QueueLen() int { return len(c.queue) }
+
+// Enqueue submits a request to the channel.
+func (c *Channel) Enqueue(r *Request) {
+	if r.Bytes == 0 {
+		r.Bytes = 64
+	}
+	r.arrive = c.eng.Now()
+	c.queue = append(c.queue, r)
+	c.tryIssue()
+}
+
+func (c *Channel) armIssue(at uint64) {
+	if c.issueArmed && c.issueAt <= at {
+		return
+	}
+	c.issueArmed = true
+	c.issueAt = at
+	c.eng.Schedule(at, c.issueEvent)
+}
+
+func (c *Channel) issueEvent() {
+	c.issueArmed = false
+	c.tryIssue()
+}
+
+// schedWindow bounds how many queued requests the scheduler considers,
+// like a real memory controller's finite transaction queue. Requests
+// beyond the window wait in FCFS order.
+const schedWindow = 16
+
+// pick implements FR-FCFS with optional CPU priority: choose the oldest
+// row-hitting request within the scheduling window; if none hits, the
+// oldest request. With CPUPriority, CPU requests are considered strictly
+// before GPU ones.
+func (c *Channel) pick() int {
+	// Starvation bound: the oldest request wins outright once it has
+	// waited too long, so streaming row hits cannot lock out row misses.
+	if len(c.queue) > 0 && c.eng.Now()-c.queue[0].arrive >= c.cfg.maxStarve() {
+		return 0
+	}
+	best := -1
+	bestRank := -1
+	window := c.queue
+	if len(window) > schedWindow {
+		window = window[:schedWindow]
+	}
+	for i, r := range window {
+		b := &c.banks[c.bankOf(r.Addr)]
+		// Rank: demand beats background, then (optionally) CPU beats
+		// GPU, then row hits beat misses, then age (scan order).
+		rank := 0
+		if !r.Lo {
+			rank += 4
+		}
+		if c.cfg.CPUPriority && r.Source == SourceCPU {
+			rank += 2
+		}
+		if b.openRow == c.rowOf(r.Addr) {
+			rank++
+		}
+		if rank > bestRank {
+			best, bestRank = i, rank
+		}
+	}
+	return best
+}
+
+func (c *Channel) bankOf(addr uint64) int {
+	return int((addr / c.cfg.RowBytes) % uint64(c.cfg.BanksPerChannel))
+}
+
+func (c *Channel) rowOf(addr uint64) int64 {
+	return int64(addr / (c.cfg.RowBytes * uint64(c.cfg.BanksPerChannel)))
+}
+
+func (c *Channel) tryIssue() {
+	now := c.eng.Now()
+	for len(c.queue) > 0 {
+		if la := c.lookahead(); c.busBusyUntil > now+la {
+			c.armIssue(c.busBusyUntil - la)
+			return
+		}
+		i := c.pick()
+		r := c.queue[i]
+		c.queue = append(c.queue[:i], c.queue[i+1:]...)
+		c.service(r, now)
+	}
+}
+
+func (c *Channel) service(r *Request, now uint64) {
+	b := &c.banks[c.bankOf(r.Addr)]
+	row := c.rowOf(r.Addr)
+
+	// Row hits are bus-limited: the column command's CAS latency overlaps
+	// earlier bursts. Activations additionally serialize on the bank.
+	var dataReady uint64
+	switch {
+	case b.openRow == row:
+		dataReady = now + c.cfg.TCAS
+		c.stats.RowHits++
+	case b.openRow < 0:
+		act := now
+		if b.actReady > act {
+			act = b.actReady
+		}
+		dataReady = act + c.cfg.TRCD + c.cfg.TCAS
+		c.stats.RowMisses++
+		c.stats.Activations++
+		c.stats.DynamicPJ += c.cfg.ActPrePJ
+	default:
+		act := now
+		if b.actReady > act {
+			act = b.actReady
+		}
+		dataReady = act + c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
+		c.stats.RowMisses++
+		c.stats.Activations++
+		c.stats.DynamicPJ += c.cfg.ActPrePJ
+	}
+	b.openRow = row
+
+	burst := (r.Bytes + c.cfg.BytesPerCycle - 1) / c.cfg.BytesPerCycle
+	dataStart := dataReady
+	if c.busBusyUntil > dataStart {
+		dataStart = c.busBusyUntil
+	}
+	done := dataStart + burst
+	c.busBusyUntil = done
+	b.actReady = dataStart
+
+	c.stats.BusBusyCycles += burst
+	c.stats.QueueDelaySum += dataStart - r.arrive
+	c.stats.ServiceSum += done - r.arrive
+	bits := float64(r.Bytes * 8)
+	if r.Write {
+		c.stats.Writes++
+		c.stats.BytesWritten += r.Bytes
+		c.stats.DynamicPJ += bits * c.cfg.WritePJPerBit
+	} else {
+		c.stats.Reads++
+		c.stats.BytesRead += r.Bytes
+		c.stats.DynamicPJ += bits * c.cfg.ReadPJPerBit
+	}
+	c.stats.ReqsBySource[r.Source]++
+	c.stats.BytesBySource[r.Source] += r.Bytes
+	c.stats.DelayBySource[r.Source] += done - r.arrive
+
+	if r.Done != nil {
+		c.eng.Schedule(done, func() { r.Done(done) })
+	}
+}
+
+// Tier is a group of channels of the same device kind.
+type Tier struct {
+	Cfg      Config
+	Channels []*Channel
+}
+
+// NewTier builds cfg.Channels channels on eng.
+func NewTier(eng *sim.Engine, cfg Config) (*Tier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tier{Cfg: cfg}
+	t.Channels = make([]*Channel, cfg.Channels)
+	for i := range t.Channels {
+		t.Channels[i] = NewChannel(eng, &t.Cfg, i)
+	}
+	return t, nil
+}
+
+// Stats sums the per-channel statistics of the tier.
+func (t *Tier) Stats() Stats {
+	var s Stats
+	for _, c := range t.Channels {
+		cs := c.Stats()
+		s.Add(&cs)
+	}
+	return s
+}
+
+// StaticPJ returns the background energy of the whole tier over the
+// given number of cycles.
+func (t *Tier) StaticPJ(cycles uint64) float64 {
+	return float64(cycles) * t.Cfg.StaticPJPerCycle * float64(len(t.Channels))
+}

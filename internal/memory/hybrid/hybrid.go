@@ -1,0 +1,673 @@
+// Package hybrid implements the hybrid memory controller at the heart of
+// the paper's target architecture (Fig. 1): a fast HBM tier used as a
+// set-associative cache (or flat swap space) in front of a slow DDR
+// tier, managed through a remap table whose entries are cached in an
+// on-chip remap cache. Partitioning decisions are delegated to a Policy.
+//
+// The controller models:
+//   - remap metadata probing (remap-cache hits/misses, metadata reads),
+//   - superchannel grouping: each 256 B block is striped as 64 B lines
+//     over the physical channels of one fast group,
+//   - block migration with its full traffic amplification (demand line,
+//     refill of the remaining lines, dirty-victim readback + writeback),
+//   - MSHRs that coalesce accesses to in-flight lines and blocks,
+//   - fast memory swaps and lazy-reconfiguration invalidations,
+//   - HAShCache-style chained probing for direct-mapped organizations.
+package hybrid
+
+import (
+	"fmt"
+
+	"github.com/hydrogen-sim/hydrogen/internal/caches"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+)
+
+// LineBytes is the access granularity of the processor side and of each
+// physical memory channel (one LLC line).
+const LineBytes = 64
+
+// Mode selects how the fast tier is organized (Section II-A).
+type Mode uint8
+
+// Organization modes.
+const (
+	// ModeCache: the fast tier is a hardware-managed cache; the slow tier
+	// holds the home copy of every block. Clean victims are dropped.
+	ModeCache Mode = iota
+	// ModeFlat: both tiers form one flat space; a migration swaps the
+	// incoming block with the victim, so victims are always written back
+	// and migrations always cost two block transfers.
+	ModeFlat
+)
+
+// Config shapes the hybrid memory.
+type Config struct {
+	Mode              Mode
+	BlockBytes        uint64 // data block (migration) granularity, default 256
+	Assoc             int    // fast ways per set, default 4
+	FastCapacityBytes uint64 // total fast-tier data capacity
+	GroupSize         int    // physical fast channels per superchannel, default 4
+
+	RemapCacheBytes  uint64 // on-chip remap cache capacity (default 256 kB)
+	RemapCacheHitLat uint64 // metadata probe latency on a remap-cache hit
+	ExtraTagLat      uint64 // extra per-probe latency (HAShCache at assoc>1)
+	Chaining         bool   // HAShCache pseudo-associative chained probe
+
+	// MaxInFlightFills bounds concurrent block migrations per source,
+	// like a real controller's migration queue; misses beyond the bound
+	// are served from the slow tier without migrating. Per-source bounds
+	// keep one source from monopolizing the queue, and the bound itself
+	// is a backstop against congestion collapse. Default 128.
+	MaxInFlightFills int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.BlockBytes == 0 {
+		out.BlockBytes = 256
+	}
+	if out.Assoc == 0 {
+		out.Assoc = 4
+	}
+	if out.GroupSize == 0 {
+		out.GroupSize = 4
+	}
+	if out.RemapCacheBytes == 0 {
+		out.RemapCacheBytes = 256 << 10
+	}
+	if out.RemapCacheHitLat == 0 {
+		out.RemapCacheHitLat = 2
+	}
+	if out.MaxInFlightFills == 0 {
+		out.MaxInFlightFills = 128
+	}
+	return out
+}
+
+// Validate reports whether the configuration is buildable.
+func (c *Config) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case d.BlockBytes < LineBytes || d.BlockBytes&(d.BlockBytes-1) != 0:
+		return fmt.Errorf("hybrid: block size %d invalid", d.BlockBytes)
+	case d.Assoc <= 0:
+		return fmt.Errorf("hybrid: assoc %d invalid", d.Assoc)
+	case d.FastCapacityBytes == 0 || d.FastCapacityBytes%(d.BlockBytes*uint64(d.Assoc)) != 0:
+		return fmt.Errorf("hybrid: fast capacity %d not a multiple of set size", d.FastCapacityBytes)
+	case d.GroupSize <= 0:
+		return fmt.Errorf("hybrid: group size %d invalid", d.GroupSize)
+	}
+	return nil
+}
+
+// Stats counts controller activity; the two-element arrays are indexed
+// by dram.Source.
+type Stats struct {
+	Demand          [2]uint64 // processor-side accesses
+	FastHits        [2]uint64
+	SlowDemandReads [2]uint64
+	SlowWrites      [2]uint64 // write misses sent straight to slow
+	Migrations      [2]uint64
+	Bypasses        [2]uint64 // victim found but migration not allowed
+	NoVictim        [2]uint64 // policy declined to provide a victim
+	FillQueueFull   [2]uint64 // migration skipped: fill queue at capacity
+	Writebacks      [2]uint64 // dirty (or flat-mode) victim copybacks
+	Swaps           uint64
+	Misplaced       uint64 // lazy-reconfiguration invalidations
+	LatencySum      [2]uint64
+	RemapHits       uint64
+	RemapMisses     uint64
+	ChainProbes     uint64
+	ChainHits       uint64
+}
+
+// Delta returns s - prev, counter-wise.
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	for i := 0; i < 2; i++ {
+		d.Demand[i] -= prev.Demand[i]
+		d.FastHits[i] -= prev.FastHits[i]
+		d.SlowDemandReads[i] -= prev.SlowDemandReads[i]
+		d.SlowWrites[i] -= prev.SlowWrites[i]
+		d.Migrations[i] -= prev.Migrations[i]
+		d.Bypasses[i] -= prev.Bypasses[i]
+		d.NoVictim[i] -= prev.NoVictim[i]
+		d.FillQueueFull[i] -= prev.FillQueueFull[i]
+		d.Writebacks[i] -= prev.Writebacks[i]
+		d.LatencySum[i] -= prev.LatencySum[i]
+	}
+	d.Swaps -= prev.Swaps
+	d.Misplaced -= prev.Misplaced
+	d.RemapHits -= prev.RemapHits
+	d.RemapMisses -= prev.RemapMisses
+	d.ChainProbes -= prev.ChainProbes
+	d.ChainHits -= prev.ChainHits
+	return d
+}
+
+// HitRate returns the fast-tier hit rate for src.
+func (s Stats) HitRate(src dram.Source) float64 {
+	if s.Demand[src] == 0 {
+		return 0
+	}
+	return float64(s.FastHits[src]) / float64(s.Demand[src])
+}
+
+// AvgLatency returns the mean demand latency in cycles for src.
+func (s Stats) AvgLatency(src dram.Source) float64 {
+	if s.Demand[src] == 0 {
+		return 0
+	}
+	return float64(s.LatencySum[src]) / float64(s.Demand[src])
+}
+
+type way struct {
+	tag     uint64 // block index; the full index, so chained hits work
+	valid   bool
+	dirty   bool
+	busy    bool // fill in flight
+	lastUse uint64
+	src     dram.Source
+}
+
+type entry struct {
+	ways []way
+}
+
+type fill struct {
+	set     uint64
+	w       int
+	src     dram.Source
+	ready   bool // block data has arrived in the fill buffer
+	waiters []waiter
+}
+
+type waiter struct {
+	line  uint64
+	write bool
+	src   dram.Source
+	done  func(uint64)
+}
+
+// metaBase places remap-table metadata in a distinct fast-tier address
+// region so metadata reads do not alias data rows.
+const metaBase = uint64(1) << 40
+
+// fillBufferLat is the latency of serving a line out of the migration
+// fill buffer (critical-line forwarding).
+const fillBufferLat = 4
+
+// setsPerMetaLine is how many sets' remap entries share one 64 B
+// metadata line (a 4-way entry is ~16 B: four ~27-bit tags plus
+// valid/dirty/alloc bits). Packing gives the remap cache spatial reach
+// and gives streaming workloads row locality on metadata reads.
+const setsPerMetaLine = 4
+
+// Controller is the hybrid memory controller. All methods must be called
+// from engine event context.
+type Controller struct {
+	eng  *sim.Engine
+	cfg  Config
+	fast *dram.Tier
+	slow *dram.Tier
+	pol  Policy
+
+	numSets       uint64
+	linesPerBlock uint64
+	groups        int
+
+	entries     []entry
+	remap       *caches.Cache
+	pendingFill map[uint64]*fill          // block index -> fill
+	fillsBySrc  [2]int                    // in-flight fills per source
+	pendingLine map[uint64][]func(uint64) // slow line addr -> waiters
+
+	stats Stats
+}
+
+// New builds a controller over the given tiers with the given policy.
+func New(eng *sim.Engine, cfg Config, fast, slow *dram.Tier, pol Policy) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if len(fast.Channels)%cfg.GroupSize != 0 {
+		return nil, fmt.Errorf("hybrid: %d fast channels not divisible into groups of %d",
+			len(fast.Channels), cfg.GroupSize)
+	}
+	c := &Controller{
+		eng:           eng,
+		cfg:           cfg,
+		fast:          fast,
+		slow:          slow,
+		pol:           pol,
+		numSets:       cfg.FastCapacityBytes / (cfg.BlockBytes * uint64(cfg.Assoc)),
+		linesPerBlock: cfg.BlockBytes / LineBytes,
+		groups:        len(fast.Channels) / cfg.GroupSize,
+		pendingFill:   map[uint64]*fill{},
+		pendingLine:   map[uint64][]func(uint64){},
+	}
+	c.entries = make([]entry, c.numSets)
+	backing := make([]way, c.numSets*uint64(cfg.Assoc))
+	for i := range c.entries {
+		c.entries[i].ways, backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	c.remap = caches.New(caches.Config{
+		Name:       "remap",
+		SizeBytes:  cfg.RemapCacheBytes,
+		Assoc:      8,
+		BlockBytes: LineBytes,
+	})
+	return c, nil
+}
+
+// NumSets returns the number of sets in the hybrid layout.
+func (c *Controller) NumSets() uint64 { return c.numSets }
+
+// Groups returns the number of fast superchannel groups.
+func (c *Controller) Groups() int { return c.groups }
+
+// Assoc returns the fast-tier associativity.
+func (c *Controller) Assoc() int { return c.cfg.Assoc }
+
+// Policy returns the active partitioning policy.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// views builds the policy-visible view of a set.
+func (c *Controller) views(set uint64, buf []WayView) []WayView {
+	e := &c.entries[set]
+	buf = buf[:0]
+	for i := range e.ways {
+		w := &e.ways[i]
+		buf = append(buf, WayView{
+			Valid: w.valid, Dirty: w.dirty, Busy: w.busy,
+			LastUse: w.lastUse, Tag: w.tag, Src: w.src,
+		})
+	}
+	return buf
+}
+
+// Access is the processor-side entry point: one 64 B line request that
+// missed the SRAC hierarchy. done (optional) runs at completion time.
+func (c *Controller) Access(addr uint64, write bool, src dram.Source, done func(uint64)) {
+	start := c.eng.Now()
+	c.stats.Demand[src]++
+	blk := addr / c.cfg.BlockBytes
+	set := blk % c.numSets
+	if sm, ok := c.pol.(SetMapper); ok {
+		set = sm.SetOf(blk, src, c.numSets) % c.numSets
+	}
+	line := (addr % c.cfg.BlockBytes) / LineBytes
+	finish := func(t uint64) {
+		c.stats.LatencySum[src] += t - start
+		if done != nil {
+			done(t)
+		}
+	}
+	c.withMeta(set, func() { c.probe(blk, set, line, write, src, finish) })
+}
+
+// metaLine returns the metadata line index holding a set's remap entry,
+// and the fast channel + device address backing it. Lines stripe across
+// all fast channels; consecutive lines on one channel are adjacent in
+// the row, so sequential set scans get metadata row hits.
+func (c *Controller) metaLine(set uint64) (line uint64, ch *dram.Channel, devAddr uint64) {
+	line = set / setsPerMetaLine
+	n := uint64(len(c.fast.Channels))
+	ch = c.fast.Channels[line%n]
+	devAddr = metaBase + (line/n)*LineBytes
+	return line, ch, devAddr
+}
+
+// withMeta models the remap metadata probe: a remap-cache hit costs
+// RemapCacheHitLat cycles; a miss additionally reads one metadata line
+// from the fast tier (the remap table lives there) before continuing.
+func (c *Controller) withMeta(set uint64, cont func()) {
+	line, ch, devAddr := c.metaLine(set)
+	if c.remap.Access(line*LineBytes, false) {
+		c.stats.RemapHits++
+		c.eng.After(c.cfg.RemapCacheHitLat+c.cfg.ExtraTagLat, cont)
+		return
+	}
+	c.stats.RemapMisses++
+	v := c.remap.Fill(line*LineBytes, false)
+	if v.Valid && v.Dirty {
+		// Written-back metadata entry: one fast-tier line write.
+		_, wch, wAddr := c.metaLine(v.Addr / LineBytes * setsPerMetaLine)
+		wch.Enqueue(&dram.Request{Addr: wAddr, Bytes: LineBytes, Write: true, Source: dram.SourceCPU})
+	}
+	extra := c.cfg.ExtraTagLat
+	ch.Enqueue(&dram.Request{
+		Addr: devAddr, Bytes: LineBytes, Source: dram.SourceCPU,
+		Done: func(uint64) { c.eng.After(extra, cont) },
+	})
+}
+
+// touchMeta marks the set's remap entry dirty so its eventual remap-cache
+// eviction writes back.
+func (c *Controller) touchMeta(set uint64) {
+	line := set / setsPerMetaLine
+	if c.remap.Contains(line * LineBytes) {
+		c.remap.Access(line*LineBytes, true)
+	}
+}
+
+func findWay(e *entry, blk uint64) int {
+	for i := range e.ways {
+		if e.ways[i].valid && e.ways[i].tag == blk {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Controller) probe(blk, set, line uint64, write bool, src dram.Source, finish func(uint64)) {
+	e := &c.entries[set]
+	w := findWay(e, blk)
+	if w < 0 && c.cfg.Chaining {
+		// HAShCache pseudo-associativity: probe the chained set too.
+		c.stats.ChainProbes++
+		chainSet := (set + 1) % c.numSets
+		if cw := findWay(&c.entries[chainSet], blk); cw >= 0 {
+			c.stats.ChainHits++
+			// The chained probe costs a second metadata access.
+			c.withMeta(chainSet, func() { c.hitPath(blk, chainSet, cw, line, write, src, finish) })
+			return
+		}
+	}
+	if w >= 0 {
+		c.hitPath(blk, set, w, line, write, src, finish)
+		return
+	}
+	c.missPath(blk, set, line, write, src, finish)
+}
+
+// fastLineReq computes the physical channel and device address backing
+// line `line` of way w of set s.
+func (c *Controller) fastLineReq(set uint64, w int, blk, line uint64) (*dram.Channel, uint64) {
+	g := c.pol.WayGroup(set, w) % c.groups
+	k := uint64(c.cfg.GroupSize)
+	member := (line + blk) % k
+	ch := c.fast.Channels[uint64(g)*k+member]
+	perWay := c.cfg.BlockBytes / k
+	local := (set*uint64(c.cfg.Assoc)+uint64(w))*perWay + (line/k)*LineBytes
+	return ch, local
+}
+
+// slowLineReq computes the slow-tier channel and device address of line
+// `line` of block blk (its home location).
+func (c *Controller) slowLineReq(blk, line uint64) (*dram.Channel, uint64) {
+	n := uint64(len(c.slow.Channels))
+	ch := c.slow.Channels[blk%n]
+	addr := (blk/n)*c.cfg.BlockBytes + line*LineBytes
+	return ch, addr
+}
+
+func (c *Controller) hitPath(blk, set uint64, w int, line uint64, write bool, src dram.Source, finish func(uint64)) {
+	c.stats.FastHits[src]++
+	e := &c.entries[set]
+	wy := &e.ways[w]
+	wy.lastUse = c.eng.Now()
+	if write {
+		wy.dirty = true
+		c.touchMeta(set)
+	}
+	if f, ok := c.pendingFill[blk]; ok {
+		if f.ready {
+			// Critical-line forwarding: the block sits in the fill
+			// buffer; serve from there while the fast write-in drains.
+			c.eng.After(fillBufferLat, func() { finish(c.eng.Now()) })
+			return
+		}
+		// Block data still in flight: wait for it.
+		f.waiters = append(f.waiters, waiter{line: line, write: write, src: src, done: finish})
+		return
+	}
+	ch, addr := c.fastLineReq(set, w, blk, line)
+	ch.Enqueue(&dram.Request{Addr: addr, Bytes: LineBytes, Write: write, Source: src, Done: finish})
+	c.afterHit(blk, set, w, src)
+}
+
+// afterHit applies the off-critical-path consequences of a fast hit:
+// lazy-reconfiguration invalidation and fast memory swaps.
+func (c *Controller) afterHit(blk, set uint64, w int, src dram.Source) {
+	e := &c.entries[set]
+	var viewBuf [16]WayView
+	views := c.views(set, viewBuf[:0])
+
+	if lz, ok := c.pol.(Lazy); ok && lz.Misplaced(set, w, views[w]) {
+		c.stats.Misplaced++
+		wy := &e.ways[w]
+		if wy.dirty {
+			c.writebackBlock(set, w, wy.tag, src)
+		}
+		*wy = way{}
+		c.touchMeta(set)
+		return
+	}
+
+	if sw, ok := c.pol.(Swapper); ok {
+		if t := sw.SwapTarget(set, w, views, src); t >= 0 && t != w && !e.ways[t].busy {
+			c.stats.Swaps++
+			a, b := e.ways[w], e.ways[t]
+			if !sw.SwapIsFree() {
+				// Read both blocks from their current groups, then write
+				// them to each other's groups. Fast-tier traffic only.
+				c.moveBlock(set, w, a.tag, set, t, src)
+				if b.valid {
+					c.moveBlock(set, t, b.tag, set, w, src)
+				}
+			}
+			e.ways[w], e.ways[t] = b, a
+			c.touchMeta(set)
+		}
+	}
+}
+
+// moveBlock reads a block from (fromSet,fromWay) and writes it to
+// (same set, toWay), line by line, modelling swap traffic.
+func (c *Controller) moveBlock(set uint64, fromWay int, blk uint64, toSet uint64, toWay int, src dram.Source) {
+	for l := uint64(0); l < c.linesPerBlock; l++ {
+		rch, raddr := c.fastLineReq(set, fromWay, blk, l)
+		l := l
+		rch.Enqueue(&dram.Request{Addr: raddr, Bytes: LineBytes, Source: src, Lo: true, Done: func(uint64) {
+			wch, waddr := c.fastLineReq(toSet, toWay, blk, l)
+			wch.Enqueue(&dram.Request{Addr: waddr, Bytes: LineBytes, Write: true, Source: src, Lo: true})
+		}})
+	}
+}
+
+// writebackBlock copies a (dirty or flat-mode) victim block from the
+// fast tier to its slow-tier home: per-line reads from the fast group
+// (the lines live on different physical channels), then one block-sized
+// burst write to the slow channel once all lines have arrived.
+func (c *Controller) writebackBlock(set uint64, w int, blk uint64, src dram.Source) {
+	c.stats.Writebacks[src]++
+	remaining := c.linesPerBlock
+	for l := uint64(0); l < c.linesPerBlock; l++ {
+		rch, raddr := c.fastLineReq(set, w, blk, l)
+		rch.Enqueue(&dram.Request{Addr: raddr, Bytes: LineBytes, Source: src, Lo: true, Done: func(uint64) {
+			remaining--
+			if remaining == 0 {
+				wch, waddr := c.slowLineReq(blk, 0)
+				wch.Enqueue(&dram.Request{Addr: waddr, Bytes: c.cfg.BlockBytes, Write: true, Source: src, Lo: true})
+			}
+		}})
+	}
+}
+
+func (c *Controller) missPath(blk, set, line uint64, write bool, src dram.Source, finish func(uint64)) {
+	if write {
+		// Write miss (an LLC writeback to an uncached block): write through
+		// to the slow tier without allocating.
+		c.stats.SlowWrites[src]++
+		ch, addr := c.slowLineReq(blk, line)
+		ch.Enqueue(&dram.Request{Addr: addr, Bytes: LineBytes, Write: true, Source: src, Done: finish})
+		return
+	}
+
+	// Coalesce with an in-flight fill of the same block.
+	if f, ok := c.pendingFill[blk]; ok {
+		f.waiters = append(f.waiters, waiter{line: line, write: write, src: src, done: finish})
+		return
+	}
+
+	// Demand read of the critical line from slow memory, coalesced with
+	// identical in-flight line reads.
+	c.stats.SlowDemandReads[src]++
+	ch, addr := c.slowLineReq(blk, line)
+	key := blk*c.linesPerBlock + line
+	if ws, ok := c.pendingLine[key]; ok {
+		c.pendingLine[key] = append(ws, finish)
+	} else {
+		c.pendingLine[key] = []func(uint64){finish}
+		ch.Enqueue(&dram.Request{Addr: addr, Bytes: LineBytes, Source: src, Done: func(t uint64) {
+			for _, fn := range c.pendingLine[key] {
+				fn(t)
+			}
+			delete(c.pendingLine, key)
+		}})
+	}
+
+	c.maybeMigrate(blk, set, src)
+}
+
+// maybeMigrate runs the migration decision for a read miss: victim
+// selection by the policy, then the slow-bandwidth gate, then the block
+// refill (and victim handling) traffic.
+func (c *Controller) maybeMigrate(blk, set uint64, src dram.Source) {
+	if c.fillsBySrc[src] >= c.cfg.MaxInFlightFills {
+		c.stats.FillQueueFull[src]++
+		return
+	}
+	var viewBuf [16]WayView
+	views := c.views(set, viewBuf[:0])
+	v := c.pol.Victim(set, views, src)
+	if v < 0 {
+		c.stats.NoVictim[src]++
+		return
+	}
+	e := &c.entries[set]
+	victim := e.ways[v]
+
+	cost := uint64(1)
+	if c.cfg.Mode == ModeFlat {
+		cost = 2 // a flat-mode migration is always a swap
+	} else if victim.valid && victim.dirty {
+		cost = 2
+	}
+	if !c.pol.AllowMigration(src, cost, c.eng.Now()) {
+		c.stats.Bypasses[src]++
+		return
+	}
+	c.stats.Migrations[src]++
+
+	// Victim handling: dirty victims (cache mode) and every valid victim
+	// (flat mode, where the fast copy is the only copy) go home to slow.
+	if victim.valid {
+		if victim.dirty || c.cfg.Mode == ModeFlat {
+			c.writebackBlock(set, v, victim.tag, src)
+		}
+	}
+
+	// Install the new mapping immediately; data follows.
+	e.ways[v] = way{tag: blk, valid: true, busy: true, lastUse: c.eng.Now(), src: src}
+	c.touchMeta(set)
+	f := &fill{set: set, w: v, src: src}
+	c.pendingFill[blk] = f
+	c.fillsBySrc[src]++
+
+	// Refill: one block-sized burst read from the slow channel (the
+	// demand line was already requested separately — Fig. 4's critical
+	// word), then per-line writes into the fast group's channels.
+	// The refill read shares demand priority: starving it would only
+	// convert future hits into yet more demand misses.
+	rch, raddr := c.slowLineReq(blk, 0)
+	rch.Enqueue(&dram.Request{Addr: raddr, Bytes: c.cfg.BlockBytes, Source: src, Done: func(t uint64) {
+		// Data is in the fill buffer: serve everyone waiting on it now
+		// (critical-line forwarding) and drain the write-in off the
+		// critical path.
+		f.ready = true
+		for _, wt := range f.waiters {
+			wt := wt
+			if wt.write {
+				e := &c.entries[set]
+				if e.ways[v].valid && e.ways[v].tag == blk {
+					e.ways[v].dirty = true
+				}
+			}
+			c.eng.After(fillBufferLat, func() { wt.done(c.eng.Now()) })
+		}
+		f.waiters = nil
+		remaining := c.linesPerBlock
+		for l := uint64(0); l < c.linesPerBlock; l++ {
+			wch, waddr := c.fastLineReq(set, v, blk, l)
+			wch.Enqueue(&dram.Request{Addr: waddr, Bytes: LineBytes, Write: true, Source: src, Lo: true, Done: func(t uint64) {
+				remaining--
+				if remaining == 0 {
+					c.finishFill(blk, f, t)
+				}
+			}})
+		}
+	}})
+}
+
+func (c *Controller) finishFill(blk uint64, f *fill, t uint64) {
+	delete(c.pendingFill, blk)
+	c.fillsBySrc[f.src]--
+	e := &c.entries[f.set]
+	if e.ways[f.w].valid && e.ways[f.w].tag == blk {
+		e.ways[f.w].busy = false
+	}
+	for _, wt := range f.waiters {
+		// Serve waiters from the freshly filled fast block.
+		wt := wt
+		ch, addr := c.fastLineReq(f.set, f.w, blk, wt.line)
+		if wt.write {
+			if e.ways[f.w].valid && e.ways[f.w].tag == blk {
+				e.ways[f.w].dirty = true
+			}
+		}
+		ch.Enqueue(&dram.Request{Addr: addr, Bytes: LineBytes, Write: wt.write, Source: wt.src, Done: wt.done})
+	}
+	f.waiters = nil
+}
+
+// InvalidateAll drops every cached block, writing back dirty data. It is
+// used by tests and by reconfiguration experiments that model flush-based
+// repartitioning.
+func (c *Controller) InvalidateAll() {
+	for s := range c.entries {
+		e := &c.entries[s]
+		for w := range e.ways {
+			wy := &e.ways[w]
+			if wy.valid && wy.dirty {
+				c.writebackBlock(uint64(s), w, wy.tag, wy.src)
+			}
+			*wy = way{}
+		}
+	}
+}
+
+// Occupancy returns how many valid blocks each source holds in the fast
+// tier; useful for tests and capacity analyses.
+func (c *Controller) Occupancy() (cpu, gpu uint64) {
+	for s := range c.entries {
+		for w := range c.entries[s].ways {
+			wy := &c.entries[s].ways[w]
+			if !wy.valid {
+				continue
+			}
+			if wy.src == dram.SourceCPU {
+				cpu++
+			} else {
+				gpu++
+			}
+		}
+	}
+	return cpu, gpu
+}

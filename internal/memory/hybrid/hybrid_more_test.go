@@ -1,0 +1,230 @@
+package hybrid_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/core"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/hybrid"
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+)
+
+func TestMetadataPackingGivesSpatialRemapHits(t *testing.T) {
+	eng, ctl, _, _ := build(t, smallCfg(), nil)
+	// Four consecutive sets share one metadata line: touching blocks in
+	// sets 0..3 should cost a single remap miss.
+	for set := uint64(0); set < 4; set++ {
+		ctl.Access(set*256, false, dram.SourceCPU, nil)
+		eng.Run()
+	}
+	s := ctl.Stats()
+	if s.RemapMisses != 1 {
+		t.Fatalf("remap misses %d for 4 packed sets, want 1", s.RemapMisses)
+	}
+	if s.RemapHits != 3 {
+		t.Fatalf("remap hits %d, want 3", s.RemapHits)
+	}
+}
+
+func TestCriticalLineForwarding(t *testing.T) {
+	eng, ctl, _, _ := build(t, smallCfg(), nil)
+	// First access starts a fill; accesses to the remaining lines while
+	// the fill is in flight must all complete (served from the fill
+	// buffer or as waiters), well before an un-forwarded design would.
+	var done [4]uint64
+	for l := uint64(0); l < 4; l++ {
+		l := l
+		ctl.Access(0x4000+l*64, false, dram.SourceGPU, func(now uint64) { done[l] = now })
+	}
+	eng.Run()
+	for l, d := range done {
+		if d == 0 {
+			t.Fatalf("line %d never completed", l)
+		}
+	}
+	s := ctl.Stats()
+	if s.FastHits[dram.SourceGPU] != 3 {
+		t.Fatalf("block spatial hits %d, want 3 (lines 1-3 of the migrating block)", s.FastHits[dram.SourceGPU])
+	}
+}
+
+func TestFillQueueBound(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxInFlightFills = 2
+	eng, ctl, _, _ := build(t, cfg, nil)
+	// Issue misses to many distinct blocks at once: only 2 fills may be
+	// in flight per source; the rest are served without migrating.
+	for i := uint64(0); i < 10; i++ {
+		ctl.Access(i*0x10000, false, dram.SourceGPU, nil)
+	}
+	eng.Run()
+	s := ctl.Stats()
+	if s.FillQueueFull[dram.SourceGPU] != 8 {
+		t.Fatalf("fill-queue rejections %d, want 8 (10 misses, bound 2)", s.FillQueueFull[dram.SourceGPU])
+	}
+	if s.Migrations[dram.SourceGPU] != 2 {
+		t.Fatalf("migrations %d, want 2", s.Migrations[dram.SourceGPU])
+	}
+}
+
+func TestPerSourceFillBounds(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxInFlightFills = 2
+	eng, ctl, _, _ := build(t, cfg, nil)
+	// The GPU filling its bound must not block CPU migrations.
+	for i := uint64(0); i < 4; i++ {
+		ctl.Access(i*0x10000, false, dram.SourceGPU, nil)
+	}
+	for i := uint64(0); i < 2; i++ {
+		ctl.Access(0x900000+i*0x10000, false, dram.SourceCPU, nil)
+	}
+	eng.Run()
+	s := ctl.Stats()
+	if s.Migrations[dram.SourceCPU] != 2 {
+		t.Fatalf("CPU migrations %d, want 2 despite GPU pressure", s.Migrations[dram.SourceCPU])
+	}
+}
+
+// hydrogenController builds a controller driven by a real Hydrogen
+// policy, for integration tests of swaps/tokens/lazy invalidation.
+func hydrogenController(t *testing.T, mode hybrid.Mode, hcfg core.Config) (*sim.Engine, *hybrid.Controller, *core.Hydrogen) {
+	t.Helper()
+	eng := sim.New()
+	fcfg := dram.HBM2E()
+	fcfg.Channels = 16
+	fast, err := dram.NewTier(eng, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := dram.NewTier(eng, dram.DDR4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := core.New(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hybrid.Config{Mode: mode, FastCapacityBytes: 1 << 20, RemapCacheBytes: 16 << 10}
+	ctl, err := hybrid.New(eng, cfg, fast, slow, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetNumSets(ctl.NumSets())
+	return eng, ctl, h
+}
+
+func defaultCoreCfg() core.Config {
+	return core.Config{
+		Groups: 4, Assoc: 4, CPUWays: 3, CPUGroups: 1,
+		EnableTokens: true, TokIdx: 3,
+		TokenPeriod: 100_000, SlowBytesPerCycle: 64, BlockBytes: 256,
+		LazyReconfig: true,
+	}
+}
+
+func TestFlatModeChargesTwoTokens(t *testing.T) {
+	count := func(mode hybrid.Mode) uint64 {
+		cfg := defaultCoreCfg()
+		cfg.TokLevels = []float64{0.001} // tiny quota so charging rate is visible
+		cfg.TokIdx = 0
+		eng, ctl, h := hydrogenController(t, mode, cfg)
+		for i := uint64(0); i < 50; i++ {
+			ctl.Access(i*0x10000, false, dram.SourceGPU, nil)
+			eng.Run()
+		}
+		_ = ctl
+		return h.Stats().TokensGranted
+	}
+	cacheTokens := count(hybrid.ModeCache)
+	flatTokens := count(hybrid.ModeFlat)
+	if cacheTokens == 0 {
+		t.Fatal("no tokens granted in cache mode")
+	}
+	// Flat-mode migrations cost 2 tokens each, so with the same quota
+	// the flat configuration admits ~half as many migrations: it grants
+	// roughly the same token volume (within one odd token).
+	if flatTokens+2 < cacheTokens || flatTokens > cacheTokens {
+		t.Fatalf("flat-mode token grants %d vs cache mode %d; want same volume at 2x cost", flatTokens, cacheTokens)
+	}
+}
+
+func TestHydrogenSwapIntegration(t *testing.T) {
+	eng, ctl, h := hydrogenController(t, hybrid.ModeCache, defaultCoreCfg())
+	// Fill all three CPU ways of set 0 (the first fill takes the
+	// dedicated way), then re-touch the later blocks: a hit in a
+	// shared-channel CPU way must swap into the dedicated channel.
+	setStride := ctl.NumSets() * 256
+	for i := uint64(0); i < 3; i++ {
+		ctl.Access(i*setStride, false, dram.SourceCPU, nil)
+		eng.Run()
+	}
+	for i := uint64(0); i < 3; i++ {
+		ctl.Access(i*setStride, false, dram.SourceCPU, nil)
+		eng.Run()
+	}
+	if ctl.Stats().Swaps == 0 {
+		t.Fatal("no fast memory swap after hits in shared CPU ways")
+	}
+	if h.Stats().SwapsProposed == 0 {
+		t.Fatal("policy proposed no swaps")
+	}
+}
+
+func TestLazyInvalidationOnReconfig(t *testing.T) {
+	eng, ctl, h := hydrogenController(t, hybrid.ModeCache, defaultCoreCfg())
+	// Give the GPU two ways (cap 2), fill GPU blocks, then shrink its
+	// share back to one way (cap 3): blocks stranded in the reclaimed
+	// ways are invalidated lazily on their next touch.
+	h.SetPoint(2, 1, 3)
+	for blk := uint64(0); blk < 512; blk++ {
+		ctl.Access(blk*256, false, dram.SourceGPU, nil)
+	}
+	eng.Run()
+	pre := ctl.Stats().Misplaced
+	h.SetPoint(3, 1, 3)
+	for blk := uint64(0); blk < 512; blk++ {
+		ctl.Access(blk*256, false, dram.SourceGPU, nil)
+	}
+	eng.Run()
+	if ctl.Stats().Misplaced == pre {
+		t.Fatal("reconfiguration produced no lazy invalidations")
+	}
+}
+
+// Property-style stress: a random mix of reads/writes from both sources
+// must preserve controller invariants.
+func TestRandomStressInvariants(t *testing.T) {
+	eng, ctl, _, _ := build(t, smallCfg(), nil)
+	rng := rand.New(rand.NewSource(99))
+	completed := 0
+	issued := 0
+	for i := 0; i < 5000; i++ {
+		src := dram.SourceCPU
+		if rng.Intn(2) == 0 {
+			src = dram.SourceGPU
+		}
+		addr := uint64(rng.Intn(1 << 22))
+		write := rng.Intn(4) == 0
+		issued++
+		ctl.Access(addr, write, src, func(uint64) { completed++ })
+		if i%64 == 0 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if completed != issued {
+		t.Fatalf("%d of %d accesses completed", completed, issued)
+	}
+	s := ctl.Stats()
+	if s.Demand[0]+s.Demand[1] != uint64(issued) {
+		t.Fatalf("demand accounting %d+%d != %d", s.Demand[0], s.Demand[1], issued)
+	}
+	cpu, gpu := ctl.Occupancy()
+	if cpu+gpu > ctl.NumSets()*uint64(ctl.Assoc()) {
+		t.Fatalf("occupancy %d exceeds capacity", cpu+gpu)
+	}
+	if s.FastHits[0] > s.Demand[0] || s.FastHits[1] > s.Demand[1] {
+		t.Fatal("more hits than demand")
+	}
+}

@@ -1,0 +1,99 @@
+package policy
+
+import (
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/hybrid"
+)
+
+// SetPart implements the decoupled set-partitioning design sketched in
+// the paper's Section IV-F: the set index space is split between CPU and
+// GPU (the hardware analog of OS page coloring), with the CPU's sets
+// backed by dedicated channel groups and the GPU's sets interleaved over
+// the remaining groups.
+//
+// Capacity is partitioned by CPUSetFrac while bandwidth is partitioned
+// by CPUGroups, so the two are decoupled like Hydrogen's
+// way-partitioning scheme — but repartitioning moves whole sets (the
+// high-overhead drawback the paper notes), so this policy is static.
+type SetPart struct {
+	Groups     int
+	Assoc      int
+	NumSets    uint64  // total sets; fixed at construction
+	CPUGroups  int     // dedicated channel groups (bandwidth share)
+	CPUSetFrac float64 // fraction of sets holding CPU data (capacity share)
+}
+
+// NewSetPart builds the default 75% capacity / 25% bandwidth split used
+// for comparisons against the way-partitioned designs.
+func NewSetPart(groups, assoc int, numSets uint64) *SetPart {
+	return &SetPart{Groups: groups, Assoc: assoc, NumSets: numSets, CPUGroups: 1, CPUSetFrac: 0.75}
+}
+
+// Name implements hybrid.Policy.
+func (*SetPart) Name() string { return "SetPart" }
+
+func (p *SetPart) cpuSets(numSets uint64) uint64 {
+	n := uint64(float64(numSets) * p.CPUSetFrac)
+	if n == 0 {
+		n = 1
+	}
+	if n >= numSets {
+		n = numSets - 1
+	}
+	return n
+}
+
+// SetOf implements hybrid.SetMapper: CPU blocks hash into the CPU set
+// range, GPU blocks into the rest — page coloring in hardware.
+func (p *SetPart) SetOf(blk uint64, src dram.Source, numSets uint64) uint64 {
+	cpu := p.cpuSets(numSets)
+	if src == dram.SourceCPU {
+		return blk % cpu
+	}
+	return cpu + blk%(numSets-cpu)
+}
+
+// WayGroup backs CPU sets with the dedicated groups and interleaves the
+// remaining sets (GPU data) over the shared groups. Because ownership is
+// per set, every way of a set shares its group assignment base, with
+// ways rotated for bank-level spread.
+func (p *SetPart) WayGroup(set uint64, w int) int {
+	if p.isCPUSet(set) {
+		if p.CPUGroups == 0 {
+			return int((set + uint64(w)) % uint64(p.Groups))
+		}
+		return int((set + uint64(w)) % uint64(p.CPUGroups))
+	}
+	shared := p.Groups - p.CPUGroups
+	if shared <= 0 {
+		return int((set + uint64(w)) % uint64(p.Groups))
+	}
+	return p.CPUGroups + int((set+uint64(w))%uint64(shared))
+}
+
+// isCPUSet classifies a set index: SetOf packs CPU sets into the low
+// CPUSetFrac of the index space.
+func (p *SetPart) isCPUSet(set uint64) bool {
+	if p.NumSets == 0 {
+		return false
+	}
+	return set < p.cpuSets(p.NumSets)
+}
+
+// Owner implements hybrid.Policy: the whole set belongs to one side, so
+// ways are shared within it.
+func (*SetPart) Owner(uint64, int) hybrid.Owner { return hybrid.OwnerShared }
+
+// Victim is plain LRU: CPU and GPU never collide in a set.
+func (*SetPart) Victim(_ uint64, ways []hybrid.WayView, _ dram.Source) int {
+	return hybrid.LRUVictim(ways, func(int) bool { return true })
+}
+
+// AllowMigration always migrates (set partitioning has no token story).
+func (*SetPart) AllowMigration(dram.Source, uint64, uint64) bool { return true }
+
+// Interface conformance checks.
+var (
+	_ hybrid.Policy    = (*SetPart)(nil)
+	_ hybrid.SetMapper = (*SetPart)(nil)
+)

@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+)
+
+func TestSetPartDisjointRanges(t *testing.T) {
+	p := NewSetPart(4, 4, 1024)
+	cpuSeen := map[uint64]bool{}
+	gpuSeen := map[uint64]bool{}
+	for blk := uint64(0); blk < 10000; blk++ {
+		cpuSeen[p.SetOf(blk, dram.SourceCPU, 1024)] = true
+		gpuSeen[p.SetOf(blk, dram.SourceGPU, 1024)] = true
+	}
+	for s := range cpuSeen {
+		if gpuSeen[s] {
+			t.Fatalf("set %d used by both CPU and GPU; page coloring broken", s)
+		}
+		if s >= 768 {
+			t.Fatalf("CPU set %d outside its 75%% range", s)
+		}
+	}
+	for s := range gpuSeen {
+		if s < 768 {
+			t.Fatalf("GPU set %d inside the CPU range", s)
+		}
+	}
+}
+
+func TestSetPartDecoupledBandwidth(t *testing.T) {
+	p := NewSetPart(4, 4, 1024)
+	// CPU sets (capacity 75%) live in 1 dedicated group (bandwidth 25%):
+	// decoupled, unlike WayPart.
+	for set := uint64(0); set < 768; set++ {
+		for w := 0; w < 4; w++ {
+			if g := p.WayGroup(set, w); g != 0 {
+				t.Fatalf("CPU set %d way %d on group %d, want dedicated group 0", set, w, g)
+			}
+		}
+	}
+	groups := map[int]bool{}
+	for set := uint64(768); set < 1024; set++ {
+		for w := 0; w < 4; w++ {
+			g := p.WayGroup(set, w)
+			if g == 0 {
+				t.Fatalf("GPU set %d on the CPU-dedicated group", set)
+			}
+			groups[g] = true
+		}
+	}
+	if len(groups) != 3 {
+		t.Fatalf("GPU sets use %d shared groups, want 3", len(groups))
+	}
+}
+
+func TestSetPartVictimLRU(t *testing.T) {
+	p := NewSetPart(4, 4, 1024)
+	ways := fullSet(4)
+	if v := p.Victim(0, ways, dram.SourceCPU); v != 3 {
+		t.Fatalf("victim %d, want LRU way 3", v)
+	}
+	if !p.AllowMigration(dram.SourceGPU, 2, 0) {
+		t.Fatal("SetPart denied a migration")
+	}
+}
+
+func TestSetPartClampsFraction(t *testing.T) {
+	p := NewSetPart(4, 4, 16)
+	p.CPUSetFrac = 1.5 // absurd: clamp below numSets
+	if n := p.cpuSets(16); n != 15 {
+		t.Fatalf("cpuSets %d, want clamp to 15", n)
+	}
+	p.CPUSetFrac = 0
+	if n := p.cpuSets(16); n != 1 {
+		t.Fatalf("cpuSets %d, want floor of 1", n)
+	}
+}

@@ -1,0 +1,126 @@
+// Package sim provides the discrete-event simulation engine that drives
+// every component of the Hydrogen system model. Components schedule
+// closures at absolute times; the engine executes them in time order
+// (ties broken by scheduling order, so runs are deterministic).
+package sim
+
+// event is a scheduled callback. The heap is hand-rolled over a value
+// slice rather than container/heap: the engine executes tens of millions
+// of events per simulation and interface boxing would dominate.
+type event struct {
+	at  uint64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use at time 0.
+type Engine struct {
+	now    uint64
+	seq    uint64
+	events eventHeap
+	nsteps uint64
+}
+
+// New returns a fresh engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in cycles.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Steps returns the number of events executed so far (useful for
+// profiling and runaway detection in tests).
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// it always indicates a component bug that would silently corrupt timing.
+func (e *Engine) Schedule(at uint64, fn func()) {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.events = append(e.events, event{at: at, seq: e.seq, fn: fn})
+	e.events.up(len(e.events) - 1)
+	e.seq++
+}
+
+// After runs fn delay cycles from now.
+func (e *Engine) After(delay uint64, fn func()) { e.Schedule(e.now+delay, fn) }
+
+// Step executes the next event, if any, advancing time to it.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := e.events[0]
+	last := len(e.events) - 1
+	e.events[0] = e.events[last]
+	e.events[last] = event{} // release the fn reference for the GC
+	e.events = e.events[:last]
+	if last > 0 {
+		e.events.down(0)
+	}
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// at or beyond t; time is then advanced to exactly t.
+func (e *Engine) RunUntil(t uint64) {
+	for len(e.events) > 0 && e.events[0].at < t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

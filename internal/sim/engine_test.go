@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("new engine at time %d, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine reported an event")
+	}
+}
+
+func TestScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time %d, want 30", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var fired []uint64
+	e.Schedule(1, func() {
+		fired = append(fired, e.Now())
+		e.After(4, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 5 {
+		t.Fatalf("nested events fired at %v, want [1 5]", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []uint64
+	for _, at := range []uint64{5, 10, 15, 20} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(15)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(15) fired %v, want events at 5 and 10 only", fired)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("time after RunUntil(15) is %d", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("remaining events did not fire: %v", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("time after RunUntil(100) is %d", e.Now())
+	}
+}
+
+func TestRunUntilEventAtBoundaryNotRun(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(10, func() { ran = true })
+	e.RunUntil(10)
+	if ran {
+		t.Fatal("event at boundary time ran; RunUntil is exclusive")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	e := New()
+	for i := uint64(0); i < 7; i++ {
+		e.Schedule(i, func() {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Fatalf("Steps() = %d, want 7", e.Steps())
+	}
+}
+
+// Property: events always execute in nondecreasing time order, no matter
+// the insertion order.
+func TestPropertyTimeOrdered(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New()
+		var got []uint64
+		for _, tm := range times {
+			at := uint64(tm)
+			e.Schedule(at, func() { got = append(got, at) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every scheduled event runs exactly once.
+func TestPropertyAllEventsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		e := New()
+		n := rng.Intn(500)
+		count := 0
+		for i := 0; i < n; i++ {
+			e.Schedule(uint64(rng.Intn(1000)), func() { count++ })
+		}
+		e.Run()
+		if count != n {
+			t.Fatalf("trial %d: ran %d of %d events", trial, count, n)
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1024; j++ {
+			e.Schedule(uint64(j%64), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,78 @@
+package system
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// TestCalibrationShapeC1 checks the headline qualitative behaviors the
+// reproduction targets on one representative combo (the paper's C1):
+//
+//   - co-running creates real contention for the CPU (Fig. 2(a)),
+//   - WayPart rescues the CPU but collapses the GPU (Section VI-B),
+//   - Hydrogen's decoupled partitioning keeps the GPU far above
+//     WayPart's while competitive on the CPU,
+//   - full Hydrogen beats the simple partitioning baselines on the
+//     weighted metric (Fig. 5).
+//
+// It simulates ~50M cycles total, so it is skipped in -short runs.
+func TestCalibrationShapeC1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration shape check is slow; run without -short")
+	}
+	debug.SetGCPercent(800)
+	cfg := Quick()
+	cfg.Cycles = 6_000_000
+	combo, err := workloads.ComboByID("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cpuAlone := cfg
+	cpuAlone.CPUProfiles = combo.CPUAssignment(cfg.Cores)
+	factory, _ := ApplyDesign(&cpuAlone, DesignBaseline)
+	sysA, err := New(cpuAlone, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone := sysA.Run()
+
+	runD := func(d string) Results {
+		r, err := RunDesign(cfg, d, combo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := runD(DesignBaseline)
+	way := runD(DesignWayPart)
+	hydro := runD(DesignHydrogen)
+	profess := runD(DesignProfess)
+
+	ws := func(r Results) float64 {
+		return (12*(r.CPUIPC/base.CPUIPC) + r.GPUIPC/base.GPUIPC) / 13
+	}
+
+	if slowdown := alone.CPUIPC / base.CPUIPC; slowdown < 1.3 {
+		t.Errorf("baseline CPU co-run slowdown %.2fx; expected meaningful contention (paper: 1.94x)", slowdown)
+	}
+	if way.GPUIPC > 0.6*base.GPUIPC {
+		t.Errorf("WayPart GPU at %.0f%% of baseline; coupled partitioning should strangle the GPU",
+			100*way.GPUIPC/base.GPUIPC)
+	}
+	if hydro.GPUIPC < 1.2*way.GPUIPC {
+		t.Errorf("Hydrogen GPU %.2f not well above WayPart's %.2f; decoupling is not paying off",
+			hydro.GPUIPC, way.GPUIPC)
+	}
+	hw, ww, pw := ws(hydro), ws(way), ws(profess)
+	if hw < ww {
+		t.Errorf("Hydrogen weighted speedup %.3f below WayPart %.3f", hw, ww)
+	}
+	if hw < pw {
+		t.Errorf("Hydrogen weighted speedup %.3f below Profess %.3f", hw, pw)
+	}
+	t.Logf("C1: slowdown %.2fx; weighted speedups hydrogen %.3f waypart %.3f profess %.3f",
+		alone.CPUIPC/base.CPUIPC, hw, ww, pw)
+}

@@ -1,0 +1,423 @@
+// Package system assembles the full simulated machine of Table I —
+// trace-driven CPU cores and GPU subslices, private caches, the shared
+// LLC, the hybrid memory controller with its partitioning policy, and
+// the two DRAM tiers — and runs it for a configured number of cycles,
+// sampling weighted IPC every epoch for the adaptive policies.
+package system
+
+import (
+	"fmt"
+
+	"github.com/hydrogen-sim/hydrogen/internal/caches"
+	"github.com/hydrogen-sim/hydrogen/internal/core"
+	"github.com/hydrogen-sim/hydrogen/internal/cpu"
+	"github.com/hydrogen-sim/hydrogen/internal/gpu"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/hybrid"
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+	"github.com/hydrogen-sim/hydrogen/internal/trace"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// PolicyEnv gives policy factories the derived system geometry they
+// need (group count, associativity, set count, slow-tier bandwidth).
+type PolicyEnv struct {
+	Groups            int
+	Assoc             int
+	NumSets           uint64
+	BlockBytes        uint64
+	SlowBytesPerCycle uint64
+	EpochLen          uint64
+	Seed              int64
+}
+
+// PolicyFactory builds the partitioning policy for a system.
+type PolicyFactory func(env PolicyEnv) (hybrid.Policy, error)
+
+// Config describes one simulation.
+type Config struct {
+	Cores       int      // CPU cores (0 = GPU-alone run)
+	CPUProfiles []string // per-core workload names; nil + Cores>0 is an error
+	GPUProfile  string   // "" = CPU-alone run
+
+	Fast dram.Config
+	Slow dram.Config
+	// Bandwidth scale knobs for the Fig. 2 sensitivity studies: the
+	// per-channel BytesPerCycle is multiplied by these (0 = 1.0).
+	FastBWScale float64
+	SlowBWScale float64
+
+	Hybrid hybrid.Config
+	LLC    caches.Config
+	CPU    cpu.Config
+	GPU    gpu.Config
+
+	// Weights for the weighted-IPC objective, CPU:GPU. Zero selects the
+	// paper default 12:1 (the core-count ratio).
+	WeightCPU, WeightGPU float64
+
+	EpochLen uint64 // sampling epoch (Section IV-C)
+	Cycles   uint64 // total simulated cycles
+	Seed     int64
+
+	// ProfileScaleBytes is the capacity workload profiles scale against;
+	// 0 selects Hybrid.FastCapacityBytes. The Fig. 2(c) capacity sweep
+	// sets it to the unshrunk capacity so the workloads stay fixed while
+	// the fast tier shrinks.
+	ProfileScaleBytes uint64
+}
+
+// Quick returns the scaled-down default configuration (DESIGN.md):
+// Table I shapes with a 16 MB fast tier, proportionally scaled SRAM
+// caches and workload footprints, and shorter epochs. Bandwidths and
+// timings are NOT scaled, so contention behavior — the thing the paper
+// studies — is preserved; epochs stay long relative to the time a
+// reconfiguration needs to re-migrate a GPU working set, as in the
+// paper's 10 M-cycle epochs.
+func Quick() Config {
+	cpuCfg := cpu.DefaultConfig()
+	cpuCfg.L2.SizeBytes = 256 << 10 // scaled with the fast tier
+	gpuCfg := gpu.DefaultConfig()
+	gpuCfg.L1.SizeBytes = 64 << 10
+	return Config{
+		Cores: 8,
+		Fast:  dram.HBM2E(),
+		Slow:  dram.DDR4(),
+		Hybrid: hybrid.Config{
+			FastCapacityBytes: 16 << 20,
+			BlockBytes:        256,
+			Assoc:             4,
+			RemapCacheBytes:   32 << 10,
+		},
+		LLC: caches.Config{
+			Name: "LLC", SizeBytes: 512 << 10, Assoc: 16, BlockBytes: 64, Latency: 38,
+		},
+		CPU:       cpuCfg,
+		GPU:       gpuCfg,
+		WeightCPU: 12, WeightGPU: 1,
+		EpochLen: 400_000,
+		Cycles:   10_000_000,
+		Seed:     1,
+	}
+}
+
+// Paper returns the full Table I configuration (512 MB fast tier,
+// 16 MB LLC, 10 M-cycle epochs). Slower; used by `hydroexp --paper`.
+func Paper() Config {
+	cfg := Quick()
+	cfg.Hybrid.FastCapacityBytes = 512 << 20
+	cfg.Hybrid.RemapCacheBytes = 256 << 10
+	cfg.LLC.SizeBytes = 16 << 20
+	cfg.EpochLen = 10_000_000
+	cfg.Cycles = 200_000_000
+	return cfg
+}
+
+// Env derives the PolicyEnv a config implies.
+func (c *Config) Env() PolicyEnv {
+	h := c.Hybrid
+	if h.BlockBytes == 0 {
+		h.BlockBytes = 256
+	}
+	if h.Assoc == 0 {
+		h.Assoc = 4
+	}
+	if h.GroupSize == 0 {
+		h.GroupSize = 4
+	}
+	slowBPC := uint64(float64(c.Slow.BytesPerCycle) * scaleOr1(c.SlowBWScale) * float64(c.Slow.Channels))
+	return PolicyEnv{
+		Groups:            c.Fast.Channels / h.GroupSize,
+		Assoc:             h.Assoc,
+		NumSets:           h.FastCapacityBytes / (h.BlockBytes * uint64(h.Assoc)),
+		BlockBytes:        h.BlockBytes,
+		SlowBytesPerCycle: slowBPC,
+		EpochLen:          c.EpochLen,
+		Seed:              c.Seed,
+	}
+}
+
+func scaleOr1(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// EpochSample records one sampling epoch's measurements.
+type EpochSample struct {
+	EndCycle    uint64
+	CPUIPC      float64
+	GPUIPC      float64
+	WeightedIPC float64
+}
+
+// Results aggregates a finished run.
+type Results struct {
+	PolicyName string
+	Cycles     uint64
+
+	CPUInstrs uint64
+	GPUInstrs uint64
+	CPUIPC    float64
+	GPUIPC    float64
+
+	Hybrid hybrid.Stats
+	Fast   dram.Stats
+	Slow   dram.Stats
+	LLC    caches.Stats
+
+	// Energy in picojoules, split as in Fig. 6.
+	FastDynamicPJ, FastStaticPJ float64
+	SlowDynamicPJ, SlowStaticPJ float64
+
+	Epochs []EpochSample
+}
+
+// TotalEnergyPJ sums the four energy components.
+func (r *Results) TotalEnergyPJ() float64 {
+	return r.FastDynamicPJ + r.FastStaticPJ + r.SlowDynamicPJ + r.SlowStaticPJ
+}
+
+// WeightedIPC returns w_cpu*CPUIPC + w_gpu*GPUIPC.
+func (r *Results) WeightedIPC(wCPU, wGPU float64) float64 {
+	return wCPU*r.CPUIPC + wGPU*r.GPUIPC
+}
+
+// System is a fully wired machine.
+type System struct {
+	cfg Config
+	eng *sim.Engine
+
+	fast, slow *dram.Tier
+	ctl        *hybrid.Controller
+	llc        *caches.Cache
+	cores      []*cpu.Core
+	gpu        *gpu.GPU
+
+	epochs     []EpochSample
+	lastCPUIns uint64
+	lastGPUIns uint64
+}
+
+// New builds a system with the policy produced by factory, creating
+// synthetic trace generators from cfg's workload profile names.
+func New(cfg Config, factory PolicyFactory) (*System, error) {
+	if cfg.Cores > 0 && len(cfg.CPUProfiles) != cfg.Cores {
+		return nil, fmt.Errorf("system: %d cores but %d CPU profiles", cfg.Cores, len(cfg.CPUProfiles))
+	}
+	return build(cfg, factory, nil, nil)
+}
+
+// NewWithGenerators wires a machine from explicit trace generators
+// (e.g. trace.Reader instances replaying files written by tracegen).
+// cfg.Cores/GPU.Subslices are taken from the slice lengths; the
+// profile-name fields are ignored.
+func NewWithGenerators(cfg Config, factory PolicyFactory, cpuGens, gpuGens []trace.Generator) (*System, error) {
+	cfg.Cores = len(cpuGens)
+	if len(gpuGens) > 0 {
+		cfg.GPU.Subslices = len(gpuGens)
+		cfg.GPUProfile = "" // explicit generators take precedence
+	}
+	return build(cfg, factory, cpuGens, gpuGens)
+}
+
+func build(cfg Config, factory PolicyFactory, cpuGens, gpuGens []trace.Generator) (*System, error) {
+	if cfg.WeightCPU == 0 && cfg.WeightGPU == 0 {
+		cfg.WeightCPU, cfg.WeightGPU = 12, 1
+	}
+	if cfg.EpochLen == 0 {
+		cfg.EpochLen = 250_000
+	}
+
+	eng := sim.New()
+	fcfg, scfg := cfg.Fast, cfg.Slow
+	fcfg.BytesPerCycle = uint64(float64(fcfg.BytesPerCycle) * scaleOr1(cfg.FastBWScale))
+	scfg.BytesPerCycle = uint64(float64(scfg.BytesPerCycle) * scaleOr1(cfg.SlowBWScale))
+	if fcfg.BytesPerCycle == 0 {
+		fcfg.BytesPerCycle = 1
+	}
+	if scfg.BytesPerCycle == 0 {
+		scfg.BytesPerCycle = 1
+	}
+	fast, err := dram.NewTier(eng, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	slow, err := dram.NewTier(eng, scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	pol, err := factory(cfg.Env())
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := hybrid.New(eng, cfg.Hybrid, fast, slow, pol)
+	if err != nil {
+		return nil, err
+	}
+
+	llc := caches.New(cfg.LLC)
+	s := &System{cfg: cfg, eng: eng, fast: fast, slow: slow, ctl: ctl, llc: llc}
+
+	// Lay out disjoint address regions for every trace instance.
+	var next uint64
+	alloc := func(size uint64) uint64 {
+		base := next
+		next += (size + (1 << 20)) &^ ((1 << 20) - 1)
+		return base
+	}
+
+	fastCap := cfg.ProfileScaleBytes
+	if fastCap == 0 {
+		fastCap = cfg.Hybrid.FastCapacityBytes
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		var gen trace.Generator
+		if i < len(cpuGens) {
+			gen = cpuGens[i]
+		} else {
+			params, err := workloads.CPUProfile(cfg.CPUProfiles[i], fastCap)
+			if err != nil {
+				return nil, err
+			}
+			synth := trace.NewCPU(params, alloc(params.Footprint), cfg.Seed+int64(i)*7919)
+			gen = trace.NewPaged(synth, cfg.Seed+int64(i)*15013+1)
+		}
+		s.cores = append(s.cores, cpu.New(eng, cfg.CPU, i, gen, llc, ctl))
+	}
+
+	if len(gpuGens) > 0 {
+		s.gpu = gpu.New(eng, cfg.GPU, gpuGens, llc, ctl)
+	} else if cfg.GPUProfile != "" {
+		total, err := workloads.GPUProfile(cfg.GPUProfile, fastCap)
+		if err != nil {
+			return nil, err
+		}
+		n := cfg.GPU.Subslices
+		if n <= 0 {
+			n = 6
+		}
+		gens := make([]trace.Generator, n)
+		for i := 0; i < n; i++ {
+			p := total
+			p.Region = total.Region / uint64(n)
+			p.Hot = total.Hot / uint64(n)
+			gens[i] = trace.NewPaged(
+				trace.NewGPU(p, alloc(p.Region), cfg.Seed+1_000_003+int64(i)*104729),
+				cfg.Seed+int64(i)*70117+2_000_029)
+		}
+		s.gpu = gpu.New(eng, cfg.GPU, gens, llc, ctl)
+	}
+	return s, nil
+}
+
+// Engine exposes the event engine (for tests).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Controller exposes the hybrid memory controller.
+func (s *System) Controller() *hybrid.Controller { return s.ctl }
+
+// Run simulates cfg.Cycles cycles and returns the results.
+func (s *System) Run() Results {
+	for _, c := range s.cores {
+		c.Start()
+	}
+	if s.gpu != nil {
+		s.gpu.Start()
+	}
+	s.scheduleEpoch()
+	s.eng.RunUntil(s.cfg.Cycles)
+	return s.results()
+}
+
+func (s *System) scheduleEpoch() {
+	s.eng.After(s.cfg.EpochLen, s.epochTick)
+}
+
+func (s *System) epochTick() {
+	now := s.eng.Now()
+	cpuIns := s.cpuInstrs()
+	gpuIns := s.gpuInstrs()
+	el := float64(s.cfg.EpochLen)
+	sample := EpochSample{
+		EndCycle: now,
+		CPUIPC:   float64(cpuIns-s.lastCPUIns) / el,
+		GPUIPC:   float64(gpuIns-s.lastGPUIns) / el,
+	}
+	sample.WeightedIPC = s.cfg.WeightCPU*sample.CPUIPC + s.cfg.WeightGPU*sample.GPUIPC
+	s.lastCPUIns, s.lastGPUIns = cpuIns, gpuIns
+	s.epochs = append(s.epochs, sample)
+
+	if l, ok := s.ctl.Policy().(hybrid.EpochListener); ok {
+		l.OnEpoch(hybrid.EpochMetrics{
+			Now:         now,
+			Stats:       s.ctl.Stats(),
+			CPUIPC:      sample.CPUIPC,
+			GPUIPC:      sample.GPUIPC,
+			WeightedIPC: sample.WeightedIPC,
+		})
+	}
+	if now < s.cfg.Cycles {
+		s.scheduleEpoch()
+	}
+}
+
+func (s *System) cpuInstrs() uint64 {
+	var total uint64
+	for _, c := range s.cores {
+		total += c.Instructions()
+	}
+	return total
+}
+
+func (s *System) gpuInstrs() uint64 {
+	if s.gpu == nil {
+		return 0
+	}
+	return s.gpu.Instructions()
+}
+
+func (s *System) results() Results {
+	cycles := s.cfg.Cycles
+	r := Results{
+		PolicyName: s.ctl.Policy().Name(),
+		Cycles:     cycles,
+		CPUInstrs:  s.cpuInstrs(),
+		GPUInstrs:  s.gpuInstrs(),
+		Hybrid:     s.ctl.Stats(),
+		Fast:       s.fast.Stats(),
+		Slow:       s.slow.Stats(),
+		LLC:        s.llc.Stats(),
+		Epochs:     s.epochs,
+	}
+	r.CPUIPC = float64(r.CPUInstrs) / float64(cycles)
+	r.GPUIPC = float64(r.GPUInstrs) / float64(cycles)
+	r.FastDynamicPJ = r.Fast.DynamicPJ
+	r.SlowDynamicPJ = r.Slow.DynamicPJ
+	r.FastStaticPJ = s.fast.StaticPJ(cycles)
+	r.SlowStaticPJ = s.slow.StaticPJ(cycles)
+	return r
+}
+
+// OperatingPoint reports the current (cap, bw, tok) point of the
+// system's policy when it is a Hydrogen instance; ok is false otherwise.
+func (s *System) OperatingPoint() (cpuWays, cpuGroups, tokIdx int, ok bool) {
+	h, isHydrogen := s.ctl.Policy().(*core.Hydrogen)
+	if !isHydrogen {
+		return 0, 0, 0, false
+	}
+	cpuWays, cpuGroups, tokIdx = h.Point()
+	return cpuWays, cpuGroups, tokIdx, true
+}
+
+// PolicyStats returns Hydrogen's internal counters when the policy is a
+// Hydrogen instance.
+func (s *System) PolicyStats() (core.Stats, bool) {
+	h, isHydrogen := s.ctl.Policy().(*core.Hydrogen)
+	if !isHydrogen {
+		return core.Stats{}, false
+	}
+	return h.Stats(), true
+}

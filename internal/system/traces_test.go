@@ -1,0 +1,134 @@
+package system
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/trace"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// TestTraceFileRoundTripMatchesSynthetic exercises the full artifact
+// workflow: generate traces (T1), write them to files, replay them
+// through the simulator (T2), and check the replayed run is identical
+// to driving the synthetic generators directly.
+func TestTraceFileRoundTripMatchesSynthetic(t *testing.T) {
+	cfg := tiny()
+	cfg.Cores = 2
+	cfg.Cycles = 300_000
+	fastCap := cfg.Hybrid.FastCapacityBytes
+
+	dir := t.TempDir()
+	const opsPerTrace = 40_000
+
+	makeCPUGen := func(i int) trace.Generator {
+		params, err := workloads.CPUProfile("gcc", fastCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		synth := trace.NewCPU(params, uint64(i)<<26, int64(i+1))
+		return trace.NewPaged(synth, int64(i)*31+7)
+	}
+	makeGPUGen := func(i int) trace.Generator {
+		params, err := workloads.GPUProfile("backprop", fastCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params.Region /= 2
+		synth := trace.NewGPU(params, 1<<30+uint64(i)<<26, int64(i+100))
+		return trace.NewPaged(synth, int64(i)*37+11)
+	}
+
+	// Write each generator's prefix to a file.
+	writeTrace := func(name string, g trace.Generator) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim := &trace.Limit{G: g, N: opsPerTrace}
+		for {
+			op, ok := lim.Next()
+			if !ok {
+				break
+			}
+			if err := w.Write(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cpuPaths := []string{writeTrace("c0.trace", makeCPUGen(0)), writeTrace("c1.trace", makeCPUGen(1))}
+	gpuPaths := []string{writeTrace("g0.trace", makeGPUGen(0)), writeTrace("g1.trace", makeGPUGen(1))}
+
+	openAll := func(paths []string) ([]trace.Generator, func()) {
+		var gens []trace.Generator
+		var files []*os.File
+		for _, p := range paths {
+			f, err := os.Open(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := trace.NewReader(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, f)
+			gens = append(gens, r)
+		}
+		return gens, func() {
+			for _, f := range files {
+				f.Close()
+			}
+		}
+	}
+
+	runWith := func(cpu, gpu []trace.Generator) Results {
+		factory, err := ApplyDesign(&cfg, DesignBaseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewWithGenerators(cfg, factory, cpu, gpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+
+	// Reference: limited synthetic generators driven directly.
+	ref := runWith(
+		[]trace.Generator{
+			&trace.Limit{G: makeCPUGen(0), N: opsPerTrace},
+			&trace.Limit{G: makeCPUGen(1), N: opsPerTrace},
+		},
+		[]trace.Generator{
+			&trace.Limit{G: makeGPUGen(0), N: opsPerTrace},
+			&trace.Limit{G: makeGPUGen(1), N: opsPerTrace},
+		},
+	)
+
+	cpuGens, closeCPU := openAll(cpuPaths)
+	defer closeCPU()
+	gpuGens, closeGPU := openAll(gpuPaths)
+	defer closeGPU()
+	replayed := runWith(cpuGens, gpuGens)
+
+	if ref.CPUInstrs != replayed.CPUInstrs || ref.GPUInstrs != replayed.GPUInstrs {
+		t.Fatalf("trace replay diverged: synthetic (%d,%d) vs replayed (%d,%d)",
+			ref.CPUInstrs, ref.GPUInstrs, replayed.CPUInstrs, replayed.GPUInstrs)
+	}
+	if ref.Hybrid != replayed.Hybrid {
+		t.Fatalf("controller stats diverged:\n%+v\n%+v", ref.Hybrid, replayed.Hybrid)
+	}
+}

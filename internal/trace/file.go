@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The binary trace file format mirrors the paper's artifact workflow
+// (T1 generates traces, T2 simulates them): a magic header followed by
+// varint-encoded records. Addresses are delta-encoded (zigzag) against
+// the previous op since streams are mostly sequential; that compresses
+// streaming traces to ~3 bytes/op.
+//
+//	magic   "HYTRC1\n"
+//	record  uvarint gap | svarint addrDelta/64 | byte flags(bit0 = write)
+
+var magic = []byte("HYTRC1\n")
+
+// ErrBadFormat reports a malformed trace file.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// Writer streams ops to an io.Writer in the trace file format.
+type Writer struct {
+	w    *bufio.Writer
+	prev uint64
+	n    uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one op.
+func (t *Writer) Write(op Op) error {
+	var buf [2*binary.MaxVarintLen64 + 1]byte
+	n := binary.PutUvarint(buf[:], uint64(op.Gap))
+	delta := int64(op.Addr/64) - int64(t.prev/64)
+	n += binary.PutVarint(buf[n:], delta)
+	var flags byte
+	if op.Write {
+		flags = 1
+	}
+	buf[n] = flags
+	n++
+	t.prev = op.Addr
+	t.n++
+	_, err := t.w.Write(buf[:n])
+	return err
+}
+
+// Count returns the number of ops written so far.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader replays a trace file; it implements Generator and ends the
+// stream at EOF.
+type Reader struct {
+	r    *bufio.Reader
+	prev uint64
+	err  error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i := range magic {
+		if head[i] != magic[i] {
+			return nil, ErrBadFormat
+		}
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Generator.
+func (t *Reader) Next() (Op, bool) {
+	if t.err != nil {
+		return Op{}, false
+	}
+	g, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		t.err = err
+		return Op{}, false
+	}
+	delta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		t.err = wrapTruncated(err)
+		return Op{}, false
+	}
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		t.err = wrapTruncated(err)
+		return Op{}, false
+	}
+	addr := uint64(int64(t.prev/64)+delta) * 64
+	t.prev = addr
+	return Op{Gap: uint32(g), Addr: addr, Write: flags&1 != 0}, true
+}
+
+// Err returns the terminal error, if the stream ended on anything other
+// than a clean EOF.
+func (t *Reader) Err() error {
+	if t.err == io.EOF {
+		return nil
+	}
+	return t.err
+}
+
+func wrapTruncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: truncated record", ErrBadFormat)
+	}
+	return err
+}

@@ -1,0 +1,40 @@
+package trace
+
+// Phased alternates between two generators on a fixed operation period,
+// modelling program phase changes — the behavior Hydrogen's periodic
+// exploration phases exist to track (Section IV-C: "to adapt to program
+// phase changes, for every 500M cycles, Hydrogen starts a new parameter
+// exploration phase"). A workload whose bandwidth/capacity appetite
+// flips between phases makes a converged-and-frozen configuration
+// stale; re-exploration wins it back.
+type Phased struct {
+	A, B      Generator
+	PeriodOps uint64 // ops per phase; 0 selects 1<<20
+
+	count uint64
+}
+
+// NewPhased builds a phase-alternating generator.
+func NewPhased(a, b Generator, periodOps uint64) *Phased {
+	if periodOps == 0 {
+		periodOps = 1 << 20
+	}
+	return &Phased{A: a, B: b, PeriodOps: periodOps}
+}
+
+// Next implements Generator: ops come from A for PeriodOps operations,
+// then from B for the next PeriodOps, and so on. The stream ends when
+// the active generator ends.
+func (p *Phased) Next() (Op, bool) {
+	g := p.A
+	if (p.count/p.PeriodOps)%2 == 1 {
+		g = p.B
+	}
+	p.count++
+	return g.Next()
+}
+
+// Phase reports which phase (0 or 1) the next operation comes from.
+func (p *Phased) Phase() int {
+	return int((p.count / p.PeriodOps) % 2)
+}

@@ -1,0 +1,64 @@
+package trace
+
+import "testing"
+
+// constGen always yields the same address.
+type constGen struct{ addr uint64 }
+
+func (g constGen) Next() (Op, bool) { return Op{Gap: 1, Addr: g.addr}, true }
+
+func TestPhasedAlternates(t *testing.T) {
+	p := NewPhased(constGen{addr: 0x1000}, constGen{addr: 0x2000}, 4)
+	var got []uint64
+	for i := 0; i < 12; i++ {
+		op, ok := p.Next()
+		if !ok {
+			t.Fatal("stream ended")
+		}
+		got = append(got, op.Addr)
+	}
+	for i, addr := range got {
+		want := uint64(0x1000)
+		if (i/4)%2 == 1 {
+			want = 0x2000
+		}
+		if addr != want {
+			t.Fatalf("op %d from wrong phase: %#x, want %#x", i, addr, want)
+		}
+	}
+}
+
+func TestPhasedPhaseIndicator(t *testing.T) {
+	p := NewPhased(constGen{}, constGen{}, 2)
+	if p.Phase() != 0 {
+		t.Fatal("initial phase not 0")
+	}
+	p.Next()
+	p.Next()
+	if p.Phase() != 1 {
+		t.Fatal("phase did not flip after period")
+	}
+}
+
+func TestPhasedEndsWithActiveGenerator(t *testing.T) {
+	a := &Limit{G: constGen{addr: 1 << 12}, N: 3}
+	p := NewPhased(a, constGen{addr: 2 << 12}, 2)
+	n := 0
+	for ; n < 10; n++ {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+	}
+	// A yields ops 0,1 (phase 0), B yields 2,3, A yields op 4 and then
+	// runs dry at op 5.
+	if n != 5 {
+		t.Fatalf("stream ended after %d ops, want 5", n)
+	}
+}
+
+func TestPhasedDefaultPeriod(t *testing.T) {
+	p := NewPhased(constGen{}, constGen{}, 0)
+	if p.PeriodOps != 1<<20 {
+		t.Fatalf("default period %d", p.PeriodOps)
+	}
+}

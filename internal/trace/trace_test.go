@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func cpuParams() CPUParams {
+	return CPUParams{
+		Footprint: 1 << 20, Hot: 64 << 10,
+		HotFrac: 0.6, StreamFrac: 0.2, ChaseFrac: 0.1,
+		WriteFrac: 0.3, MeanGap: 30,
+	}
+}
+
+func TestCPUGenDeterministic(t *testing.T) {
+	a := Slice(NewCPU(cpuParams(), 0, 42), 1000)
+	b := Slice(NewCPU(cpuParams(), 0, 42), 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Slice(NewCPU(cpuParams(), 0, 43), 1000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestCPUGenBounds(t *testing.T) {
+	p := cpuParams()
+	base := uint64(1 << 30)
+	for _, op := range Slice(NewCPU(p, base, 1), 20000) {
+		if op.Addr < base || op.Addr >= base+p.Footprint {
+			t.Fatalf("address %#x outside [%#x, %#x)", op.Addr, base, base+p.Footprint)
+		}
+		if op.Addr%64 != 0 {
+			t.Fatalf("address %#x not 64B aligned", op.Addr)
+		}
+		if op.Gap == 0 {
+			t.Fatal("zero gap")
+		}
+	}
+}
+
+func TestCPUGenHotLocality(t *testing.T) {
+	p := cpuParams()
+	p.HotFrac = 0.9
+	counts := map[uint64]int{}
+	ops := Slice(NewCPU(p, 0, 7), 50000)
+	inHot := 0
+	for _, op := range ops {
+		if op.Addr < p.Hot {
+			inHot++
+		}
+		counts[op.Addr]++
+	}
+	if frac := float64(inHot) / float64(len(ops)); frac < 0.85 {
+		t.Fatalf("hot fraction %.2f, want >= 0.85", frac)
+	}
+	// Zipf skew: the single most popular line should absorb far more
+	// than a uniform share of the hot accesses.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := float64(inHot) / float64(p.Hot/64)
+	if float64(max) < 5*uniform {
+		t.Fatalf("top line count %d vs uniform %.1f; no Zipf skew", max, uniform)
+	}
+}
+
+func TestCPUGenWriteFraction(t *testing.T) {
+	p := cpuParams()
+	p.WriteFrac = 0.25
+	writes := 0
+	ops := Slice(NewCPU(p, 0, 3), 40000)
+	for _, op := range ops {
+		if op.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(len(ops))
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("write fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestGPUGenStreaming(t *testing.T) {
+	p := GPUParams{Region: 1 << 20, StrideLines: 1, MeanGap: 10}
+	ops := Slice(NewGPU(p, 0, 5), 1000)
+	seq := 0
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Addr == ops[i-1].Addr+64 {
+			seq++
+		}
+	}
+	if frac := float64(seq) / float64(len(ops)); frac < 0.9 {
+		t.Fatalf("sequential fraction %.2f, want >= 0.9 for a pure stream", frac)
+	}
+}
+
+func TestGPUGenStrideSkipsLines(t *testing.T) {
+	p := GPUParams{Region: 1 << 20, StrideLines: 4, MeanGap: 10}
+	ops := Slice(NewGPU(p, 0, 5), 4096)
+	touched := map[uint64]bool{}
+	for _, op := range ops {
+		touched[(op.Addr%256)/64] = true
+	}
+	// Stride 4 lines = one line per 256B block, always the same offset.
+	if len(touched) != 1 {
+		t.Fatalf("stride-4 stream touched %d distinct line offsets, want 1", len(touched))
+	}
+}
+
+func TestGPUGenHotReuse(t *testing.T) {
+	p := GPUParams{Region: 1 << 22, Hot: 1 << 16, HotFrac: 0.5, MeanGap: 10}
+	inHot := 0
+	ops := Slice(NewGPU(p, 0, 9), 20000)
+	for _, op := range ops {
+		if op.Addr < p.Hot {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(len(ops))
+	if frac < 0.45 || frac > 0.60 {
+		t.Fatalf("hot fraction %.2f, want ~0.5", frac)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	l := &Limit{G: NewCPU(cpuParams(), 0, 1), N: 5}
+	n := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("limit yielded %d ops, want 5", n)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	ops := Slice(NewCPU(cpuParams(), 1<<28, 11), 5000)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := w.Write(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 5000 {
+		t.Fatalf("writer count %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range ops {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("stream ended at op %d: %v", i, r.Err())
+		}
+		if got != want {
+			t.Fatalf("op %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader yielded more ops than written")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean EOF reported error %v", err)
+	}
+}
+
+func TestFileCompression(t *testing.T) {
+	// A streaming trace should encode in well under 8 bytes/op.
+	g := NewGPU(GPUParams{Region: 1 << 20, MeanGap: 10}, 0, 1)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		op, _ := g.Next()
+		if err := w.Write(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if perOp := float64(buf.Len()) / n; perOp > 6 {
+		t.Fatalf("%.1f bytes/op, want <= 6 for a streaming trace", perOp)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOTATRACE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Op{Gap: 3, Addr: 128})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-1] // chop the flags byte
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record decoded")
+	}
+	if r.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}
+
+// Property: any op sequence survives a file round trip.
+func TestPropertyFileRoundTrip(t *testing.T) {
+	f := func(gaps []uint16, addrs []uint32, writes []bool) bool {
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		ops := make([]Op, n)
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Gap: uint32(gaps[i]), Addr: uint64(addrs[i]) &^ 63,
+				Write: i < len(writes) && writes[i]}
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, op := range ops {
+			if w.Write(op) != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range ops {
+			got, ok := r.Next()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := r.Next()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
