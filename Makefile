@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: all tier1 bench bench-quick
+
+all: tier1
+
+# Tier-1 guard: everything must vet, build, and pass tests.
+tier1:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Benchmark suite; appends measurements to BENCH_sim.json.
+bench:
+	./scripts/bench.sh
+
+bench-quick:
+	./scripts/bench.sh -quick -label quick

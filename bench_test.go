@@ -24,13 +24,16 @@ func benchOptions() experiments.Options {
 	base.LLC.SizeBytes = 256 << 10
 	base.EpochLen = 100_000
 	base.Cycles = 600_000
-	return experiments.Options{Base: base, Combos: []string{"C1"}}
+	// Parallel: 1 pins the benchmarks to a single worker so they measure
+	// single-run simulation throughput, not host core count.
+	return experiments.Options{Base: base, Combos: []string{"C1"}, Parallel: 1}
 }
 
 func init() { debug.SetGCPercent(800) }
 
 // BenchmarkTable1Config regenerates Table I (system configuration).
 func BenchmarkTable1Config(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if t := experiments.Table1(system.Quick()); len(t.Rows) == 0 {
 			b.Fatal("empty table")
@@ -41,6 +44,7 @@ func BenchmarkTable1Config(b *testing.B) {
 // BenchmarkTable2Workloads regenerates Table II (workload combos) and
 // validates every profile resolves.
 func BenchmarkTable2Workloads(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if t := experiments.Table2(); len(t.Rows) != 12 {
 			b.Fatal("bad table")
@@ -50,6 +54,7 @@ func BenchmarkTable2Workloads(b *testing.B) {
 
 // BenchmarkFigure2a regenerates the co-run slowdown measurement.
 func BenchmarkFigure2a(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig2a(benchOptions()); err != nil {
 			b.Fatal(err)
@@ -59,6 +64,7 @@ func BenchmarkFigure2a(b *testing.B) {
 
 // BenchmarkFigure2bcd regenerates the three resource-sensitivity sweeps.
 func BenchmarkFigure2bcd(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, knob := range []experiments.SensitivityKnob{
 			experiments.KnobFastBW, experiments.KnobFastCapacity, experiments.KnobSlowBW,
@@ -72,6 +78,7 @@ func BenchmarkFigure2bcd(b *testing.B) {
 
 // BenchmarkFigure5 regenerates the main design comparison (HBM2E).
 func BenchmarkFigure5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig5(benchOptions(), false); err != nil {
 			b.Fatal(err)
@@ -81,6 +88,7 @@ func BenchmarkFigure5(b *testing.B) {
 
 // BenchmarkFigure5HBM3 regenerates Fig. 5(b) with the HBM3 fast tier.
 func BenchmarkFigure5HBM3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig5(benchOptions(), true); err != nil {
 			b.Fatal(err)
@@ -91,6 +99,7 @@ func BenchmarkFigure5HBM3(b *testing.B) {
 // BenchmarkFigure6 regenerates the memory-energy comparison (derived
 // from the Fig. 5 runs).
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig5(benchOptions(), false)
 		if err != nil {
@@ -104,6 +113,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 // BenchmarkFigure7a regenerates the fast-memory-swap variant study.
 func BenchmarkFigure7a(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig7a(benchOptions()); err != nil {
 			b.Fatal(err)
@@ -113,6 +123,7 @@ func BenchmarkFigure7a(b *testing.B) {
 
 // BenchmarkFigure7b regenerates the reconfiguration-overhead study.
 func BenchmarkFigure7b(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig7b(benchOptions()); err != nil {
 			b.Fatal(err)
@@ -123,6 +134,7 @@ func BenchmarkFigure7b(b *testing.B) {
 // BenchmarkFigure8 regenerates the exhaustive-search sweep (coarse grid
 // at bench scale; hydroexp fig8 runs the full grid).
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig8(benchOptions(), "C1", experiments.Coarse); err != nil {
 			b.Fatal(err)
@@ -132,6 +144,7 @@ func BenchmarkFigure8(b *testing.B) {
 
 // BenchmarkFigure9 regenerates the epoch/phase-length sensitivity.
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig9Epoch(benchOptions(), []float64{0.5, 1, 2}); err != nil {
 			b.Fatal(err)
@@ -144,6 +157,7 @@ func BenchmarkFigure9(b *testing.B) {
 
 // BenchmarkFigure10a regenerates the IPC-weight study.
 func BenchmarkFigure10a(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig10a(benchOptions(), "C1", [][2]float64{{1, 1}, {12, 1}, {32, 1}}); err != nil {
 			b.Fatal(err)
@@ -153,6 +167,7 @@ func BenchmarkFigure10a(b *testing.B) {
 
 // BenchmarkFigure10b regenerates the core-count study.
 func BenchmarkFigure10b(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig10b(benchOptions(), []int{4, 8}); err != nil {
 			b.Fatal(err)
@@ -162,6 +177,7 @@ func BenchmarkFigure10b(b *testing.B) {
 
 // BenchmarkFigure11 regenerates the associativity / block-size sweep.
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfgs := []experiments.Fig11Config{
 			{Assoc: 1, BlockBytes: 64}, {Assoc: 4, BlockBytes: 256}, {Assoc: 4, BlockBytes: 1024}}
@@ -176,6 +192,7 @@ func BenchmarkFigure11(b *testing.B) {
 // owner flips when cap moves by one) is what lazy reconfiguration must
 // absorb, so lower is better. Reported as flips per set in the metric.
 func BenchmarkAblationConsistentHash(b *testing.B) {
+	b.ReportAllocs()
 	const sets = 4096
 	shared := []int{1, 2, 3}
 	flipsRendezvous, flipsModulo := 0, 0
@@ -206,6 +223,7 @@ func BenchmarkAblationConsistentHash(b *testing.B) {
 // single-counter design, with per-channel emulated by quartering the
 // quota (4 slow channels).
 func BenchmarkAblationTokenGranularity(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	combo, _ := workloads.ComboByID("C5")
 	for i := 0; i < b.N; i++ {
@@ -226,10 +244,12 @@ func BenchmarkAblationTokenGranularity(b *testing.B) {
 // probes are on every access path, so an undersized cache taxes the fast
 // tier with table reads.
 func BenchmarkAblationRemapCache(b *testing.B) {
+	b.ReportAllocs()
 	combo, _ := workloads.ComboByID("C1")
 	for _, kb := range []uint64{4, 16, 64} {
 		kb := kb
 		b.Run(sizeName(kb), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := benchOptions().Base
 				cfg.Hybrid.RemapCacheBytes = kb << 10

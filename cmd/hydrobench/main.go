@@ -1,0 +1,180 @@
+// Command hydrobench runs the simulation benchmark suite
+// programmatically (testing.Benchmark) and appends the measurements to
+// a trajectory file, BENCH_sim.json, so hot-path regressions show up as
+// a new entry next to the old ones rather than a lost scrollback line.
+// It can also capture CPU and heap profiles of the run.
+//
+// Usage:
+//
+//	hydrobench                         # full set, append to BENCH_sim.json
+//	hydrobench -bench Figure5$ -quick  # one benchmark, reduced cycles
+//	hydrobench -pprof /tmp/prof        # also write cpu.pprof + heap.pprof
+//
+// The suite mirrors the simulation-heavy benchmarks of bench_test.go
+// (same reduced configuration, same single-worker pinning) so numbers
+// here are directly comparable with `go test -bench`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/experiments"
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+)
+
+// entry is one benchmark measurement in the BENCH_sim.json trajectory.
+type entry struct {
+	Label    string `json:"label"`
+	Bench    string `json:"bench"`
+	When     string `json:"when"`
+	Iters    int    `json:"iters"`
+	NsOp     int64  `json:"ns_op"`
+	BytesOp  int64  `json:"bytes_op"`
+	AllocsOp int64  `json:"allocs_op"`
+}
+
+// benchOptions mirrors bench_test.go: a reduced instance small enough
+// to iterate on, with Parallel pinned to 1 so the numbers measure
+// single-run simulation throughput, not host core count.
+func benchOptions(quick bool) experiments.Options {
+	base := system.Quick()
+	base.Hybrid.FastCapacityBytes = 4 << 20
+	base.Hybrid.RemapCacheBytes = 16 << 10
+	base.LLC.SizeBytes = 256 << 10
+	base.EpochLen = 100_000
+	base.Cycles = 600_000
+	if quick {
+		base.Cycles = 200_000
+	}
+	return experiments.Options{Base: base, Combos: []string{"C1"}, Parallel: 1}
+}
+
+var benches = []struct {
+	name string
+	run  func(o experiments.Options) error
+}{
+	{"Figure2a", func(o experiments.Options) error { _, err := experiments.Fig2a(o); return err }},
+	{"Figure5", func(o experiments.Options) error { _, err := experiments.Fig5(o, false); return err }},
+	{"Figure5HBM3", func(o experiments.Options) error { _, err := experiments.Fig5(o, true); return err }},
+	{"Figure8", func(o experiments.Options) error {
+		_, err := experiments.Fig8(o, "C1", experiments.Coarse)
+		return err
+	}},
+}
+
+func main() {
+	var (
+		benchRe  = flag.String("bench", ".", "regexp selecting benchmarks to run")
+		quick    = flag.Bool("quick", false, "reduced cycle count (faster, noisier numbers)")
+		out      = flag.String("out", "BENCH_sim.json", "trajectory file to append to; empty disables")
+		label    = flag.String("label", "current", "label recorded with each entry")
+		pprofDir = flag.String("pprof", "", "directory for cpu.pprof and heap.pprof; empty disables")
+	)
+	flag.Parse()
+	debug.SetGCPercent(800)
+
+	re, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fatalf("bad -bench regexp: %v", err)
+	}
+
+	var cpuProf *os.File
+	if *pprofDir != "" {
+		if err := os.MkdirAll(*pprofDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		cpuProf, err = os.Create(filepath.Join(*pprofDir, "cpu.pprof"))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuProf); err != nil {
+			fatalf("start cpu profile: %v", err)
+		}
+	}
+
+	o := benchOptions(*quick)
+	when := time.Now().UTC().Format(time.RFC3339)
+	var entries []entry
+	for _, bm := range benches {
+		if !re.MatchString(bm.name) {
+			continue
+		}
+		run := bm.run
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := run(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if res.N == 0 {
+			fatalf("%s: benchmark failed (see output above)", bm.name)
+		}
+		entries = append(entries, entry{
+			Label: *label, Bench: bm.name, When: when, Iters: res.N,
+			NsOp: res.NsPerOp(), BytesOp: res.AllocedBytesPerOp(), AllocsOp: res.AllocsPerOp(),
+		})
+		fmt.Printf("%-14s %14d ns/op %14d B/op %12d allocs/op\n",
+			bm.name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	}
+	if len(entries) == 0 {
+		fatalf("no benchmark matches -bench %q", *benchRe)
+	}
+
+	if cpuProf != nil {
+		pprof.StopCPUProfile()
+		cpuProf.Close()
+		heap, err := os.Create(filepath.Join(*pprofDir, "heap.pprof"))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			fatalf("write heap profile: %v", err)
+		}
+		heap.Close()
+		fmt.Printf("profiles: %s/{cpu,heap}.pprof\n", *pprofDir)
+	}
+
+	if *out != "" {
+		if err := appendEntries(*out, entries); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("appended %d entries to %s\n", len(entries), *out)
+	}
+}
+
+// appendEntries reads the existing trajectory (if any), appends the new
+// measurements, and rewrites the file as an indented JSON array.
+func appendEntries(path string, add []entry) error {
+	var all []entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			return fmt.Errorf("%s: existing file is not a trajectory array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	all = append(all, add...)
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hydrobench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -31,7 +31,7 @@ func main() {
 		cycles   = flag.Uint64("cycles", 0, "override simulated cycles per run")
 		combos   = flag.String("combos", "", "comma-separated combo subset (e.g. C1,C5)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		parallel = flag.Int("parallel", 1, "concurrent simulations")
+		parallel = flag.Int("parallel", 0, "concurrent simulations; 0 = all CPUs, 1 = serial")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)

@@ -1,0 +1,43 @@
+// Determinism regression test: the engine's documented guarantee is
+// that a simulation is a pure function of (config, seed). The timing
+// wheel, pooled events, and open-addressed MSHR tables must not leak
+// any scheduling-order or iteration-order nondeterminism into results.
+package hydrogen
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+func TestSameSeedSameResults(t *testing.T) {
+	cfg := system.Quick()
+	cfg.Hybrid.FastCapacityBytes = 4 << 20
+	cfg.Hybrid.RemapCacheBytes = 16 << 10
+	cfg.LLC.SizeBytes = 256 << 10
+	cfg.EpochLen = 50_000
+	cfg.Cycles = 200_000
+
+	for _, comboID := range []string{"C1", "C5"} {
+		combo, err := workloads.ComboByID(comboID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, design := range []string{system.DesignBaseline, system.DesignHydrogen} {
+			first, err := system.RunDesign(cfg, design, combo)
+			if err != nil {
+				t.Fatalf("%s %s: %v", comboID, design, err)
+			}
+			second, err := system.RunDesign(cfg, design, combo)
+			if err != nil {
+				t.Fatalf("%s %s rerun: %v", comboID, design, err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("%s %s: same seed produced different Results:\n%+v\nvs\n%+v",
+					comboID, design, first, second)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -25,7 +26,7 @@ type Options struct {
 	Base     system.Config // base system config (system.Quick() or Paper())
 	Combos   []string      // workload combos to run; nil = all C1..C12
 	Progress io.Writer     // optional live progress sink
-	Parallel int           // concurrent simulations; <=1 serial
+	Parallel int           // concurrent simulations; <=0 = all CPUs, 1 = serial
 }
 
 // DefaultOptions returns quick-scale options over all combos.
@@ -46,33 +47,80 @@ func (o *Options) combos() []workloads.Combo {
 	return out
 }
 
+// progressMu serializes progress output: experiment workers log from
+// concurrent goroutines.
+var progressMu sync.Mutex
+
 func (o *Options) logf(format string, args ...any) {
 	if o.Progress != nil {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		fmt.Fprintf(o.Progress, format+"\n", args...)
 	}
 }
 
-// run executes jobs (optionally in parallel) preserving result order.
-func runAll(par int, jobs []func()) {
+// parallelism resolves the Options.Parallel setting: <=0 means one
+// worker per available CPU, 1 means serial, otherwise the given count.
+func (o *Options) parallelism() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+// runIndexed executes fn(0..n-1), with at most par concurrent calls.
+// Worker panics are captured and the first one re-panics in the caller
+// after every in-flight worker has finished, instead of crashing the
+// process from a bare goroutine (or, worse, leaking semaphore slots and
+// deadlocking the remaining jobs).
+func runIndexed(par, n int, fn func(int)) {
 	if par <= 1 {
-		for _, j := range jobs {
-			j()
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
 		return
 	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
-	for _, j := range jobs {
-		j := j
+	var panicOnce sync.Once
+	var panicVal any
+	for i := 0; i < n; i++ {
+		i := i
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
-			defer wg.Done()
-			j()
-			<-sem
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+				<-sem
+				wg.Done()
+			}()
+			fn(i)
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// mapOrdered runs fn for every index 0..n-1 (in parallel up to par) and
+// collects the results in index order. Each call owns its result slot,
+// so fn needs no locking; the error returned is the one from the lowest
+// failing index, making error reporting deterministic under parallelism.
+func mapOrdered[T any](par, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	runIndexed(par, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // WeightedSpeedup is the paper's end metric (artifact appendix): the

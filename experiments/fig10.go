@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
@@ -33,42 +32,27 @@ func Fig10a(o Options, comboID string, weights [][2]float64) ([]Fig10aRow, error
 		return nil, err
 	}
 
-	rows := make([]Fig10aRow, len(weights))
-	var mu sync.Mutex
-	var firstErr error
-	jobs := make([]func(), len(weights))
-	for i, w := range weights {
-		i, w := i, w
-		jobs[i] = func() {
-			cfg := o.Base
-			cfg.WeightCPU, cfg.WeightGPU = w[0], w[1]
-			cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
-			cfg.GPUProfile = combo.GPU
-			sys, err := system.New(cfg, system.HydrogenFactory(system.HydrogenOptions{
-				Tokens: true, TokIdx: 3, Climb: true,
-			}))
-			var r system.Results
-			if err == nil {
-				r = sys.Run()
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			rows[i] = Fig10aRow{
-				WCPU: w[0], WGPU: w[1],
-				CPUSlowdown: safeDiv(cpuAlone.CPUIPC, r.CPUIPC),
-				GPUSlowdown: safeDiv(gpuAlone.GPUIPC, r.GPUIPC),
-			}
-			o.logf("fig10a %g:%g cpu %.2fx gpu %.2fx", w[0], w[1], rows[i].CPUSlowdown, rows[i].GPUSlowdown)
+	return mapOrdered(o.parallelism(), len(weights), func(i int) (Fig10aRow, error) {
+		w := weights[i]
+		cfg := o.Base
+		cfg.WeightCPU, cfg.WeightGPU = w[0], w[1]
+		cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
+		cfg.GPUProfile = combo.GPU
+		sys, err := system.New(cfg, system.HydrogenFactory(system.HydrogenOptions{
+			Tokens: true, TokIdx: 3, Climb: true,
+		}))
+		if err != nil {
+			return Fig10aRow{}, err
 		}
-	}
-	runAll(o.Parallel, jobs)
-	return rows, firstErr
+		r := sys.Run()
+		row := Fig10aRow{
+			WCPU: w[0], WGPU: w[1],
+			CPUSlowdown: safeDiv(cpuAlone.CPUIPC, r.CPUIPC),
+			GPUSlowdown: safeDiv(gpuAlone.GPUIPC, r.GPUIPC),
+		}
+		o.logf("fig10a %g:%g cpu %.2fx gpu %.2fx", w[0], w[1], row.CPUSlowdown, row.GPUSlowdown)
+		return row, nil
+	})
 }
 
 // Fig10aTable renders Fig. 10(a).
@@ -97,53 +81,41 @@ func Fig10b(o Options, counts []int) ([]Fig10bRow, error) {
 		counts = []int{4, 8, 16}
 	}
 	combos := o.combos()
-	rows := make([]Fig10bRow, len(counts))
-	var mu sync.Mutex
-	var firstErr error
-	var jobs []func()
-	hydro := make([][]float64, len(counts))
-	prof := make([][]float64, len(counts))
-	for i, n := range counts {
-		for _, combo := range combos {
-			i, n, combo := i, n, combo
-			jobs = append(jobs, func() {
-				cfg := o.Base
-				cfg.Cores = n
-				cfg.WeightCPU, cfg.WeightGPU = 96/float64(n), 1
-				baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				h, err1 := system.RunDesign(cfg, system.DesignHydrogen, combo)
-				p, err2 := system.RunDesign(cfg, system.DesignProfess, combo)
-				mu.Lock()
-				defer mu.Unlock()
-				if err1 != nil || err2 != nil {
-					if firstErr == nil {
-						firstErr = err1
-						if firstErr == nil {
-							firstErr = err2
-						}
-					}
-					return
-				}
-				hydro[i] = append(hydro[i], WeightedSpeedup(h, baseline, cfg.WeightCPU, cfg.WeightGPU))
-				prof[i] = append(prof[i], WeightedSpeedup(p, baseline, cfg.WeightCPU, cfg.WeightGPU))
-				o.logf("fig10b cores=%d %s done", n, combo.ID)
-			})
+	type pair struct{ hydro, prof float64 }
+	pairs, err := mapOrdered(o.parallelism(), len(counts)*len(combos), func(k int) (pair, error) {
+		n, combo := counts[k/len(combos)], combos[k%len(combos)]
+		cfg := o.Base
+		cfg.Cores = n
+		cfg.WeightCPU, cfg.WeightGPU = 96/float64(n), 1
+		baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+		if err != nil {
+			return pair{}, err
 		}
+		h, err := system.RunDesign(cfg, system.DesignHydrogen, combo)
+		if err != nil {
+			return pair{}, err
+		}
+		p, err := system.RunDesign(cfg, system.DesignProfess, combo)
+		if err != nil {
+			return pair{}, err
+		}
+		o.logf("fig10b cores=%d %s done", n, combo.ID)
+		return pair{
+			hydro: WeightedSpeedup(h, baseline, cfg.WeightCPU, cfg.WeightGPU),
+			prof:  WeightedSpeedup(p, baseline, cfg.WeightCPU, cfg.WeightGPU),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	runAll(o.Parallel, jobs)
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	rows := make([]Fig10bRow, len(counts))
 	for i, n := range counts {
-		rows[i] = Fig10bRow{Cores: n, Speedup: Geomean(hydro[i]), Profess: Geomean(prof[i])}
+		var hydro, prof []float64
+		for _, pr := range pairs[i*len(combos) : (i+1)*len(combos)] {
+			hydro = append(hydro, pr.hydro)
+			prof = append(prof, pr.prof)
+		}
+		rows[i] = Fig10bRow{Cores: n, Speedup: Geomean(hydro), Profess: Geomean(prof)}
 	}
 	return rows, nil
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 )
@@ -43,65 +42,47 @@ func Fig11(o Options, configs []Fig11Config) ([]Fig11Row, error) {
 	combos := o.combos()
 	wCPU, wGPU := weightsOf(o.Base)
 
-	type cell struct{ hash, prof, hydro []float64 }
-	cells := make([]cell, len(configs))
-	var mu sync.Mutex
-	var firstErr error
-	var jobs []func()
-	for i, fc := range configs {
-		for _, combo := range combos {
-			i, fc, combo := i, fc, combo
-			jobs = append(jobs, func() {
-				cfg := o.Base
-				cfg.Hybrid.Assoc = fc.Assoc
-				cfg.Hybrid.BlockBytes = fc.BlockBytes
-				// Keep capacity a multiple of the set size.
-				setBytes := fc.BlockBytes * uint64(fc.Assoc)
-				cfg.Hybrid.FastCapacityBytes = cfg.Hybrid.FastCapacityBytes / setBytes * setBytes
+	sps, err := mapOrdered(o.parallelism(), len(configs)*len(combos), func(k int) ([3]float64, error) {
+		fc, combo := configs[k/len(combos)], combos[k%len(combos)]
+		cfg := o.Base
+		cfg.Hybrid.Assoc = fc.Assoc
+		cfg.Hybrid.BlockBytes = fc.BlockBytes
+		// Keep capacity a multiple of the set size.
+		setBytes := fc.BlockBytes * uint64(fc.Assoc)
+		cfg.Hybrid.FastCapacityBytes = cfg.Hybrid.FastCapacityBytes / setBytes * setBytes
 
-				baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				var sp [3]float64
-				for j, d := range []string{system.DesignHAShCache, system.DesignProfess, system.DesignHydrogen} {
-					r, err := system.RunDesign(cfg, d, combo)
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					sp[j] = WeightedSpeedup(r, baseline, wCPU, wGPU)
-				}
-				mu.Lock()
-				cells[i].hash = append(cells[i].hash, sp[0])
-				cells[i].prof = append(cells[i].prof, sp[1])
-				cells[i].hydro = append(cells[i].hydro, sp[2])
-				mu.Unlock()
-				o.logf("fig11 %s %s done", fc, combo.ID)
-			})
+		baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+		if err != nil {
+			return [3]float64{}, err
 		}
-	}
-	runAll(o.Parallel, jobs)
-	if firstErr != nil {
-		return nil, firstErr
+		var sp [3]float64
+		for j, d := range []string{system.DesignHAShCache, system.DesignProfess, system.DesignHydrogen} {
+			r, err := system.RunDesign(cfg, d, combo)
+			if err != nil {
+				return sp, err
+			}
+			sp[j] = WeightedSpeedup(r, baseline, wCPU, wGPU)
+		}
+		o.logf("fig11 %s %s done", fc, combo.ID)
+		return sp, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	rows := make([]Fig11Row, len(configs))
 	for i, fc := range configs {
+		var hash, prof, hydro []float64
+		for _, sp := range sps[i*len(combos) : (i+1)*len(combos)] {
+			hash = append(hash, sp[0])
+			prof = append(prof, sp[1])
+			hydro = append(hydro, sp[2])
+		}
 		rows[i] = Fig11Row{
 			Config:    fc,
-			HAShCache: Geomean(cells[i].hash),
-			Profess:   Geomean(cells[i].prof),
-			Hydrogen:  Geomean(cells[i].hydro),
+			HAShCache: Geomean(hash),
+			Profess:   Geomean(prof),
+			Hydrogen:  Geomean(hydro),
 		}
 	}
 	return rows, nil

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
@@ -53,32 +52,20 @@ type Fig2aRow struct {
 // unpartitioned baseline.
 func Fig2a(o Options) ([]Fig2aRow, error) {
 	combos := o.combos()
-	rows := make([]Fig2aRow, len(combos))
-	var mu sync.Mutex
-	var firstErr error
-	jobs := make([]func(), len(combos))
-	for i, c := range combos {
-		i, c := i, c
-		jobs[i] = func() {
-			ca, ga, tog, err := aloneAndTogether(o.Base, system.DesignBaseline, c)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			rows[i] = Fig2aRow{
-				Combo:       c.ID,
-				CPUSlowdown: safeDiv(ca.CPUIPC, tog.CPUIPC),
-				GPUSlowdown: safeDiv(ga.GPUIPC, tog.GPUIPC),
-			}
-			o.logf("fig2a: %s cpu %.2fx gpu %.2fx", c.ID, rows[i].CPUSlowdown, rows[i].GPUSlowdown)
+	return mapOrdered(o.parallelism(), len(combos), func(i int) (Fig2aRow, error) {
+		c := combos[i]
+		ca, ga, tog, err := aloneAndTogether(o.Base, system.DesignBaseline, c)
+		if err != nil {
+			return Fig2aRow{}, err
 		}
-	}
-	runAll(o.Parallel, jobs)
-	return rows, firstErr
+		row := Fig2aRow{
+			Combo:       c.ID,
+			CPUSlowdown: safeDiv(ca.CPUIPC, tog.CPUIPC),
+			GPUSlowdown: safeDiv(ga.GPUIPC, tog.GPUIPC),
+		}
+		o.logf("fig2a: %s cpu %.2fx gpu %.2fx", c.ID, row.CPUSlowdown, row.GPUSlowdown)
+		return row, nil
+	})
 }
 
 // Fig2aTable renders the Fig. 2(a) rows.
@@ -131,42 +118,30 @@ func Fig2Sensitivity(o Options, comboID string, knob SensitivityKnob, scales []f
 	if len(scales) == 0 {
 		scales = []float64{1, 0.5, 0.25}
 	}
-	results := make([]system.Results, len(scales))
-	var firstErr error
-	var mu sync.Mutex
-	jobs := make([]func(), len(scales))
-	for i, sc := range scales {
-		i, sc := i, sc
-		jobs[i] = func() {
-			cfg := o.Base
-			switch knob {
-			case KnobFastBW:
-				cfg.FastBWScale = sc
-			case KnobSlowBW:
-				cfg.SlowBWScale = sc
-			case KnobFastCapacity:
-				// Shrink the tier, not the workloads.
-				cfg.ProfileScaleBytes = cfg.Hybrid.FastCapacityBytes
-				cap := uint64(float64(cfg.Hybrid.FastCapacityBytes) * sc)
-				setBytes := cfg.Hybrid.BlockBytes * uint64(cfg.Hybrid.Assoc)
-				if setBytes == 0 {
-					setBytes = 1024
-				}
-				cfg.Hybrid.FastCapacityBytes = cap / setBytes * setBytes
+	results, err := mapOrdered(o.parallelism(), len(scales), func(i int) (system.Results, error) {
+		sc := scales[i]
+		cfg := o.Base
+		switch knob {
+		case KnobFastBW:
+			cfg.FastBWScale = sc
+		case KnobSlowBW:
+			cfg.SlowBWScale = sc
+		case KnobFastCapacity:
+			// Shrink the tier, not the workloads.
+			cfg.ProfileScaleBytes = cfg.Hybrid.FastCapacityBytes
+			cap := uint64(float64(cfg.Hybrid.FastCapacityBytes) * sc)
+			setBytes := cfg.Hybrid.BlockBytes * uint64(cfg.Hybrid.Assoc)
+			if setBytes == 0 {
+				setBytes = 1024
 			}
-			r, err := system.RunDesign(cfg, system.DesignBaseline, combo)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			results[i] = r
-			o.logf("fig2 %s: scale %.2f done", knob, sc)
+			cfg.Hybrid.FastCapacityBytes = cap / setBytes * setBytes
 		}
-	}
-	runAll(o.Parallel, jobs)
-	if firstErr != nil {
-		return nil, firstErr
+		r, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+		o.logf("fig2 %s: scale %.2f done", knob, sc)
+		return r, err
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	rows := make([]Fig2SensRow, len(scales))

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
@@ -61,28 +60,20 @@ func Fig5(o Options, hbm3 bool) (*Fig5Result, error) {
 			list = append(list, job{c, d})
 		}
 	}
-	var mu sync.Mutex
-	jobs := make([]func(), len(list))
-	var firstErr error
-	for i, j := range list {
-		j := j
-		jobs[i] = func() {
-			r, err := system.RunDesign(base, j.design, j.combo)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			res.Raw[j.combo.ID][j.design] = r
-			o.logf("fig5: %s %s done (cpu %.2f gpu %.2f)", j.combo.ID, j.design, r.CPUIPC, r.GPUIPC)
+	raw, err := mapOrdered(o.parallelism(), len(list), func(i int) (system.Results, error) {
+		j := list[i]
+		r, err := system.RunDesign(base, j.design, j.combo)
+		if err != nil {
+			return r, err
 		}
+		o.logf("fig5: %s %s done (cpu %.2f gpu %.2f)", j.combo.ID, j.design, r.CPUIPC, r.GPUIPC)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	runAll(o.Parallel, jobs)
-	if firstErr != nil {
-		return nil, firstErr
+	for i, j := range list {
+		res.Raw[j.combo.ID][j.design] = raw[i]
 	}
 
 	for _, c := range combos {

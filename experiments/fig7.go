@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/hydrogen-sim/hydrogen/internal/core"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
@@ -33,38 +32,30 @@ func variantGeomean(o Options, variants map[string]system.HydrogenOptions) (map[
 	combos := o.combos()
 	wCPU, wGPU := weightsOf(o.Base)
 
-	type key struct{ v, c string }
-	results := map[key]float64{}
-	var mu sync.Mutex
-	var firstErr error
-	var jobs []func()
-	for name, opts := range variants {
+	names := sortedKeys(variants)
+	type job struct {
+		name  string
+		combo workloads.Combo
+	}
+	var list []job
+	for _, name := range names {
 		for _, combo := range combos {
-			name, opts, combo := name, opts, combo
-			jobs = append(jobs, func() {
-				s, err := runHydrogenVariant(o.Base, opts, combo, wCPU, wGPU)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				results[key{name, combo.ID}] = s
-				o.logf("fig7: %s %s speedup %.3f", name, combo.ID, s)
-			})
+			list = append(list, job{name, combo})
 		}
 	}
-	runAll(o.Parallel, jobs)
-	if firstErr != nil {
-		return nil, firstErr
+	speedups, err := mapOrdered(o.parallelism(), len(list), func(i int) (float64, error) {
+		j := list[i]
+		s, err := runHydrogenVariant(o.Base, variants[j.name], j.combo, wCPU, wGPU)
+		o.logf("fig7: %s %s speedup %.3f", j.name, j.combo.ID, s)
+		return s, err
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	out := map[string]float64{}
-	for name := range variants {
-		var xs []float64
-		for _, combo := range combos {
-			xs = append(xs, results[key{name, combo.ID}])
-		}
-		out[name] = Geomean(xs)
+	for vi, name := range names {
+		out[name] = Geomean(speedups[vi*len(combos) : (vi+1)*len(combos)])
 	}
 	return out, nil
 }
@@ -125,26 +116,26 @@ func Fig7b(o Options) (map[string]float64, error) {
 	wCPU, wGPU := weightsOf(o.Base)
 	var xs []float64
 	for _, combo := range combos {
+		combo := combo
 		points := StaticGrid(coarse)
-		best := 0.0
 		baseline, err := system.RunDesign(o.Base, system.DesignBaseline, combo)
 		if err != nil {
 			return nil, err
 		}
-		var mu sync.Mutex
-		jobs := make([]func(), len(points))
-		for i, p := range points {
-			p := p
-			jobs[i] = func() {
-				s, err := runStaticPoint(o.Base, p, combo, baseline, wCPU, wGPU)
-				mu.Lock()
-				defer mu.Unlock()
-				if err == nil && s > best {
-					best = s
-				}
+		// Failed grid points simply drop out of the max, as before.
+		speedups, _ := mapOrdered(o.parallelism(), len(points), func(i int) (float64, error) {
+			s, err := runStaticPoint(o.Base, points[i], combo, baseline, wCPU, wGPU)
+			if err != nil {
+				return 0, nil
+			}
+			return s, nil
+		})
+		best := 0.0
+		for _, s := range speedups {
+			if s > best {
+				best = s
 			}
 		}
-		runAll(o.Parallel, jobs)
 		o.logf("fig7b: %s exhaustive best %.3f", combo.ID, best)
 		xs = append(xs, best)
 	}

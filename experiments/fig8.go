@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
@@ -104,26 +103,14 @@ func Fig8(o Options, comboID string, d GridDensity) (*Fig8Result, error) {
 	}
 
 	points := StaticGrid(d)
-	rows := make([]Fig8Row, len(points))
-	var mu sync.Mutex
-	var firstErr error
-	jobs := make([]func(), len(points))
-	for i, p := range points {
-		i, p := i, p
-		jobs[i] = func() {
-			s, err := runStaticPoint(o.Base, p, combo, baseline, wCPU, wGPU)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			rows[i] = Fig8Row{Point: p, Speedup: s}
-			o.logf("fig8: %s -> %.3f", p, s)
-		}
-	}
-	runAll(o.Parallel, jobs)
-	if firstErr != nil {
-		return nil, firstErr
+	rows, err := mapOrdered(o.parallelism(), len(points), func(i int) (Fig8Row, error) {
+		p := points[i]
+		s, err := runStaticPoint(o.Base, p, combo, baseline, wCPU, wGPU)
+		o.logf("fig8: %s -> %.3f", p, s)
+		return Fig8Row{Point: p, Speedup: s}, err
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	hydro, err := runHydrogenVariant(o.Base,

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 )
@@ -37,40 +36,27 @@ func Fig9Phase(o Options, factors []float64) ([]Fig9Row, error) {
 	if len(factors) == 0 {
 		factors = []float64{0.25, 0.5, 1, 2}
 	}
-	rows := make([]Fig9Row, len(factors))
-	var mu sync.Mutex
-	var firstErr error
-	var jobs []func()
 	wCPU, wGPU := weightsOf(o.Base)
 	combos := o.combos()
-	speedups := make([][]float64, len(factors))
-	for i, f := range factors {
+	speedups, err := mapOrdered(o.parallelism(), len(factors)*len(combos), func(k int) (float64, error) {
+		f, combo := factors[k/len(combos)], combos[k%len(combos)]
 		phaseEpochs := uint64(50 * f)
 		if phaseEpochs == 0 {
 			phaseEpochs = 1
 		}
-		for _, combo := range combos {
-			i, f, combo, phaseEpochs := i, f, combo, phaseEpochs
-			jobs = append(jobs, func() {
-				s, err := runHydrogenVariant(o.Base, system.HydrogenOptions{
-					Tokens: true, TokIdx: 3, Climb: true, PhaseEpochs: phaseEpochs,
-				}, combo, wCPU, wGPU)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				speedups[i] = append(speedups[i], s)
-				o.logf("fig9 phase x%.2f %s: %.3f", f, combo.ID, s)
-			})
-		}
+		s, err := runHydrogenVariant(o.Base, system.HydrogenOptions{
+			Tokens: true, TokIdx: 3, Climb: true, PhaseEpochs: phaseEpochs,
+		}, combo, wCPU, wGPU)
+		o.logf("fig9 phase x%.2f %s: %.3f", f, combo.ID, s)
+		return s, err
+	})
+	if err != nil {
+		return nil, err
 	}
-	runAll(o.Parallel, jobs)
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	rows := make([]Fig9Row, len(factors))
 	for i, f := range factors {
-		rows[i] = Fig9Row{Label: fmt.Sprintf("phase x%.2f", f), Factor: f, Speedup: Geomean(speedups[i])}
+		xs := speedups[i*len(combos) : (i+1)*len(combos)]
+		rows[i] = Fig9Row{Label: fmt.Sprintf("phase x%.2f", f), Factor: f, Speedup: Geomean(xs)}
 	}
 	return rows, nil
 }
@@ -78,55 +64,35 @@ func Fig9Phase(o Options, factors []float64) ([]Fig9Row, error) {
 func fig9sweep(o Options, factors []float64, label string, mutate func(*system.Config, float64)) ([]Fig9Row, error) {
 	wCPU, wGPU := weightsOf(o.Base)
 	combos := o.combos()
-	speedups := make([][]float64, len(factors))
-	var mu sync.Mutex
-	var firstErr error
-	var jobs []func()
-	for i, f := range factors {
-		for _, combo := range combos {
-			i, f, combo := i, f, combo
-			jobs = append(jobs, func() {
-				cfg := o.Base
-				mutate(&cfg, f)
-				baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				c2 := cfg
-				c2.CPUProfiles = combo.CPUAssignment(c2.Cores)
-				c2.GPUProfile = combo.GPU
-				sys, err := system.New(c2, system.HydrogenFactory(system.HydrogenOptions{
-					Tokens: true, TokIdx: 3, Climb: true,
-				}))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				r := sys.Run()
-				s := WeightedSpeedup(r, baseline, wCPU, wGPU)
-				mu.Lock()
-				speedups[i] = append(speedups[i], s)
-				mu.Unlock()
-				o.logf("fig9 %s x%.2f %s: %.3f", label, f, combo.ID, s)
-			})
+	speedups, err := mapOrdered(o.parallelism(), len(factors)*len(combos), func(k int) (float64, error) {
+		f, combo := factors[k/len(combos)], combos[k%len(combos)]
+		cfg := o.Base
+		mutate(&cfg, f)
+		baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+		if err != nil {
+			return 0, err
 		}
-	}
-	runAll(o.Parallel, jobs)
-	if firstErr != nil {
-		return nil, firstErr
+		c2 := cfg
+		c2.CPUProfiles = combo.CPUAssignment(c2.Cores)
+		c2.GPUProfile = combo.GPU
+		sys, err := system.New(c2, system.HydrogenFactory(system.HydrogenOptions{
+			Tokens: true, TokIdx: 3, Climb: true,
+		}))
+		if err != nil {
+			return 0, err
+		}
+		r := sys.Run()
+		s := WeightedSpeedup(r, baseline, wCPU, wGPU)
+		o.logf("fig9 %s x%.2f %s: %.3f", label, f, combo.ID, s)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows := make([]Fig9Row, len(factors))
 	for i, f := range factors {
-		rows[i] = Fig9Row{Label: fmt.Sprintf("%s x%.2f", label, f), Factor: f, Speedup: Geomean(speedups[i])}
+		xs := speedups[i*len(combos) : (i+1)*len(combos)]
+		rows[i] = Fig9Row{Label: fmt.Sprintf("%s x%.2f", label, f), Factor: f, Speedup: Geomean(xs)}
 	}
 	return rows, nil
 }

@@ -59,23 +59,57 @@ type Core struct {
 	exhausted   bool
 	pending     map[uint64]bool // lines with an in-flight miss (MSHR)
 
+	// stepFn is c.step bound once; scheduling a bound method value each
+	// cycle would allocate it anew every time.
+	stepFn  func()
+	tokFree []*loadToken // pooled per-miss completion records
+
 	instrs uint64 // retired instructions
 	loads  uint64
 	stores uint64
 	stalls uint64 // times the MLP window filled
 }
 
+// loadToken carries one in-flight load miss so its completion callback
+// is allocated once per MLP slot, not once per miss. The token returns
+// to the pool inside complete, before completeLoad can issue new misses.
+type loadToken struct {
+	c    *Core
+	addr uint64
+	fn   func(uint64)
+}
+
+func (t *loadToken) complete(uint64) {
+	c, addr := t.c, t.addr
+	c.tokFree = append(c.tokFree, t)
+	c.completeLoad(addr)
+}
+
+func (c *Core) getToken(addr uint64) *loadToken {
+	if n := len(c.tokFree); n > 0 {
+		t := c.tokFree[n-1]
+		c.tokFree = c.tokFree[:n-1]
+		t.addr = addr
+		return t
+	}
+	t := &loadToken{c: c, addr: addr}
+	t.fn = t.complete
+	return t
+}
+
 // New builds a core. llc is the shared last-level cache instance.
 func New(eng *sim.Engine, cfg Config, id int, gen trace.Generator, llc *caches.Cache, mem Memory) *Core {
-	return &Core{
+	c := &Core{
 		eng: eng, cfg: cfg, id: id, gen: gen,
 		l2: caches.New(cfg.L2), llc: llc, mem: mem,
 		pending: map[uint64]bool{},
 	}
+	c.stepFn = c.step
+	return c
 }
 
 // Start schedules the core's first issue event.
-func (c *Core) Start() { c.eng.After(1, c.step) }
+func (c *Core) Start() { c.eng.After(1, c.stepFn) }
 
 // Instructions returns the retired instruction count.
 func (c *Core) Instructions() uint64 { return c.instrs }
@@ -108,7 +142,7 @@ func (c *Core) step() {
 	if op.Write {
 		c.stores++
 		c.store(op.Addr)
-		c.eng.After(cost, c.step)
+		c.eng.After(cost, c.stepFn)
 		return
 	}
 	c.loads++
@@ -131,12 +165,12 @@ func (c *Core) store(addr uint64) {
 // misses occupy an MLP slot and stall the core when the window fills.
 func (c *Core) load(addr uint64, cost uint64) {
 	if c.l2.Access(addr, false) {
-		c.eng.After(cost+c.l2.Latency(), c.step)
+		c.eng.After(cost+c.l2.Latency(), c.stepFn)
 		return
 	}
 	if c.llc.Access(addr, false) {
 		c.fillL2(addr)
-		c.eng.After(cost+c.l2.Latency()+c.cfg.LLCLat, c.step)
+		c.eng.After(cost+c.l2.Latency()+c.cfg.LLCLat, c.stepFn)
 		return
 	}
 	traversal := c.l2.Latency() + c.cfg.LLCLat
@@ -144,18 +178,18 @@ func (c *Core) load(addr uint64, cost uint64) {
 	if c.pending[line] {
 		// MSHR hit: the line is already on its way; don't issue a
 		// duplicate memory access or occupy another window slot.
-		c.eng.After(cost+traversal, c.step)
+		c.eng.After(cost+traversal, c.stepFn)
 		return
 	}
 	c.pending[line] = true
 	c.outstanding++
-	c.mem.Access(addr, false, dram.SourceCPU, func(uint64) { c.completeLoad(addr) })
+	c.mem.Access(addr, false, dram.SourceCPU, c.getToken(addr).fn)
 	if c.outstanding >= c.cfg.MLP {
 		c.blocked = true
 		c.stalls++
 		return
 	}
-	c.eng.After(cost+traversal, c.step)
+	c.eng.After(cost+traversal, c.stepFn)
 }
 
 func (c *Core) completeLoad(addr uint64) {
@@ -165,7 +199,7 @@ func (c *Core) completeLoad(addr uint64) {
 	c.fillL2(addr)
 	if c.blocked {
 		c.blocked = false
-		c.eng.After(1, c.step)
+		c.eng.After(1, c.stepFn)
 	}
 }
 

@@ -60,10 +60,43 @@ type subslice struct {
 	exhausted   bool
 	pending     map[uint64]bool // lines with an in-flight miss (MSHR)
 
+	// stepFn is s.step bound once; scheduling a bound method value each
+	// cycle would allocate it anew every time.
+	stepFn  func()
+	tokFree []*loadToken // pooled per-miss completion records
+
 	instrs uint64
 	loads  uint64
 	stores uint64
 	stalls uint64
+}
+
+// loadToken carries one in-flight load miss so its completion callback
+// is allocated once per window slot, not once per miss. The token
+// returns to the pool inside complete, before completeLoad can issue
+// new misses.
+type loadToken struct {
+	s    *subslice
+	addr uint64
+	fn   func(uint64)
+}
+
+func (t *loadToken) complete(uint64) {
+	s, addr := t.s, t.addr
+	s.tokFree = append(s.tokFree, t)
+	s.completeLoad(addr)
+}
+
+func (s *subslice) getToken(addr uint64) *loadToken {
+	if n := len(s.tokFree); n > 0 {
+		t := s.tokFree[n-1]
+		s.tokFree = s.tokFree[:n-1]
+		t.addr = addr
+		return t
+	}
+	t := &loadToken{s: s, addr: addr}
+	t.fn = t.complete
+	return t
 }
 
 // New builds the GPU; gens must provide one generator per subslice and
@@ -71,11 +104,13 @@ type subslice struct {
 func New(eng *sim.Engine, cfg Config, gens []trace.Generator, llc *caches.Cache, mem cpu.Memory) *GPU {
 	g := &GPU{eng: eng, cfg: cfg}
 	for i := 0; i < cfg.Subslices && i < len(gens); i++ {
-		g.subslices = append(g.subslices, &subslice{
+		s := &subslice{
 			g: g, id: i, gen: gens[i],
 			l1: caches.New(cfg.L1), llc: llc, mem: mem,
 			pending: map[uint64]bool{},
-		})
+		}
+		s.stepFn = s.step
+		g.subslices = append(g.subslices, s)
 	}
 	return g
 }
@@ -83,8 +118,7 @@ func New(eng *sim.Engine, cfg Config, gens []trace.Generator, llc *caches.Cache,
 // Start schedules every subslice's first issue event.
 func (g *GPU) Start() {
 	for _, s := range g.subslices {
-		s := s
-		g.eng.After(1, s.step)
+		g.eng.After(1, s.stepFn)
 	}
 }
 
@@ -148,7 +182,7 @@ func (s *subslice) step() {
 	if op.Write {
 		s.stores++
 		s.store(op.Addr)
-		s.g.eng.After(cost, s.step)
+		s.g.eng.After(cost, s.stepFn)
 		return
 	}
 	s.loads++
@@ -170,29 +204,29 @@ func (s *subslice) store(addr uint64) {
 // bandwidth-bound behavior.
 func (s *subslice) load(addr uint64, cost uint64) {
 	if s.l1.Access(addr, false) {
-		s.g.eng.After(cost, s.step)
+		s.g.eng.After(cost, s.stepFn)
 		return
 	}
 	if s.llc.Access(addr, false) {
 		s.fillL1(addr)
-		s.g.eng.After(cost, s.step)
+		s.g.eng.After(cost, s.stepFn)
 		return
 	}
 	line := addr &^ 63
 	if s.pending[line] {
 		// MSHR hit: coalesce with the in-flight miss.
-		s.g.eng.After(cost, s.step)
+		s.g.eng.After(cost, s.stepFn)
 		return
 	}
 	s.pending[line] = true
 	s.outstanding++
-	s.mem.Access(addr, false, dram.SourceGPU, func(uint64) { s.completeLoad(addr) })
+	s.mem.Access(addr, false, dram.SourceGPU, s.getToken(addr).fn)
 	if s.outstanding >= s.g.cfg.Window {
 		s.blocked = true
 		s.stalls++
 		return
 	}
-	s.g.eng.After(cost, s.step)
+	s.g.eng.After(cost, s.stepFn)
 }
 
 func (s *subslice) completeLoad(addr uint64) {
@@ -202,7 +236,7 @@ func (s *subslice) completeLoad(addr uint64) {
 	s.fillL1(addr)
 	if s.blocked {
 		s.blocked = false
-		s.g.eng.After(1, s.step)
+		s.g.eng.After(1, s.stepFn)
 	}
 }
 

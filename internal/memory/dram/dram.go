@@ -140,8 +140,9 @@ func DDR4() Config {
 	}
 }
 
-// Request is a single transfer on one channel. Done, if non-nil, runs at
-// the completion time. Requests are owned by the channel once enqueued.
+// Request is a single transfer on one channel, passed by value so the
+// hot path never heap-allocates request records: the channel's queue is
+// a reusable value slice. Done (or DoneCtx) runs at the completion time.
 type Request struct {
 	Addr   uint64
 	Bytes  uint64
@@ -152,6 +153,13 @@ type Request struct {
 	// memory controllers prioritize demand over prefetch/migration.
 	Lo   bool
 	Done func(now uint64)
+	// DoneCtx is the allocation-free completion form: a long-lived bound
+	// function invoked as DoneCtx(Ctx, now). Used instead of Done when
+	// the issuer would otherwise allocate a closure to capture one word
+	// of context (a block index, a fill slot). At most one of Done and
+	// DoneCtx may be set.
+	DoneCtx func(ctx, now uint64)
+	Ctx     uint64
 
 	arrive uint64
 }
@@ -205,11 +213,12 @@ type Channel struct {
 	cfg *Config
 	id  int
 
-	queue        []*Request
+	queue        []Request
 	banks        []bank
 	busBusyUntil uint64
 	issueAt      uint64 // earliest already-scheduled issue event, or 0
 	issueArmed   bool
+	issueFn      func() // issueEvent bound once, so arming never allocates
 
 	stats Stats
 }
@@ -226,6 +235,7 @@ func (c *Channel) lookahead() uint64 {
 // NewChannel creates channel id of the given device kind on eng.
 func NewChannel(eng *sim.Engine, cfg *Config, id int) *Channel {
 	c := &Channel{eng: eng, cfg: cfg, id: id, banks: make([]bank, cfg.BanksPerChannel)}
+	c.issueFn = c.issueEvent
 	for i := range c.banks {
 		c.banks[i].openRow = -1
 	}
@@ -245,7 +255,7 @@ func (c *Channel) Stats() Stats { return c.stats }
 func (c *Channel) QueueLen() int { return len(c.queue) }
 
 // Enqueue submits a request to the channel.
-func (c *Channel) Enqueue(r *Request) {
+func (c *Channel) Enqueue(r Request) {
 	if r.Bytes == 0 {
 		r.Bytes = 64
 	}
@@ -260,7 +270,7 @@ func (c *Channel) armIssue(at uint64) {
 	}
 	c.issueArmed = true
 	c.issueAt = at
-	c.eng.Schedule(at, c.issueEvent)
+	c.eng.Schedule(at, c.issueFn)
 }
 
 func (c *Channel) issueEvent() {
@@ -289,7 +299,8 @@ func (c *Channel) pick() int {
 	if len(window) > schedWindow {
 		window = window[:schedWindow]
 	}
-	for i, r := range window {
+	for i := range window {
+		r := &window[i]
 		b := &c.banks[c.bankOf(r.Addr)]
 		// Rank: demand beats background, then (optionally) CPU beats
 		// GPU, then row hits beat misses, then age (scan order).
@@ -328,7 +339,8 @@ func (c *Channel) tryIssue() {
 		i := c.pick()
 		r := c.queue[i]
 		c.queue = append(c.queue[:i], c.queue[i+1:]...)
-		c.service(r, now)
+		c.queue[:len(c.queue)+1][len(c.queue)] = Request{} // release Done refs
+		c.service(&r, now)
 	}
 }
 
@@ -391,7 +403,9 @@ func (c *Channel) service(r *Request, now uint64) {
 	c.stats.DelayBySource[r.Source] += done - r.arrive
 
 	if r.Done != nil {
-		c.eng.Schedule(done, func() { r.Done(done) })
+		c.eng.ScheduleCall(done, r.Done)
+	} else if r.DoneCtx != nil {
+		c.eng.ScheduleCtx(done, r.DoneCtx, r.Ctx)
 	}
 }
 

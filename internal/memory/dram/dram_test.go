@@ -56,7 +56,7 @@ func TestSingleReadLatency(t *testing.T) {
 	cfg := testConfig()
 	ch := NewChannel(eng, &cfg, 0)
 	var doneAt uint64
-	ch.Enqueue(&Request{Addr: 0, Bytes: 64, Done: func(now uint64) { doneAt = now }})
+	ch.Enqueue(Request{Addr: 0, Bytes: 64, Done: func(now uint64) { doneAt = now }})
 	eng.Run()
 	// Cold bank: RCD+CAS prep then 64/32 = 2 burst cycles.
 	want := cfg.TRCD + cfg.TCAS + 2
@@ -74,15 +74,15 @@ func TestRowHitFasterThanConflict(t *testing.T) {
 	cfg := testConfig()
 	ch := NewChannel(eng, &cfg, 0)
 	var hitDone, confDone uint64
-	ch.Enqueue(&Request{Addr: 0, Bytes: 64, Done: func(uint64) {}})
+	ch.Enqueue(Request{Addr: 0, Bytes: 64, Done: func(uint64) {}})
 	eng.Run()
 	base := eng.Now()
 	// Same row: hit.
-	ch.Enqueue(&Request{Addr: 64, Bytes: 64, Done: func(now uint64) { hitDone = now - base }})
+	ch.Enqueue(Request{Addr: 64, Bytes: 64, Done: func(now uint64) { hitDone = now - base }})
 	eng.Run()
 	base = eng.Now()
 	// Same bank (stride RowBytes*banks), different row: conflict.
-	ch.Enqueue(&Request{Addr: cfg.RowBytes * uint64(cfg.BanksPerChannel), Bytes: 64,
+	ch.Enqueue(Request{Addr: cfg.RowBytes * uint64(cfg.BanksPerChannel), Bytes: 64,
 		Done: func(now uint64) { confDone = now - base }})
 	eng.Run()
 	if hitDone != cfg.TCAS+2 {
@@ -100,7 +100,7 @@ func TestStreamingReachesBusBandwidth(t *testing.T) {
 	const n = 256
 	var last uint64
 	for i := 0; i < n; i++ {
-		ch.Enqueue(&Request{Addr: uint64(i) * 64, Bytes: 64, Done: func(now uint64) { last = now }})
+		ch.Enqueue(Request{Addr: uint64(i) * 64, Bytes: 64, Done: func(now uint64) { last = now }})
 	}
 	eng.Run()
 	// 256 x 64 B at 32 B/cycle is 512 cycles of pure burst. Allow startup
@@ -124,10 +124,10 @@ func TestContentionSlowsBothSources(t *testing.T) {
 		var cpuDone uint64
 		for i := 0; i < 64; i++ {
 			addr := uint64(i) * 64
-			ch.Enqueue(&Request{Addr: addr, Bytes: 64, Source: SourceCPU,
+			ch.Enqueue(Request{Addr: addr, Bytes: 64, Source: SourceCPU,
 				Done: func(now uint64) { cpuDone = now }})
 			if both {
-				ch.Enqueue(&Request{Addr: 1 << 20, Bytes: 64, Source: SourceGPU})
+				ch.Enqueue(Request{Addr: 1 << 20, Bytes: 64, Source: SourceGPU})
 			}
 		}
 		eng.Run()
@@ -146,13 +146,13 @@ func TestCPUPriority(t *testing.T) {
 		cfg.CPUPriority = prio
 		ch := NewChannel(eng, &cfg, 0)
 		// Occupy the channel first so everything below really queues.
-		ch.Enqueue(&Request{Addr: 0, Bytes: 64, Source: SourceGPU})
+		ch.Enqueue(Request{Addr: 0, Bytes: 64, Source: SourceGPU})
 		var cpuDone uint64
 		// Stay within the scheduling window so priority is observable.
 		for i := 0; i < schedWindow/2; i++ {
-			ch.Enqueue(&Request{Addr: uint64(i+1) << 20, Bytes: 64, Source: SourceGPU})
+			ch.Enqueue(Request{Addr: uint64(i+1) << 20, Bytes: 64, Source: SourceGPU})
 		}
-		ch.Enqueue(&Request{Addr: 1 << 30, Bytes: 64, Source: SourceCPU,
+		ch.Enqueue(Request{Addr: 1 << 30, Bytes: 64, Source: SourceCPU,
 			Done: func(now uint64) { cpuDone = now }})
 		eng.Run()
 		return cpuDone
@@ -167,8 +167,8 @@ func TestEnergyAccounting(t *testing.T) {
 	eng := sim.New()
 	cfg := testConfig()
 	ch := NewChannel(eng, &cfg, 0)
-	ch.Enqueue(&Request{Addr: 0, Bytes: 64})               // read: activate + 64B
-	ch.Enqueue(&Request{Addr: 64, Bytes: 64, Write: true}) // write, row hit
+	ch.Enqueue(Request{Addr: 0, Bytes: 64})               // read: activate + 64B
+	ch.Enqueue(Request{Addr: 64, Bytes: 64, Write: true}) // write, row hit
 	eng.Run()
 	s := ch.Stats()
 	want := 100.0 + 64*8*1 + 64*8*2
@@ -187,7 +187,7 @@ func TestTierStatsAndStatic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, ch := range tier.Channels {
-		ch.Enqueue(&Request{Addr: uint64(i) * 64, Bytes: 64})
+		ch.Enqueue(Request{Addr: uint64(i) * 64, Bytes: 64})
 	}
 	eng.Run()
 	s := tier.Stats()
@@ -203,7 +203,7 @@ func TestDefaultBytes(t *testing.T) {
 	eng := sim.New()
 	cfg := testConfig()
 	ch := NewChannel(eng, &cfg, 0)
-	ch.Enqueue(&Request{Addr: 0})
+	ch.Enqueue(Request{Addr: 0})
 	eng.Run()
 	if s := ch.Stats(); s.BytesRead != 64 {
 		t.Fatalf("default request size read %d bytes, want 64", s.BytesRead)
@@ -227,7 +227,7 @@ func TestPropertyConservation(t *testing.T) {
 				src = SourceGPU
 			}
 			w := i < len(writes) && writes[i]
-			ch.Enqueue(&Request{Addr: uint64(addrs[i]), Bytes: 64, Write: w, Source: src})
+			ch.Enqueue(Request{Addr: uint64(addrs[i]), Bytes: 64, Write: w, Source: src})
 		}
 		eng.Run()
 		s := ch.Stats()
@@ -250,7 +250,7 @@ func BenchmarkChannelThroughput(b *testing.B) {
 	ch := NewChannel(eng, &cfg, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ch.Enqueue(&Request{Addr: uint64(i) * 64, Bytes: 64})
+		ch.Enqueue(Request{Addr: uint64(i) * 64, Bytes: 64})
 		if i%64 == 63 {
 			eng.Run()
 		}

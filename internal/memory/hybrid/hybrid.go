@@ -175,19 +175,30 @@ type entry struct {
 	ways []way
 }
 
+// fill is one in-flight block migration. Fill records live in a pooled
+// slab on the controller and are addressed by slot index, so the DRAM
+// completion callbacks can refer to them through a single context word
+// instead of a captured closure.
 type fill struct {
-	set     uint64
-	w       int
-	src     dram.Source
-	ready   bool // block data has arrived in the fill buffer
-	waiters []waiter
+	blk       uint64
+	set       uint64
+	w         int32
+	src       dram.Source
+	ready     bool   // block data has arrived in the fill buffer
+	remaining uint32 // fast-tier line writes still draining
+	// Intrusive FIFO waiter list: indices into Controller.wnodes.
+	whead, wtail int32
 }
 
-type waiter struct {
+// waiterNode is one pooled waiter: an access coalesced onto an in-flight
+// line or block. Nodes chain through next (-1 terminates) both while
+// queued on a fill/line and while on the free list.
+type waiterNode struct {
 	line  uint64
 	write bool
 	src   dram.Source
 	done  func(uint64)
+	next  int32
 }
 
 // metaBase places remap-table metadata in a distinct fast-tier address
@@ -213,17 +224,82 @@ type Controller struct {
 	slow *dram.Tier
 	pol  Policy
 
+	// Optional policy capabilities, asserted once at construction so the
+	// access path pays no per-request type switches.
+	setMapper SetMapper
+	lazy      Lazy
+	swapper   Swapper
+
 	numSets       uint64
 	linesPerBlock uint64
 	groups        int
 
-	entries     []entry
-	remap       *caches.Cache
-	pendingFill map[uint64]*fill          // block index -> fill
-	fillsBySrc  [2]int                    // in-flight fills per source
-	pendingLine map[uint64][]func(uint64) // slow line addr -> waiters
+	entries []entry
+	remap   *caches.Cache
+
+	pendingFill openTable // block index -> fill slab slot
+	fills       []fill    // fill slab; freeFills indexes unused slots
+	freeFills   []int32
+	fillsBySrc  [2]int // in-flight fills per source
+
+	pendingLine openTable // line key -> packed waiter chain (head<<32 | tail)
+	wnodes      []waiterNode
+	wfree       int32 // waiter free-list head, -1 = empty
+
+	accFree []*access // pooled per-access records
+	viewBuf []WayView // reused policy-view buffer
+
+	// Bound methods created once so hot-path events schedule without
+	// allocating closures.
+	lineDoneFn     func(ctx, now uint64)
+	refillDoneFn   func(ctx, now uint64)
+	fillLineDoneFn func(ctx, now uint64)
 
 	stats Stats
+}
+
+// access is the pooled per-request state: it replaces the two closures
+// (metadata-probe continuation and latency-accounting finish) that the
+// Access hot path used to allocate. A record is acquired in Access and
+// recycled inside finish, which runs exactly once per access; per the
+// pooled-event lifetime rules it must not be referenced after that.
+type access struct {
+	c     *Controller
+	start uint64
+	blk   uint64
+	set   uint64
+	line  uint64
+	write bool
+	src   dram.Source
+	done  func(uint64)
+
+	probeFn  func()       // bound to (*access).probe once
+	finishFn func(uint64) // bound to (*access).finish once
+}
+
+func (a *access) probe() { a.c.probe(a.blk, a.set, a.line, a.write, a.src, a.finishFn) }
+
+func (a *access) finish(t uint64) {
+	c := a.c
+	c.stats.LatencySum[a.src] += t - a.start
+	done := a.done
+	a.done = nil
+	c.accFree = append(c.accFree, a)
+	if done != nil {
+		done(t)
+	}
+}
+
+func (c *Controller) getAccess() *access {
+	if n := len(c.accFree); n > 0 {
+		a := c.accFree[n-1]
+		c.accFree = c.accFree[:n-1]
+		return a
+	}
+	a := &access{c: c}
+	a.probeFn = a.probe
+	a.finishFn = a.finish
+	return a
 }
 
 // New builds a controller over the given tiers with the given policy.
@@ -245,9 +321,15 @@ func New(eng *sim.Engine, cfg Config, fast, slow *dram.Tier, pol Policy) (*Contr
 		numSets:       cfg.FastCapacityBytes / (cfg.BlockBytes * uint64(cfg.Assoc)),
 		linesPerBlock: cfg.BlockBytes / LineBytes,
 		groups:        len(fast.Channels) / cfg.GroupSize,
-		pendingFill:   map[uint64]*fill{},
-		pendingLine:   map[uint64][]func(uint64){},
+		wfree:         -1,
 	}
+	c.setMapper, _ = pol.(SetMapper)
+	c.lazy, _ = pol.(Lazy)
+	c.swapper, _ = pol.(Swapper)
+	c.viewBuf = make([]WayView, 0, cfg.Assoc)
+	c.lineDoneFn = c.lineDone
+	c.refillDoneFn = c.refillDone
+	c.fillLineDoneFn = c.fillLineDone
 	c.entries = make([]entry, c.numSets)
 	backing := make([]way, c.numSets*uint64(cfg.Assoc))
 	for i := range c.entries {
@@ -277,10 +359,12 @@ func (c *Controller) Policy() Policy { return c.pol }
 // Stats returns a snapshot of the controller counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
-// views builds the policy-visible view of a set.
-func (c *Controller) views(set uint64, buf []WayView) []WayView {
+// views builds the policy-visible view of a set in the controller's
+// reused buffer. The engine is single-threaded and no policy retains the
+// slice, so one buffer serves every call.
+func (c *Controller) views(set uint64) []WayView {
 	e := &c.entries[set]
-	buf = buf[:0]
+	buf := c.viewBuf[:0]
 	for i := range e.ways {
 		w := &e.ways[i]
 		buf = append(buf, WayView{
@@ -288,27 +372,75 @@ func (c *Controller) views(set uint64, buf []WayView) []WayView {
 			LastUse: w.lastUse, Tag: w.tag, Src: w.src,
 		})
 	}
+	c.viewBuf = buf
 	return buf
+}
+
+// newWaiter takes a node from the pool, growing the slab if needed.
+func (c *Controller) newWaiter(line uint64, write bool, src dram.Source, done func(uint64)) int32 {
+	var i int32
+	if c.wfree >= 0 {
+		i = c.wfree
+		c.wfree = c.wnodes[i].next
+	} else {
+		c.wnodes = append(c.wnodes, waiterNode{})
+		i = int32(len(c.wnodes) - 1)
+	}
+	c.wnodes[i] = waiterNode{line: line, write: write, src: src, done: done, next: -1}
+	return i
+}
+
+func (c *Controller) freeWaiter(i int32) {
+	c.wnodes[i] = waiterNode{next: c.wfree} // drop the done reference
+	c.wfree = i
+}
+
+// newFill takes a fill record from the slab pool and registers it under
+// blk, returning its slot index.
+func (c *Controller) newFill(blk, set uint64, w int32, src dram.Source) int32 {
+	var i int32
+	if n := len(c.freeFills); n > 0 {
+		i = c.freeFills[n-1]
+		c.freeFills = c.freeFills[:n-1]
+	} else {
+		c.fills = append(c.fills, fill{})
+		i = int32(len(c.fills) - 1)
+	}
+	c.fills[i] = fill{blk: blk, set: set, w: w, src: src, whead: -1, wtail: -1}
+	c.pendingFill.Put(blk, int64(i))
+	return i
+}
+
+// fillAddWaiter appends an access to a fill's FIFO waiter chain.
+func (c *Controller) fillAddWaiter(fi int32, line uint64, write bool, src dram.Source, done func(uint64)) {
+	ni := c.newWaiter(line, write, src, done)
+	f := &c.fills[fi]
+	if f.wtail < 0 {
+		f.whead, f.wtail = ni, ni
+	} else {
+		c.wnodes[f.wtail].next = ni
+		f.wtail = ni
+	}
 }
 
 // Access is the processor-side entry point: one 64 B line request that
 // missed the SRAC hierarchy. done (optional) runs at completion time.
 func (c *Controller) Access(addr uint64, write bool, src dram.Source, done func(uint64)) {
-	start := c.eng.Now()
 	c.stats.Demand[src]++
 	blk := addr / c.cfg.BlockBytes
 	set := blk % c.numSets
-	if sm, ok := c.pol.(SetMapper); ok {
-		set = sm.SetOf(blk, src, c.numSets) % c.numSets
+	if c.setMapper != nil {
+		set = c.setMapper.SetOf(blk, src, c.numSets) % c.numSets
 	}
-	line := (addr % c.cfg.BlockBytes) / LineBytes
-	finish := func(t uint64) {
-		c.stats.LatencySum[src] += t - start
-		if done != nil {
-			done(t)
-		}
-	}
-	c.withMeta(set, func() { c.probe(blk, set, line, write, src, finish) })
+	a := c.getAccess()
+	a.start = c.eng.Now()
+	a.blk = blk
+	a.set = set
+	a.line = (addr % c.cfg.BlockBytes) / LineBytes
+	a.write = write
+	a.src = src
+	a.done = done
+	c.withMeta(set, a.probeFn)
 }
 
 // metaLine returns the metadata line index holding a set's remap entry,
@@ -338,10 +470,10 @@ func (c *Controller) withMeta(set uint64, cont func()) {
 	if v.Valid && v.Dirty {
 		// Written-back metadata entry: one fast-tier line write.
 		_, wch, wAddr := c.metaLine(v.Addr / LineBytes * setsPerMetaLine)
-		wch.Enqueue(&dram.Request{Addr: wAddr, Bytes: LineBytes, Write: true, Source: dram.SourceCPU})
+		wch.Enqueue(dram.Request{Addr: wAddr, Bytes: LineBytes, Write: true, Source: dram.SourceCPU})
 	}
 	extra := c.cfg.ExtraTagLat
-	ch.Enqueue(&dram.Request{
+	ch.Enqueue(dram.Request{
 		Addr: devAddr, Bytes: LineBytes, Source: dram.SourceCPU,
 		Done: func(uint64) { c.eng.After(extra, cont) },
 	})
@@ -416,30 +548,39 @@ func (c *Controller) hitPath(blk, set uint64, w int, line uint64, write bool, sr
 		wy.dirty = true
 		c.touchMeta(set)
 	}
-	if f, ok := c.pendingFill[blk]; ok {
-		if f.ready {
-			// Critical-line forwarding: the block sits in the fill
-			// buffer; serve from there while the fast write-in drains.
-			c.eng.After(fillBufferLat, func() { finish(c.eng.Now()) })
+	if wy.busy {
+		// busy implies an in-flight fill; a way is only busy between
+		// install (which registers the fill) and finishFill (which clears
+		// busy and deregisters it in the same event), so the table lookup
+		// is skipped entirely on the non-busy fast path.
+		if fi, ok := c.pendingFill.Get(blk); ok {
+			f := &c.fills[fi]
+			if f.ready {
+				// Critical-line forwarding: the block sits in the fill
+				// buffer; serve from there while the fast write-in drains.
+				c.eng.AfterCall(fillBufferLat, finish)
+				return
+			}
+			// Block data still in flight: wait for it.
+			c.fillAddWaiter(int32(fi), line, write, src, finish)
 			return
 		}
-		// Block data still in flight: wait for it.
-		f.waiters = append(f.waiters, waiter{line: line, write: write, src: src, done: finish})
-		return
 	}
 	ch, addr := c.fastLineReq(set, w, blk, line)
-	ch.Enqueue(&dram.Request{Addr: addr, Bytes: LineBytes, Write: write, Source: src, Done: finish})
+	ch.Enqueue(dram.Request{Addr: addr, Bytes: LineBytes, Write: write, Source: src, Done: finish})
 	c.afterHit(blk, set, w, src)
 }
 
 // afterHit applies the off-critical-path consequences of a fast hit:
 // lazy-reconfiguration invalidation and fast memory swaps.
 func (c *Controller) afterHit(blk, set uint64, w int, src dram.Source) {
+	if c.lazy == nil && c.swapper == nil {
+		return
+	}
 	e := &c.entries[set]
-	var viewBuf [16]WayView
-	views := c.views(set, viewBuf[:0])
+	views := c.views(set)
 
-	if lz, ok := c.pol.(Lazy); ok && lz.Misplaced(set, w, views[w]) {
+	if c.lazy != nil && c.lazy.Misplaced(set, w, views[w]) {
 		c.stats.Misplaced++
 		wy := &e.ways[w]
 		if wy.dirty {
@@ -450,7 +591,7 @@ func (c *Controller) afterHit(blk, set uint64, w int, src dram.Source) {
 		return
 	}
 
-	if sw, ok := c.pol.(Swapper); ok {
+	if sw := c.swapper; sw != nil {
 		if t := sw.SwapTarget(set, w, views, src); t >= 0 && t != w && !e.ways[t].busy {
 			c.stats.Swaps++
 			a, b := e.ways[w], e.ways[t]
@@ -474,9 +615,9 @@ func (c *Controller) moveBlock(set uint64, fromWay int, blk uint64, toSet uint64
 	for l := uint64(0); l < c.linesPerBlock; l++ {
 		rch, raddr := c.fastLineReq(set, fromWay, blk, l)
 		l := l
-		rch.Enqueue(&dram.Request{Addr: raddr, Bytes: LineBytes, Source: src, Lo: true, Done: func(uint64) {
+		rch.Enqueue(dram.Request{Addr: raddr, Bytes: LineBytes, Source: src, Lo: true, Done: func(uint64) {
 			wch, waddr := c.fastLineReq(toSet, toWay, blk, l)
-			wch.Enqueue(&dram.Request{Addr: waddr, Bytes: LineBytes, Write: true, Source: src, Lo: true})
+			wch.Enqueue(dram.Request{Addr: waddr, Bytes: LineBytes, Write: true, Source: src, Lo: true})
 		}})
 	}
 }
@@ -488,15 +629,17 @@ func (c *Controller) moveBlock(set uint64, fromWay int, blk uint64, toSet uint64
 func (c *Controller) writebackBlock(set uint64, w int, blk uint64, src dram.Source) {
 	c.stats.Writebacks[src]++
 	remaining := c.linesPerBlock
+	// One closure per block (not per line): every line read shares it.
+	lineRead := func(uint64) {
+		remaining--
+		if remaining == 0 {
+			wch, waddr := c.slowLineReq(blk, 0)
+			wch.Enqueue(dram.Request{Addr: waddr, Bytes: c.cfg.BlockBytes, Write: true, Source: src, Lo: true})
+		}
+	}
 	for l := uint64(0); l < c.linesPerBlock; l++ {
 		rch, raddr := c.fastLineReq(set, w, blk, l)
-		rch.Enqueue(&dram.Request{Addr: raddr, Bytes: LineBytes, Source: src, Lo: true, Done: func(uint64) {
-			remaining--
-			if remaining == 0 {
-				wch, waddr := c.slowLineReq(blk, 0)
-				wch.Enqueue(&dram.Request{Addr: waddr, Bytes: c.cfg.BlockBytes, Write: true, Source: src, Lo: true})
-			}
-		}})
+		rch.Enqueue(dram.Request{Addr: raddr, Bytes: LineBytes, Source: src, Lo: true, Done: lineRead})
 	}
 }
 
@@ -506,34 +649,52 @@ func (c *Controller) missPath(blk, set, line uint64, write bool, src dram.Source
 		// to the slow tier without allocating.
 		c.stats.SlowWrites[src]++
 		ch, addr := c.slowLineReq(blk, line)
-		ch.Enqueue(&dram.Request{Addr: addr, Bytes: LineBytes, Write: true, Source: src, Done: finish})
+		ch.Enqueue(dram.Request{Addr: addr, Bytes: LineBytes, Write: true, Source: src, Done: finish})
 		return
 	}
 
 	// Coalesce with an in-flight fill of the same block.
-	if f, ok := c.pendingFill[blk]; ok {
-		f.waiters = append(f.waiters, waiter{line: line, write: write, src: src, done: finish})
+	if fi, ok := c.pendingFill.Get(blk); ok {
+		c.fillAddWaiter(int32(fi), line, write, src, finish)
 		return
 	}
 
 	// Demand read of the critical line from slow memory, coalesced with
-	// identical in-flight line reads.
+	// identical in-flight line reads. Waiters chain through pooled nodes;
+	// the table value packs the chain's head and tail indices.
 	c.stats.SlowDemandReads[src]++
 	ch, addr := c.slowLineReq(blk, line)
 	key := blk*c.linesPerBlock + line
-	if ws, ok := c.pendingLine[key]; ok {
-		c.pendingLine[key] = append(ws, finish)
+	ni := c.newWaiter(line, write, src, finish)
+	if packed, ok := c.pendingLine.Get(key); ok {
+		tail := int32(packed)
+		c.wnodes[tail].next = ni
+		c.pendingLine.Put(key, packed&^0xFFFFFFFF|int64(ni))
 	} else {
-		c.pendingLine[key] = []func(uint64){finish}
-		ch.Enqueue(&dram.Request{Addr: addr, Bytes: LineBytes, Source: src, Done: func(t uint64) {
-			for _, fn := range c.pendingLine[key] {
-				fn(t)
-			}
-			delete(c.pendingLine, key)
-		}})
+		c.pendingLine.Put(key, int64(ni)<<32|int64(ni))
+		ch.Enqueue(dram.Request{Addr: addr, Bytes: LineBytes, Source: src, DoneCtx: c.lineDoneFn, Ctx: key})
 	}
 
 	c.maybeMigrate(blk, set, src)
+}
+
+// lineDone completes a coalesced slow-tier line read: it runs every
+// waiter chained under the line key. Waiter callbacks cannot re-enter
+// missPath for the same key synchronously (new accesses reach probe only
+// through a later metadata event), so deleting before draining is safe.
+func (c *Controller) lineDone(key, t uint64) {
+	packed, ok := c.pendingLine.Get(key)
+	if !ok {
+		return
+	}
+	c.pendingLine.Delete(key)
+	for i := int32(packed >> 32); i >= 0; {
+		done := c.wnodes[i].done
+		next := c.wnodes[i].next
+		c.freeWaiter(i)
+		done(t)
+		i = next
+	}
 }
 
 // maybeMigrate runs the migration decision for a read miss: victim
@@ -544,8 +705,7 @@ func (c *Controller) maybeMigrate(blk, set uint64, src dram.Source) {
 		c.stats.FillQueueFull[src]++
 		return
 	}
-	var viewBuf [16]WayView
-	views := c.views(set, viewBuf[:0])
+	views := c.views(set)
 	v := c.pol.Victim(set, views, src)
 	if v < 0 {
 		c.stats.NoVictim[src]++
@@ -577,8 +737,7 @@ func (c *Controller) maybeMigrate(blk, set uint64, src dram.Source) {
 	// Install the new mapping immediately; data follows.
 	e.ways[v] = way{tag: blk, valid: true, busy: true, lastUse: c.eng.Now(), src: src}
 	c.touchMeta(set)
-	f := &fill{set: set, w: v, src: src}
-	c.pendingFill[blk] = f
+	fi := c.newFill(blk, set, int32(v), src)
 	c.fillsBySrc[src]++
 
 	// Refill: one block-sized burst read from the slow channel (the
@@ -587,54 +746,67 @@ func (c *Controller) maybeMigrate(blk, set uint64, src dram.Source) {
 	// The refill read shares demand priority: starving it would only
 	// convert future hits into yet more demand misses.
 	rch, raddr := c.slowLineReq(blk, 0)
-	rch.Enqueue(&dram.Request{Addr: raddr, Bytes: c.cfg.BlockBytes, Source: src, Done: func(t uint64) {
-		// Data is in the fill buffer: serve everyone waiting on it now
-		// (critical-line forwarding) and drain the write-in off the
-		// critical path.
-		f.ready = true
-		for _, wt := range f.waiters {
-			wt := wt
-			if wt.write {
-				e := &c.entries[set]
-				if e.ways[v].valid && e.ways[v].tag == blk {
-					e.ways[v].dirty = true
-				}
-			}
-			c.eng.After(fillBufferLat, func() { wt.done(c.eng.Now()) })
-		}
-		f.waiters = nil
-		remaining := c.linesPerBlock
-		for l := uint64(0); l < c.linesPerBlock; l++ {
-			wch, waddr := c.fastLineReq(set, v, blk, l)
-			wch.Enqueue(&dram.Request{Addr: waddr, Bytes: LineBytes, Write: true, Source: src, Lo: true, Done: func(t uint64) {
-				remaining--
-				if remaining == 0 {
-					c.finishFill(blk, f, t)
-				}
-			}})
-		}
-	}})
+	rch.Enqueue(dram.Request{Addr: raddr, Bytes: c.cfg.BlockBytes, Source: src, DoneCtx: c.refillDoneFn, Ctx: uint64(fi)})
 }
 
-func (c *Controller) finishFill(blk uint64, f *fill, t uint64) {
-	delete(c.pendingFill, blk)
+// refillDone runs when a migration's block read arrives in the fill
+// buffer: serve everyone waiting on it now (critical-line forwarding)
+// and drain the write-in off the critical path.
+func (c *Controller) refillDone(fi, t uint64) {
+	f := &c.fills[fi]
+	f.ready = true
+	e := &c.entries[f.set]
+	for i := f.whead; i >= 0; {
+		wt := &c.wnodes[i]
+		if wt.write && e.ways[f.w].valid && e.ways[f.w].tag == f.blk {
+			e.ways[f.w].dirty = true
+		}
+		c.eng.AfterCall(fillBufferLat, wt.done)
+		next := wt.next
+		c.freeWaiter(i)
+		i = next
+	}
+	f.whead, f.wtail = -1, -1
+	f.remaining = uint32(c.linesPerBlock)
+	for l := uint64(0); l < c.linesPerBlock; l++ {
+		wch, waddr := c.fastLineReq(f.set, int(f.w), f.blk, l)
+		wch.Enqueue(dram.Request{Addr: waddr, Bytes: LineBytes, Write: true, Source: f.src, Lo: true,
+			DoneCtx: c.fillLineDoneFn, Ctx: fi})
+	}
+}
+
+// fillLineDone counts down the fast-tier line writes of a migration.
+func (c *Controller) fillLineDone(fi, t uint64) {
+	f := &c.fills[fi]
+	f.remaining--
+	if f.remaining == 0 {
+		c.finishFill(int32(fi), t)
+	}
+}
+
+func (c *Controller) finishFill(fi int32, t uint64) {
+	f := &c.fills[fi]
+	blk := f.blk
+	c.pendingFill.Delete(blk)
 	c.fillsBySrc[f.src]--
 	e := &c.entries[f.set]
 	if e.ways[f.w].valid && e.ways[f.w].tag == blk {
 		e.ways[f.w].busy = false
 	}
-	for _, wt := range f.waiters {
+	for i := f.whead; i >= 0; {
 		// Serve waiters from the freshly filled fast block.
-		wt := wt
-		ch, addr := c.fastLineReq(f.set, f.w, blk, wt.line)
-		if wt.write {
-			if e.ways[f.w].valid && e.ways[f.w].tag == blk {
-				e.ways[f.w].dirty = true
-			}
+		wt := &c.wnodes[i]
+		ch, addr := c.fastLineReq(f.set, int(f.w), blk, wt.line)
+		if wt.write && e.ways[f.w].valid && e.ways[f.w].tag == blk {
+			e.ways[f.w].dirty = true
 		}
-		ch.Enqueue(&dram.Request{Addr: addr, Bytes: LineBytes, Write: wt.write, Source: wt.src, Done: wt.done})
+		ch.Enqueue(dram.Request{Addr: addr, Bytes: LineBytes, Write: wt.write, Source: wt.src, Done: wt.done})
+		next := wt.next
+		c.freeWaiter(i)
+		i = next
 	}
-	f.waiters = nil
+	f.whead, f.wtail = -1, -1
+	c.freeFills = append(c.freeFills, fi)
 }
 
 // InvalidateAll drops every cached block, writing back dirty data. It is

@@ -1,0 +1,133 @@
+package hybrid
+
+import "math/bits"
+
+// openTable is a linear-probing open-addressed hash table from uint64
+// keys to one int64 value word. It replaces the map[uint64] structures
+// on the controller's miss path: no per-entry allocation, no hash-map
+// write barriers, and deletion by backward shift instead of tombstones,
+// so lookups stay O(1) at the controller's bounded in-flight counts
+// (MSHRs, migration queue slots).
+//
+// Keys are stored +1 so the zero word marks an empty slot; the table
+// therefore cannot hold the key ^uint64(0), which never occurs (keys
+// are block or line indices).
+type openTable struct {
+	keys []uint64 // key+1; 0 = empty
+	vals []int64
+	n    int
+}
+
+const minTableSize = 64
+
+func tableHash(k uint64) uint64 {
+	// Fibonacci scrambling; the caller masks to table size.
+	return k * 0x9E3779B97F4A7C15
+}
+
+func (t *openTable) mask() uint64 { return uint64(len(t.keys) - 1) }
+
+// Len returns the number of stored entries.
+func (t *openTable) Len() int { return t.n }
+
+// Get returns the value stored for k.
+func (t *openTable) Get(k uint64) (int64, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	m := t.mask()
+	for i := tableHash(k) & m; ; i = (i + 1) & m {
+		stored := t.keys[i]
+		if stored == 0 {
+			return 0, false
+		}
+		if stored == k+1 {
+			return t.vals[i], true
+		}
+	}
+}
+
+// Put inserts or replaces the value for k.
+func (t *openTable) Put(k uint64, v int64) {
+	if len(t.keys) == 0 || t.n*2 >= len(t.keys) {
+		t.grow()
+	}
+	m := t.mask()
+	for i := tableHash(k) & m; ; i = (i + 1) & m {
+		stored := t.keys[i]
+		if stored == 0 {
+			t.keys[i] = k + 1
+			t.vals[i] = v
+			t.n++
+			return
+		}
+		if stored == k+1 {
+			t.vals[i] = v
+			return
+		}
+	}
+}
+
+// Delete removes k, compacting the probe chain by backward shift so no
+// tombstones accumulate.
+func (t *openTable) Delete(k uint64) {
+	if t.n == 0 {
+		return
+	}
+	m := t.mask()
+	i := tableHash(k) & m
+	for {
+		stored := t.keys[i]
+		if stored == 0 {
+			return
+		}
+		if stored == k+1 {
+			break
+		}
+		i = (i + 1) & m
+	}
+	t.n--
+	// Backward-shift: pull forward any element whose probe chain passes
+	// through the vacated slot.
+	for {
+		t.keys[i] = 0
+		j := i
+		for {
+			j = (j + 1) & m
+			stored := t.keys[j]
+			if stored == 0 {
+				return
+			}
+			home := tableHash(stored-1) & m
+			// The element at j may move to i only if its home slot does
+			// not lie strictly between i (exclusive) and j (inclusive)
+			// on the probe circle.
+			if (j-home)&m >= (j-i)&m {
+				t.keys[i] = stored
+				t.vals[i] = t.vals[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+func (t *openTable) grow() {
+	size := minTableSize
+	if len(t.keys) > 0 {
+		size = len(t.keys) * 2
+	}
+	// Keep power-of-two sizing for mask arithmetic.
+	if size&(size-1) != 0 {
+		size = 1 << bits.Len(uint(size))
+	}
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, size)
+	t.vals = make([]int64, size)
+	t.n = 0
+	for i, stored := range oldKeys {
+		if stored != 0 {
+			t.Put(stored-1, oldVals[i])
+		}
+	}
+}

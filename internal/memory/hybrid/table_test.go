@@ -1,0 +1,85 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOpenTableBasic(t *testing.T) {
+	var tab openTable
+	if _, ok := tab.Get(1); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	tab.Put(0, 10) // key 0 must be storable (block index 0 is real)
+	tab.Put(7, 70)
+	tab.Put(7, 71) // overwrite
+	if v, ok := tab.Get(0); !ok || v != 10 {
+		t.Fatalf("Get(0) = %d,%v", v, ok)
+	}
+	if v, ok := tab.Get(7); !ok || v != 71 {
+		t.Fatalf("Get(7) = %d,%v", v, ok)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	tab.Delete(0)
+	if _, ok := tab.Get(0); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, ok := tab.Get(7); !ok || v != 71 {
+		t.Fatalf("survivor lost after delete: %d,%v", v, ok)
+	}
+	tab.Delete(12345) // deleting a missing key is a no-op
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+// Fuzz the table against a reference map through mixed operations,
+// including colliding keys and growth, to exercise backward-shift
+// deletion chains.
+func TestOpenTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var tab openTable
+	ref := map[uint64]int64{}
+	for op := 0; op < 200000; op++ {
+		// A small key space forces heavy collision/delete churn.
+		k := uint64(rng.Intn(512))
+		switch rng.Intn(3) {
+		case 0:
+			v := int64(rng.Intn(1 << 30))
+			tab.Put(k, v)
+			ref[k] = v
+		case 1:
+			tab.Delete(k)
+			delete(ref, k)
+		default:
+			v, ok := tab.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v; want %d,%v", op, k, v, ok, rv, rok)
+			}
+		}
+		if tab.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, tab.Len(), len(ref))
+		}
+	}
+	for k, rv := range ref {
+		if v, ok := tab.Get(k); !ok || v != rv {
+			t.Fatalf("final: Get(%d) = %d,%v; want %d,true", k, v, ok, rv)
+		}
+	}
+}
+
+func BenchmarkOpenTableChurn(b *testing.B) {
+	b.ReportAllocs()
+	var tab openTable
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) % 4096
+		tab.Put(k, int64(i))
+		tab.Get(k ^ 0x5a5a)
+		if i%2 == 1 {
+			tab.Delete(k)
+		}
+	}
+}

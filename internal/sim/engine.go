@@ -1,18 +1,56 @@
 // Package sim provides the discrete-event simulation engine that drives
 // every component of the Hydrogen system model. Components schedule
-// closures at absolute times; the engine executes them in time order
+// callbacks at absolute times; the engine executes them in time order
 // (ties broken by scheduling order, so runs are deterministic).
+//
+// The scheduler is a hierarchical timing wheel: events within wheelSpan
+// ticks of "now" go into a per-tick bucket (O(1) schedule and pop, the
+// overwhelmingly common case — DRAM timings and cache latencies are all
+// well under the span), while far-future events (epoch ticks, long
+// backoffs) wait in a small overflow heap and are promoted into the
+// wheel as time approaches them. Buckets are value slices whose capacity
+// is reused across ticks, so steady-state scheduling allocates nothing.
 package sim
 
-// event is a scheduled callback. The heap is hand-rolled over a value
-// slice rather than container/heap: the engine executes tens of millions
-// of events per simulation and interface boxing would dominate.
+import "math/bits"
+
+const (
+	wheelBits = 12
+	// wheelSpan is how many ticks ahead of now the wheel covers. Events
+	// at now+wheelSpan or later overflow into the heap.
+	wheelSpan  = 1 << wheelBits
+	wheelMask  = wheelSpan - 1
+	wheelWords = wheelSpan / 64
+)
+
+// event is a scheduled callback in one of three closure-free forms:
+// fn(), fnAt(firingTime), or fnCtx(ctx, firingTime). Exactly one of the
+// function fields is non-nil. The two argument-taking forms exist so hot
+// callers can pass long-lived bound functions instead of allocating a
+// fresh closure per event.
 type event struct {
-	at  uint64
-	seq uint64
-	fn  func()
+	at    uint64
+	seq   uint64
+	ctx   uint64
+	fn    func()
+	fnAt  func(now uint64)
+	fnCtx func(ctx, now uint64)
 }
 
+func (ev *event) call() {
+	switch {
+	case ev.fn != nil:
+		ev.fn()
+	case ev.fnAt != nil:
+		ev.fnAt(ev.at)
+	default:
+		ev.fnCtx(ev.ctx, ev.at)
+	}
+}
+
+// eventHeap is the overflow queue for events beyond the wheel span. It
+// is hand-rolled over a value slice rather than container/heap because
+// interface boxing would allocate per push.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
@@ -52,13 +90,26 @@ func (h eventHeap) down(i int) {
 	}
 }
 
+// bucket holds the events of a single tick in FIFO (seq) order. head
+// tracks how many have already executed; capacity is reused once the
+// bucket drains.
+type bucket struct {
+	events []event
+	head   int
+}
+
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // ready to use at time 0.
 type Engine struct {
 	now    uint64
 	seq    uint64
-	events eventHeap
 	nsteps uint64
+
+	buckets    []bucket // wheelSpan per-tick lanes, allocated lazily
+	occupied   []uint64 // bitmap over buckets: 1 = non-empty
+	wheelCount int      // events currently in the wheel
+
+	overflow eventHeap // events at now+wheelSpan or later
 }
 
 // New returns a fresh engine at time zero.
@@ -72,46 +123,174 @@ func (e *Engine) Now() uint64 { return e.now }
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.wheelCount + len(e.overflow) }
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics:
 // it always indicates a component bug that would silently corrupt timing.
 func (e *Engine) Schedule(at uint64, fn func()) {
-	if at < e.now {
-		panic("sim: scheduling event in the past")
-	}
-	e.events = append(e.events, event{at: at, seq: e.seq, fn: fn})
-	e.events.up(len(e.events) - 1)
-	e.seq++
+	e.schedule(event{at: at, fn: fn})
+}
+
+// ScheduleCall is Schedule for callbacks that want the firing time: fn
+// is invoked as fn(at). Passing a long-lived func(uint64) here avoids
+// the closure a plain Schedule caller would allocate to capture the
+// completion time.
+func (e *Engine) ScheduleCall(at uint64, fn func(now uint64)) {
+	e.schedule(event{at: at, fnAt: fn})
+}
+
+// ScheduleCtx is Schedule for callbacks that carry a caller context
+// word: fn is invoked as fn(ctx, at). Components use this with one
+// bound method per object (e.g. "fill #ctx completed") so the hot path
+// schedules events without allocating.
+func (e *Engine) ScheduleCtx(at uint64, fn func(ctx, now uint64), ctx uint64) {
+	e.schedule(event{at: at, fnCtx: fn, ctx: ctx})
 }
 
 // After runs fn delay cycles from now.
 func (e *Engine) After(delay uint64, fn func()) { e.Schedule(e.now+delay, fn) }
 
+// AfterCall runs fn(firingTime) delay cycles from now.
+func (e *Engine) AfterCall(delay uint64, fn func(now uint64)) {
+	e.ScheduleCall(e.now+delay, fn)
+}
+
+// AfterCtx runs fn(ctx, firingTime) delay cycles from now.
+func (e *Engine) AfterCtx(delay uint64, fn func(ctx, now uint64), ctx uint64) {
+	e.ScheduleCtx(e.now+delay, fn, ctx)
+}
+
+func (e *Engine) schedule(ev event) {
+	if ev.at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev.seq = e.seq
+	e.seq++
+	if ev.at-e.now < wheelSpan {
+		e.wheelInsert(ev)
+	} else {
+		e.overflow = append(e.overflow, ev)
+		e.overflow.up(len(e.overflow) - 1)
+	}
+}
+
+func (e *Engine) wheelInsert(ev event) {
+	if e.buckets == nil {
+		e.buckets = make([]bucket, wheelSpan)
+		e.occupied = make([]uint64, wheelWords)
+	}
+	i := ev.at & wheelMask
+	e.buckets[i].events = append(e.buckets[i].events, ev)
+	e.occupied[i>>6] |= 1 << (i & 63)
+	e.wheelCount++
+}
+
+// promote moves overflow events that have come within the wheel span
+// into their buckets. The heap pops in (at, seq) order and direct
+// scheduling into a promoted tick can only happen afterwards (a direct
+// schedule at tick T implies now > T-wheelSpan, and promote runs before
+// any callback at such a time executes), so FIFO order within a tick is
+// preserved.
+func (e *Engine) promote() {
+	for len(e.overflow) > 0 && e.overflow[0].at-e.now < wheelSpan {
+		ev := e.overflow[0]
+		last := len(e.overflow) - 1
+		e.overflow[0] = e.overflow[last]
+		e.overflow[last] = event{}
+		e.overflow = e.overflow[:last]
+		if last > 0 {
+			e.overflow.down(0)
+		}
+		e.wheelInsert(ev)
+	}
+}
+
+// nextTick returns the absolute time of the earliest wheel event. It
+// must only be called when wheelCount > 0: every wheel event lies in
+// [now, now+wheelSpan), so the first occupied bucket at or after now's
+// slot (wrapping) is the earliest tick.
+func (e *Engine) nextTick() uint64 {
+	p := e.now & wheelMask
+	word := int(p >> 6)
+	// Bits at or after p within its word.
+	if w := e.occupied[word] >> (p & 63); w != 0 {
+		return e.now + uint64(bits.TrailingZeros64(w))
+	}
+	for off := 1; off <= wheelWords; off++ {
+		i := (word + off) & (wheelWords - 1)
+		if w := e.occupied[i]; w != 0 {
+			slot := uint64(i<<6 + bits.TrailingZeros64(w))
+			return e.now + ((slot - p) & wheelMask)
+		}
+	}
+	panic("sim: nextTick on empty wheel")
+}
+
+// advance promotes due overflow events and moves now to the earliest
+// pending event's time, reporting whether one exists.
+func (e *Engine) advance() bool {
+	e.promote()
+	if e.wheelCount == 0 {
+		if len(e.overflow) == 0 {
+			return false
+		}
+		// The wheel is drained: jump straight to the overflow minimum
+		// (nothing can be pending in between) and pull it in.
+		e.now = e.overflow[0].at
+		e.promote()
+	}
+	if b := &e.buckets[e.now&wheelMask]; b.head < len(b.events) {
+		return true // common case: more events at the current tick
+	}
+	e.now = e.nextTick()
+	return true
+}
+
 // Step executes the next event, if any, advancing time to it.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if !e.advance() {
 		return false
 	}
-	ev := e.events[0]
-	last := len(e.events) - 1
-	e.events[0] = e.events[last]
-	e.events[last] = event{} // release the fn reference for the GC
-	e.events = e.events[:last]
-	if last > 0 {
-		e.events.down(0)
+	i := e.now & wheelMask
+	b := &e.buckets[i]
+	ev := b.events[b.head]
+	b.events[b.head] = event{} // release callback references for the GC
+	b.head++
+	if b.head == len(b.events) {
+		b.events = b.events[:0]
+		b.head = 0
+		e.occupied[i>>6] &^= 1 << (i & 63)
 	}
-	e.now = ev.at
+	e.wheelCount--
 	e.nsteps++
-	ev.fn()
+	ev.call()
 	return true
+}
+
+// peek returns the time of the next pending event without executing it.
+func (e *Engine) peek() (uint64, bool) {
+	e.promote()
+	if e.wheelCount > 0 {
+		if b := &e.buckets[e.now&wheelMask]; b.head < len(b.events) {
+			return e.now, true
+		}
+		return e.nextTick(), true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].at, true
+	}
+	return 0, false
 }
 
 // RunUntil executes events until the queue is empty or the next event is
 // at or beyond t; time is then advanced to exactly t.
 func (e *Engine) RunUntil(t uint64) {
-	for len(e.events) > 0 && e.events[0].at < t {
+	for {
+		at, ok := e.peek()
+		if !ok || at >= t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {
@@ -123,4 +302,28 @@ func (e *Engine) RunUntil(t uint64) {
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+}
+
+// Stop discards every pending event (wheel and overflow), releasing
+// their callback references. Time, the step counter, and the sequence
+// counter are preserved, and the engine remains usable: new events may
+// be scheduled and run afterwards. Components with in-flight state are
+// NOT notified; Stop is for abandoning a simulation, not pausing it.
+func (e *Engine) Stop() {
+	for i := range e.buckets {
+		b := &e.buckets[i]
+		for j := b.head; j < len(b.events); j++ {
+			b.events[j] = event{}
+		}
+		b.events = b.events[:0]
+		b.head = 0
+	}
+	for i := range e.occupied {
+		e.occupied[i] = 0
+	}
+	e.wheelCount = 0
+	for i := range e.overflow {
+		e.overflow[i] = event{}
+	}
+	e.overflow = e.overflow[:0]
 }

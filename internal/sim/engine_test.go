@@ -158,12 +158,180 @@ func TestPropertyAllEventsRun(t *testing.T) {
 	}
 }
 
+// --- timing-wheel specifics ---
+
+// Same-tick events must run in scheduling order even when some of them
+// arrive via the overflow heap (scheduled from far away) and others are
+// scheduled directly into the wheel bucket later.
+func TestTieBreakAcrossOverflowPromotion(t *testing.T) {
+	e := New()
+	const tick = wheelSpan * 3
+	var got []int
+	e.Schedule(tick, func() { got = append(got, 0) }) // overflow (far future)
+	e.Schedule(tick, func() { got = append(got, 1) }) // overflow, same tick
+	e.Schedule(tick-1, func() {                       // runs after promotion
+		e.Schedule(tick, func() { got = append(got, 2) }) // direct into wheel
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("same-tick order across promotion: %v, want [0 1 2]", got)
+	}
+}
+
+// Events exactly at, just below, and far beyond the wheel span must all
+// fire in time order as the wheel wraps lane boundaries repeatedly.
+func TestWheelOverflowPromotionAcrossLanes(t *testing.T) {
+	e := New()
+	times := []uint64{
+		1, wheelSpan - 1, wheelSpan, wheelSpan + 1,
+		2*wheelSpan + 7, 5*wheelSpan + 3, 17 * wheelSpan,
+	}
+	var got []uint64
+	// Insert in scrambled order.
+	for _, i := range []int{4, 0, 6, 2, 1, 5, 3} {
+		at := times[i]
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if len(got) != len(times) {
+		t.Fatalf("ran %d of %d events", len(got), len(times))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if e.Now() != 17*wheelSpan {
+		t.Fatalf("final time %d, want %d", e.Now(), 17*wheelSpan)
+	}
+}
+
+// A bucket slot is shared by ticks T and T+wheelSpan; an event for the
+// later tick scheduled while the earlier tick is executing must not run
+// early.
+func TestLaneAliasingDoesNotReorder(t *testing.T) {
+	e := New()
+	var got []uint64
+	e.Schedule(10, func() {
+		got = append(got, e.Now())
+		e.Schedule(10+wheelSpan, func() { got = append(got, e.Now()) })
+		e.Schedule(11, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	want := []uint64{10, 11, 10 + wheelSpan}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("aliased-slot events fired at %v, want %v", got, want)
+	}
+}
+
+func TestScheduleCallReceivesFiringTime(t *testing.T) {
+	e := New()
+	var at, ctx, ctxAt uint64
+	e.ScheduleCall(42, func(now uint64) { at = now })
+	e.ScheduleCtx(wheelSpan+9, func(c, now uint64) { ctx, ctxAt = c, now }, 7)
+	e.Run()
+	if at != 42 {
+		t.Fatalf("ScheduleCall fired with %d, want 42", at)
+	}
+	if ctx != 7 || ctxAt != wheelSpan+9 {
+		t.Fatalf("ScheduleCtx fired with (%d, %d), want (7, %d)", ctx, ctxAt, wheelSpan+9)
+	}
+}
+
+func TestStopDrainsPendingEvents(t *testing.T) {
+	e := New()
+	ran := 0
+	e.Schedule(5, func() { ran++ })
+	e.Schedule(wheelSpan*2, func() { ran++ }) // overflow
+	e.Stop()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Stop = %d, want 0", e.Pending())
+	}
+	e.Run()
+	if ran != 0 {
+		t.Fatalf("%d stopped events still ran", ran)
+	}
+	// The engine stays usable after Stop.
+	e.Schedule(10, func() { ran++ })
+	e.Run()
+	if ran != 1 || e.Now() != 10 {
+		t.Fatalf("engine unusable after Stop: ran=%d now=%d", ran, e.Now())
+	}
+}
+
+func TestStopMidRun(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(1, func() { got = append(got, 1); e.Stop() })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Schedule(wheelSpan+2, func() { got = append(got, 3) })
+	e.Run()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Stop mid-run executed %v, want [1]", got)
+	}
+}
+
+// Property: heavy random scheduling across the lane boundary preserves
+// (time, order) semantics identical to a reference sort.
+func TestPropertyWheelMatchesReferenceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		e := New()
+		type ref struct{ at, seq uint64 }
+		var want []ref
+		var got []ref
+		n := 200 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			// Mix near (wheel) and far (overflow) deltas.
+			at := uint64(rng.Intn(3 * wheelSpan))
+			seq := uint64(i)
+			want = append(want, ref{at, seq})
+			e.Schedule(at, func() { got = append(got, ref{at, seq}) })
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].seq < want[j].seq
+		})
+		e.Run()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: ran %d of %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: event %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := New()
 		for j := 0; j < 1024; j++ {
 			e.Schedule(uint64(j%64), func() {})
 		}
+		e.Run()
+	}
+}
+
+// BenchmarkScheduleRunDeep stresses the steady-state pattern of a real
+// simulation: every event schedules a successor a small delta ahead.
+func BenchmarkScheduleRunDeep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		n := 0
+		var step func()
+		step = func() {
+			n++
+			if n < 4096 {
+				e.After(uint64(n%97)+1, step)
+			}
+		}
+		e.Schedule(0, step)
 		e.Run()
 	}
 }

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Run the simulation benchmark suite and append the measurements to
+# BENCH_sim.json (see cmd/hydrobench). Extra arguments are passed
+# through, e.g.:
+#
+#   scripts/bench.sh                        # full set
+#   scripts/bench.sh -bench 'Figure5$'      # one benchmark
+#   scripts/bench.sh -quick -label quick    # faster, noisier
+#   scripts/bench.sh -pprof /tmp/prof       # capture cpu/heap profiles
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/hydrobench "$@"
