@@ -9,10 +9,18 @@
 //	hydrobench                         # full set, append to BENCH_sim.json
 //	hydrobench -bench Figure5$ -quick  # one benchmark, reduced cycles
 //	hydrobench -pprof /tmp/prof        # also write cpu.pprof + heap.pprof
+//	hydrobench -compare                # diff last two entries per bench
 //
 // The suite mirrors the simulation-heavy benchmarks of bench_test.go
 // (same reduced configuration, same single-worker pinning) so numbers
-// here are directly comparable with `go test -bench`.
+// here are directly comparable with `go test -bench`. It also carries
+// the sub-component benchmarks (trace generation, DRAM channel, MSHR
+// table) from internal/microbench, so hot-spot regressions land in the
+// trajectory next to the whole-figure numbers.
+//
+// -compare runs no benchmarks: it reads the trajectory, pairs the two
+// most recent entries of each benchmark name, prints the ns/op deltas,
+// and exits nonzero if any benchmark regressed by more than 10%.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"github.com/hydrogen-sim/hydrogen/experiments"
+	"github.com/hydrogen-sim/hydrogen/internal/microbench"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 )
 
@@ -72,6 +81,20 @@ var benches = []struct {
 	}},
 }
 
+// micros are the sub-component benchmarks: each measures one hot spot
+// in isolation (ns per trace op / DRAM request / table op, not per
+// simulation run), so their ns/op values are a few orders of magnitude
+// below the figure benchmarks'.
+var micros = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"TraceGenCPU", microbench.TraceGenCPU},
+	{"TraceGenGPU", microbench.TraceGenGPU},
+	{"DRAMChannel", microbench.DRAMChannel},
+	{"MSHRTable", microbench.MSHRTable},
+}
+
 func main() {
 	var (
 		benchRe  = flag.String("bench", ".", "regexp selecting benchmarks to run")
@@ -79,9 +102,17 @@ func main() {
 		out      = flag.String("out", "BENCH_sim.json", "trajectory file to append to; empty disables")
 		label    = flag.String("label", "current", "label recorded with each entry")
 		pprofDir = flag.String("pprof", "", "directory for cpu.pprof and heap.pprof; empty disables")
+		compare  = flag.Bool("compare", false, "diff the last two trajectory entries per benchmark and exit")
 	)
 	flag.Parse()
 	debug.SetGCPercent(800)
+
+	if *compare {
+		if err := compareTrajectory(*out); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	re, err := regexp.Compile(*benchRe)
 	if err != nil {
@@ -128,6 +159,21 @@ func main() {
 		fmt.Printf("%-14s %14d ns/op %14d B/op %12d allocs/op\n",
 			bm.name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
 	}
+	for _, bm := range micros {
+		if !re.MatchString(bm.name) {
+			continue
+		}
+		res := testing.Benchmark(bm.fn)
+		if res.N == 0 {
+			fatalf("%s: benchmark failed (see output above)", bm.name)
+		}
+		entries = append(entries, entry{
+			Label: *label, Bench: bm.name, When: when, Iters: res.N,
+			NsOp: res.NsPerOp(), BytesOp: res.AllocedBytesPerOp(), AllocsOp: res.AllocsPerOp(),
+		})
+		fmt.Printf("%-14s %14d ns/op %14d B/op %12d allocs/op\n",
+			bm.name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	}
 	if len(entries) == 0 {
 		fatalf("no benchmark matches -bench %q", *benchRe)
 	}
@@ -153,6 +199,61 @@ func main() {
 		}
 		fmt.Printf("appended %d entries to %s\n", len(entries), *out)
 	}
+}
+
+// regressionTolerance is how much slower the newest entry may be before
+// -compare flags it. 10% sits above run-to-run noise of the figure
+// benchmarks on an idle machine but below any change worth
+// investigating.
+const regressionTolerance = 0.10
+
+// compareTrajectory pairs the two most recent entries of each benchmark
+// in the trajectory, prints the ns/op delta, and returns an error if
+// any benchmark regressed beyond the tolerance. Benchmarks with fewer
+// than two entries are skipped (a new benchmark has nothing to diff).
+func compareTrajectory(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var all []entry
+	if err := json.Unmarshal(data, &all); err != nil {
+		return fmt.Errorf("%s: not a trajectory array: %w", path, err)
+	}
+	// Keep the last two entries per benchmark, in file (= append) order.
+	last := map[string][2]*entry{}
+	var names []string
+	for i := range all {
+		e := &all[i]
+		pair, seen := last[e.Bench]
+		if !seen {
+			names = append(names, e.Bench)
+		}
+		last[e.Bench] = [2]*entry{pair[1], e}
+	}
+	var regressed []string
+	for _, name := range names {
+		pair := last[name]
+		if pair[0] == nil {
+			fmt.Printf("%-14s %14d ns/op  (only one entry, nothing to compare)\n",
+				name, pair[1].NsOp)
+			continue
+		}
+		prev, cur := pair[0], pair[1]
+		delta := float64(cur.NsOp-prev.NsOp) / float64(prev.NsOp)
+		mark := ""
+		if delta > regressionTolerance {
+			mark = "  REGRESSION"
+			regressed = append(regressed, name)
+		}
+		fmt.Printf("%-14s %14d -> %14d ns/op  %+6.1f%%  (%s -> %s)%s\n",
+			name, prev.NsOp, cur.NsOp, 100*delta, prev.Label, cur.Label, mark)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >%.0f%%: %v",
+			len(regressed), 100*regressionTolerance, regressed)
+	}
+	return nil
 }
 
 // appendEntries reads the existing trajectory (if any), appends the new

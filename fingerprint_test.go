@@ -1,0 +1,49 @@
+// Result fingerprints: a SHA-256 over the full Results struct for a
+// grid of (design, combo) runs at the quick configuration. The hashes
+// are logged, not asserted, because they legitimately change whenever
+// the trace streams change (e.g. a new RNG); their job is to make
+// bit-identical refactors checkable:
+//
+//	go test -run TestResultFingerprint -v > before.txt
+//	... refactor that must not change results ...
+//	go test -run TestResultFingerprint -v > after.txt
+//	diff before.txt after.txt
+//
+// DESIGN.md §9 describes the workflow.
+package hydrogen
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+func TestResultFingerprint(t *testing.T) {
+	cfg := system.Quick()
+	cfg.Hybrid.FastCapacityBytes = 4 << 20
+	cfg.Hybrid.RemapCacheBytes = 16 << 10
+	cfg.LLC.SizeBytes = 256 << 10
+	cfg.EpochLen = 50_000
+	cfg.Cycles = 200_000
+
+	for _, comboID := range []string{"C1", "C5"} {
+		combo, err := workloads.ComboByID(comboID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, design := range []string{
+			system.DesignBaseline, system.DesignWayPart,
+			system.DesignHydrogen, system.DesignProfess,
+		} {
+			r, err := system.RunDesign(cfg, design, combo)
+			if err != nil {
+				t.Fatalf("%s %s: %v", comboID, design, err)
+			}
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", r)))
+			t.Logf("%s %s %x", comboID, design, sum[:8])
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package bitmath provides strength-reduced integer division for the
+// simulator's address-decode paths. Cache set indexing, DRAM bank/row
+// decode, and the hybrid controller's block/set/line math all divide by
+// geometry constants fixed at construction; those constants are powers
+// of two in every shipped configuration, so the runtime div/mod in the
+// per-access hot loops reduces to a shift/mask pair. Div keeps an exact
+// hardware-division fallback so odd geometries (a sensitivity sweep at
+// 3/4 capacity, say) still decode correctly, just not as fast.
+package bitmath
+
+import "math/bits"
+
+// Div divides by a constant fixed at construction. The zero value is
+// not usable; build one with New.
+type Div struct {
+	d     uint64
+	shift uint8
+	mask  uint64 // d-1 when pow2 is set, else 0
+	pow2  bool
+}
+
+// New builds a strength-reduced divisor for d. d must be non-zero;
+// geometry validation upstream guarantees it, and a zero divisor is a
+// programming error, so New panics.
+func New(d uint64) Div {
+	if d == 0 {
+		panic("bitmath: zero divisor")
+	}
+	pow2 := d&(d-1) == 0
+	v := Div{d: d, pow2: pow2}
+	if pow2 {
+		v.shift = uint8(bits.TrailingZeros64(d))
+		v.mask = d - 1
+	}
+	return v
+}
+
+// NewInt is New for int-typed geometry counts (bank counts, channel
+// counts, group sizes). d must be positive.
+func NewInt(d int) Div {
+	if d <= 0 {
+		panic("bitmath: non-positive divisor")
+	}
+	return New(uint64(d))
+}
+
+// N returns the divisor value.
+func (v Div) N() uint64 { return v.d }
+
+// Div returns x / d.
+func (v Div) Div(x uint64) uint64 {
+	if v.pow2 {
+		return x >> v.shift
+	}
+	return x / v.d
+}
+
+// Mod returns x % d.
+func (v Div) Mod(x uint64) uint64 {
+	if v.pow2 {
+		return x & v.mask
+	}
+	return x % v.d
+}
+
+// DivMod returns (x / d, x % d) in one call.
+func (v Div) DivMod(x uint64) (q, r uint64) {
+	if v.pow2 {
+		return x >> v.shift, x & v.mask
+	}
+	return x / v.d, x % v.d
+}

@@ -1,0 +1,43 @@
+package bitmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDivMatchesHardware(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	divisors := []uint64{1, 2, 3, 4, 5, 7, 16, 24, 64, 100, 1024, 4096, 1 << 20, 3 << 20, 1 << 40}
+	for _, d := range divisors {
+		v := New(d)
+		for i := 0; i < 2000; i++ {
+			x := rng.Uint64()
+			if i < 8 {
+				x = uint64(i) // small edge cases incl. 0
+			}
+			if got, want := v.Div(x), x/d; got != want {
+				t.Fatalf("Div(%d)/%d = %d, want %d", x, d, got, want)
+			}
+			if got, want := v.Mod(x), x%d; got != want {
+				t.Fatalf("Mod(%d)%%%d = %d, want %d", x, d, got, want)
+			}
+			q, r := v.DivMod(x)
+			if q != x/d || r != x%d {
+				t.Fatalf("DivMod(%d) by %d = %d,%d; want %d,%d", x, d, q, r, x/d, x%d)
+			}
+		}
+	}
+}
+
+func TestNewIntPanicsOnNonPositive(t *testing.T) {
+	for _, d := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewInt(%d) did not panic", d)
+				}
+			}()
+			NewInt(d)
+		}()
+	}
+}

@@ -5,7 +5,12 @@
 // latency contribution is added by the core models on the request path.
 package caches
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/hydrogen-sim/hydrogen/internal/bitmath"
+)
 
 // Config sizes one cache.
 type Config struct {
@@ -31,25 +36,32 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-type line struct {
-	tag     uint64
-	valid   bool
-	dirty   bool
-	lastUse uint64
-}
-
 // Stats counts cache activity.
 type Stats struct {
 	Hits, Misses, Evictions, Writebacks uint64
 }
 
 // Cache is a set-associative write-back SRAM cache with LRU replacement.
+//
+// Line state is kept structure-of-arrays: the tag probe on every access
+// only touches the dense tags slice (one 8-byte word per way, so a
+// 16-way set is two cache lines instead of six with an array-of-structs
+// layout), while dirty bits and LRU stamps are read only on hits and
+// fills. A way's entry in tags is (tag<<1)|1 when valid and 0 when
+// empty — the low bit is the valid bit, so a probe is a single compare.
+// The shift costs one bit of tag headroom, which simulated physical
+// addresses (< 2^48) never approach.
 type Cache struct {
-	cfg     Config
-	sets    [][]line
-	numSets uint64
-	tick    uint64
-	stats   Stats
+	cfg        Config
+	tags       []uint64 // numSets*assoc; (tag<<1)|1, or 0 when invalid
+	dirty      []bool
+	lastUse    []uint64
+	assoc      int
+	numSets    uint64
+	blockShift uint8       // log2(BlockBytes); block size is validated pow2
+	setDiv     bitmath.Div // strength-reduced division by numSets
+	tick       uint64
+	stats      Stats
 }
 
 // New builds a cache; it panics on an invalid config because cache shapes
@@ -59,12 +71,15 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	numSets := cfg.SizeBytes / (cfg.BlockBytes * uint64(cfg.Assoc))
-	sets := make([][]line, numSets)
-	backing := make([]line, numSets*uint64(cfg.Assoc))
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	ways := numSets * uint64(cfg.Assoc)
+	return &Cache{
+		cfg: cfg, numSets: numSets, assoc: cfg.Assoc,
+		tags:       make([]uint64, ways),
+		dirty:      make([]bool, ways),
+		lastUse:    make([]uint64, ways),
+		blockShift: uint8(bits.TrailingZeros64(cfg.BlockBytes)),
+		setDiv:     bitmath.New(numSets),
 	}
-	return &Cache{cfg: cfg, sets: sets, numSets: numSets}
 }
 
 // Config returns the cache configuration.
@@ -77,8 +92,24 @@ func (c *Cache) Latency() uint64 { return c.cfg.Latency }
 func (c *Cache) Stats() Stats { return c.stats }
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
-	blk := addr / c.cfg.BlockBytes
-	return blk % c.numSets, blk / c.numSets
+	blk := addr >> c.blockShift
+	tag, set = c.setDiv.DivMod(blk)
+	return set, tag
+}
+
+// probe scans a set for tag and returns the matching way's index into
+// the flat arrays, or -1. It is the one tag-scan loop shared by Access,
+// Contains, Fill, and Invalidate.
+func (c *Cache) probe(set, tag uint64) int {
+	base := int(set) * c.assoc
+	want := tag<<1 | 1
+	// Range over a subslice so the compiler drops per-way bounds checks.
+	for i, v := range c.tags[base : base+c.assoc] {
+		if v == want {
+			return base + i
+		}
+	}
+	return -1
 }
 
 // Victim describes a dirty block evicted by a fill.
@@ -94,16 +125,13 @@ type Victim struct {
 func (c *Cache) Access(addr uint64, write bool) bool {
 	set, tag := c.index(addr)
 	c.tick++
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
-			l.lastUse = c.tick
-			if write {
-				l.dirty = true
-			}
-			c.stats.Hits++
-			return true
+	if i := c.probe(set, tag); i >= 0 {
+		c.lastUse[i] = c.tick
+		if write {
+			c.dirty[i] = true
 		}
+		c.stats.Hits++
+		return true
 	}
 	c.stats.Misses++
 	return false
@@ -112,13 +140,7 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 // Contains reports whether addr is cached, without touching LRU state.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
-			return true
-		}
-	}
-	return false
+	return c.probe(set, tag) >= 0
 }
 
 // Fill installs addr (marking it dirty if dirty is set) and returns the
@@ -127,32 +149,39 @@ func (c *Cache) Contains(addr uint64) bool {
 func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 	set, tag := c.index(addr)
 	c.tick++
-	lines := c.sets[set]
-	victim := 0
-	for i := range lines {
-		l := &lines[i]
-		if l.valid && l.tag == tag {
-			l.lastUse = c.tick
-			l.dirty = l.dirty || dirty
-			return Victim{}
-		}
-		if !lines[victim].valid {
-			continue
-		}
-		if !l.valid || l.lastUse < lines[victim].lastUse {
-			victim = i
-		}
+	if i := c.probe(set, tag); i >= 0 {
+		c.lastUse[i] = c.tick
+		c.dirty[i] = c.dirty[i] || dirty
+		return Victim{}
 	}
-	v := &lines[victim]
+	base := int(set) * c.assoc
+	victim := base
+	if c.tags[base] != 0 {
+		setTags := c.tags[base : base+c.assoc]
+		setUse := c.lastUse[base : base+c.assoc]
+		v := 0
+		for i := 1; i < len(setTags); i++ {
+			if setTags[i] == 0 {
+				v = i // an empty way sticks as the victim
+				break
+			}
+			if setUse[i] < setUse[v] {
+				v = i
+			}
+		}
+		victim = base + v
+	}
 	out := Victim{}
-	if v.valid {
-		out = Victim{Addr: c.addrOf(set, v.tag), Dirty: v.dirty, Valid: true}
+	if c.tags[victim] != 0 {
+		out = Victim{Addr: c.addrOf(set, c.tags[victim]>>1), Dirty: c.dirty[victim], Valid: true}
 		c.stats.Evictions++
-		if v.dirty {
+		if c.dirty[victim] {
 			c.stats.Writebacks++
 		}
 	}
-	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: c.tick}
+	c.tags[victim] = tag<<1 | 1
+	c.dirty[victim] = dirty
+	c.lastUse[victim] = c.tick
 	return out
 }
 
@@ -160,19 +189,18 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 // dirty copy can be written back).
 func (c *Cache) Invalidate(addr uint64) Victim {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
-			out := Victim{Addr: c.addrOf(set, tag), Dirty: l.dirty, Valid: true}
-			*l = line{}
-			return out
-		}
+	if i := c.probe(set, tag); i >= 0 {
+		out := Victim{Addr: c.addrOf(set, tag), Dirty: c.dirty[i], Valid: true}
+		c.tags[i] = 0
+		c.dirty[i] = false
+		c.lastUse[i] = 0
+		return out
 	}
 	return Victim{}
 }
 
 func (c *Cache) addrOf(set, tag uint64) uint64 {
-	return (tag*c.numSets + set) * c.cfg.BlockBytes
+	return (tag*c.numSets + set) << c.blockShift
 }
 
 // HitRate returns hits/(hits+misses), or 0 for an untouched cache.

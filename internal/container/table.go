@@ -1,18 +1,23 @@
-package hybrid
+// Package container holds the allocation-free data structures shared by
+// the simulator's hot paths. Table is a linear-probing open-addressed
+// hash table from uint64 keys to one int64 value word. It replaces the
+// map[uint64] structures on the miss paths — the hybrid controller's
+// MSHR and fill registries and the CPU/GPU cores' pending-miss sets:
+// no per-entry allocation, no hash-map write barriers, and deletion by
+// backward shift instead of tombstones, so lookups stay O(1) at the
+// bounded in-flight counts these structures hold (MSHRs, migration
+// queue slots, MLP windows).
+package container
 
 import "math/bits"
 
-// openTable is a linear-probing open-addressed hash table from uint64
-// keys to one int64 value word. It replaces the map[uint64] structures
-// on the controller's miss path: no per-entry allocation, no hash-map
-// write barriers, and deletion by backward shift instead of tombstones,
-// so lookups stay O(1) at the controller's bounded in-flight counts
-// (MSHRs, migration queue slots).
+// Table maps uint64 keys to one int64 value word. The zero value is an
+// empty table ready for use.
 //
 // Keys are stored +1 so the zero word marks an empty slot; the table
-// therefore cannot hold the key ^uint64(0), which never occurs (keys
-// are block or line indices).
-type openTable struct {
+// therefore cannot hold the key ^uint64(0), which never occurs in the
+// simulator (keys are block or line indices).
+type Table struct {
 	keys []uint64 // key+1; 0 = empty
 	vals []int64
 	n    int
@@ -25,13 +30,13 @@ func tableHash(k uint64) uint64 {
 	return k * 0x9E3779B97F4A7C15
 }
 
-func (t *openTable) mask() uint64 { return uint64(len(t.keys) - 1) }
+func (t *Table) mask() uint64 { return uint64(len(t.keys) - 1) }
 
 // Len returns the number of stored entries.
-func (t *openTable) Len() int { return t.n }
+func (t *Table) Len() int { return t.n }
 
 // Get returns the value stored for k.
-func (t *openTable) Get(k uint64) (int64, bool) {
+func (t *Table) Get(k uint64) (int64, bool) {
 	if t.n == 0 {
 		return 0, false
 	}
@@ -47,8 +52,15 @@ func (t *openTable) Get(k uint64) (int64, bool) {
 	}
 }
 
+// Has reports whether k is present, for callers using the table as a
+// set (the cores' MSHR membership checks).
+func (t *Table) Has(k uint64) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
 // Put inserts or replaces the value for k.
-func (t *openTable) Put(k uint64, v int64) {
+func (t *Table) Put(k uint64, v int64) {
 	if len(t.keys) == 0 || t.n*2 >= len(t.keys) {
 		t.grow()
 	}
@@ -70,7 +82,7 @@ func (t *openTable) Put(k uint64, v int64) {
 
 // Delete removes k, compacting the probe chain by backward shift so no
 // tombstones accumulate.
-func (t *openTable) Delete(k uint64) {
+func (t *Table) Delete(k uint64) {
 	if t.n == 0 {
 		return
 	}
@@ -112,7 +124,7 @@ func (t *openTable) Delete(k uint64) {
 	}
 }
 
-func (t *openTable) grow() {
+func (t *Table) grow() {
 	size := minTableSize
 	if len(t.keys) > 0 {
 		size = len(t.keys) * 2

@@ -1,12 +1,12 @@
-package hybrid
+package container
 
 import (
 	"math/rand"
 	"testing"
 )
 
-func TestOpenTableBasic(t *testing.T) {
-	var tab openTable
+func TestTableBasic(t *testing.T) {
+	var tab Table
 	if _, ok := tab.Get(1); ok {
 		t.Fatal("empty table reported a hit")
 	}
@@ -18,6 +18,9 @@ func TestOpenTableBasic(t *testing.T) {
 	}
 	if v, ok := tab.Get(7); !ok || v != 71 {
 		t.Fatalf("Get(7) = %d,%v", v, ok)
+	}
+	if !tab.Has(7) || tab.Has(8) {
+		t.Fatal("Has disagrees with Get")
 	}
 	if tab.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", tab.Len())
@@ -35,12 +38,12 @@ func TestOpenTableBasic(t *testing.T) {
 	}
 }
 
-// Fuzz the table against a reference map through mixed operations,
-// including colliding keys and growth, to exercise backward-shift
-// deletion chains.
-func TestOpenTableMatchesMap(t *testing.T) {
+// Property test: drive the table and a reference map through mixed
+// operations, including colliding keys and growth, to exercise
+// backward-shift deletion chains.
+func TestTableMatchesMap(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	var tab openTable
+	var tab Table
 	ref := map[uint64]int64{}
 	for op := 0; op < 200000; op++ {
 		// A small key space forces heavy collision/delete churn.
@@ -71,9 +74,48 @@ func TestOpenTableMatchesMap(t *testing.T) {
 	}
 }
 
-func BenchmarkOpenTableChurn(b *testing.B) {
+// FuzzTableVsMap replays an arbitrary byte string as an op sequence
+// (2 bits op, 6 bits key) against the map reference. `go test` runs the
+// seed corpus; `go test -fuzz=FuzzTableVsMap` explores further. The
+// 64-key space aliases every probe chain through the minimum table
+// size, which is what shakes out backward-shift ordering bugs.
+func FuzzTableVsMap(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x82, 0xc3, 0x04, 0x45})
+	f.Add([]byte("backward-shift delete, interleaved"))
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var tab Table
+		ref := map[uint64]int64{}
+		for i, b := range script {
+			k := uint64(b & 0x3f)
+			switch b >> 6 {
+			case 0, 1:
+				tab.Put(k, int64(i))
+				ref[k] = int64(i)
+			case 2:
+				tab.Delete(k)
+				delete(ref, k)
+			default:
+				v, ok := tab.Get(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v != rv) {
+					t.Fatalf("op %d: Get(%d) = %d,%v; want %d,%v", i, k, v, ok, rv, rok)
+				}
+			}
+			if tab.Len() != len(ref) {
+				t.Fatalf("op %d: Len = %d, want %d", i, tab.Len(), len(ref))
+			}
+		}
+		for k, rv := range ref {
+			if v, ok := tab.Get(k); !ok || v != rv {
+				t.Fatalf("final: Get(%d) = %d,%v; want %d,true", k, v, ok, rv)
+			}
+		}
+	})
+}
+
+func BenchmarkTableChurn(b *testing.B) {
 	b.ReportAllocs()
-	var tab openTable
+	var tab Table
 	for i := 0; i < b.N; i++ {
 		k := uint64(i) % 4096
 		tab.Put(k, int64(i))

@@ -12,6 +12,7 @@ package cpu
 
 import (
 	"github.com/hydrogen-sim/hydrogen/internal/caches"
+	"github.com/hydrogen-sim/hydrogen/internal/container"
 	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
 	"github.com/hydrogen-sim/hydrogen/internal/sim"
 	"github.com/hydrogen-sim/hydrogen/internal/trace"
@@ -57,7 +58,7 @@ type Core struct {
 	outstanding int
 	blocked     bool
 	exhausted   bool
-	pending     map[uint64]bool // lines with an in-flight miss (MSHR)
+	pending     container.Table // lines with an in-flight miss (MSHR)
 
 	// stepFn is c.step bound once; scheduling a bound method value each
 	// cycle would allocate it anew every time.
@@ -102,7 +103,6 @@ func New(eng *sim.Engine, cfg Config, id int, gen trace.Generator, llc *caches.C
 	c := &Core{
 		eng: eng, cfg: cfg, id: id, gen: gen,
 		l2: caches.New(cfg.L2), llc: llc, mem: mem,
-		pending: map[uint64]bool{},
 	}
 	c.stepFn = c.step
 	return c
@@ -175,13 +175,13 @@ func (c *Core) load(addr uint64, cost uint64) {
 	}
 	traversal := c.l2.Latency() + c.cfg.LLCLat
 	line := addr &^ 63
-	if c.pending[line] {
+	if c.pending.Has(line) {
 		// MSHR hit: the line is already on its way; don't issue a
 		// duplicate memory access or occupy another window slot.
 		c.eng.After(cost+traversal, c.stepFn)
 		return
 	}
-	c.pending[line] = true
+	c.pending.Put(line, 0)
 	c.outstanding++
 	c.mem.Access(addr, false, dram.SourceCPU, c.getToken(addr).fn)
 	if c.outstanding >= c.cfg.MLP {
@@ -193,7 +193,7 @@ func (c *Core) load(addr uint64, cost uint64) {
 }
 
 func (c *Core) completeLoad(addr uint64) {
-	delete(c.pending, addr&^63)
+	c.pending.Delete(addr &^ 63)
 	c.outstanding--
 	c.fillLLC(addr)
 	c.fillL2(addr)

@@ -11,6 +11,7 @@ package gpu
 
 import (
 	"github.com/hydrogen-sim/hydrogen/internal/caches"
+	"github.com/hydrogen-sim/hydrogen/internal/container"
 	"github.com/hydrogen-sim/hydrogen/internal/cpu"
 	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
 	"github.com/hydrogen-sim/hydrogen/internal/sim"
@@ -58,7 +59,7 @@ type subslice struct {
 	outstanding int
 	blocked     bool
 	exhausted   bool
-	pending     map[uint64]bool // lines with an in-flight miss (MSHR)
+	pending     container.Table // lines with an in-flight miss (MSHR)
 
 	// stepFn is s.step bound once; scheduling a bound method value each
 	// cycle would allocate it anew every time.
@@ -107,7 +108,6 @@ func New(eng *sim.Engine, cfg Config, gens []trace.Generator, llc *caches.Cache,
 		s := &subslice{
 			g: g, id: i, gen: gens[i],
 			l1: caches.New(cfg.L1), llc: llc, mem: mem,
-			pending: map[uint64]bool{},
 		}
 		s.stepFn = s.step
 		g.subslices = append(g.subslices, s)
@@ -213,12 +213,12 @@ func (s *subslice) load(addr uint64, cost uint64) {
 		return
 	}
 	line := addr &^ 63
-	if s.pending[line] {
+	if s.pending.Has(line) {
 		// MSHR hit: coalesce with the in-flight miss.
 		s.g.eng.After(cost, s.stepFn)
 		return
 	}
-	s.pending[line] = true
+	s.pending.Put(line, 0)
 	s.outstanding++
 	s.mem.Access(addr, false, dram.SourceGPU, s.getToken(addr).fn)
 	if s.outstanding >= s.g.cfg.Window {
@@ -230,7 +230,7 @@ func (s *subslice) load(addr uint64, cost uint64) {
 }
 
 func (s *subslice) completeLoad(addr uint64) {
-	delete(s.pending, addr&^63)
+	s.pending.Delete(addr &^ 63)
 	s.outstanding--
 	s.fillLLC(addr)
 	s.fillL1(addr)

@@ -12,7 +12,9 @@ package dram
 
 import (
 	"fmt"
+	"math/bits"
 
+	"github.com/hydrogen-sim/hydrogen/internal/bitmath"
 	"github.com/hydrogen-sim/hydrogen/internal/sim"
 )
 
@@ -162,6 +164,10 @@ type Request struct {
 	Ctx     uint64
 
 	arrive uint64
+	// bank and row are decoded once at enqueue so the FR-FCFS pick()
+	// scan compares open rows without re-dividing per queue entry.
+	bank int32
+	row  int64
 }
 
 type bank struct {
@@ -220,6 +226,10 @@ type Channel struct {
 	issueArmed   bool
 	issueFn      func() // issueEvent bound once, so arming never allocates
 
+	rowShift uint8       // log2(RowBytes); row size is validated pow2
+	bankDiv  bitmath.Div // strength-reduced division by BanksPerChannel
+	bpcDiv   bitmath.Div // strength-reduced division by BytesPerCycle
+
 	stats Stats
 }
 
@@ -234,7 +244,12 @@ func (c *Channel) lookahead() uint64 {
 
 // NewChannel creates channel id of the given device kind on eng.
 func NewChannel(eng *sim.Engine, cfg *Config, id int) *Channel {
-	c := &Channel{eng: eng, cfg: cfg, id: id, banks: make([]bank, cfg.BanksPerChannel)}
+	c := &Channel{
+		eng: eng, cfg: cfg, id: id, banks: make([]bank, cfg.BanksPerChannel),
+		rowShift: uint8(bits.TrailingZeros64(cfg.RowBytes)),
+		bankDiv:  bitmath.NewInt(cfg.BanksPerChannel),
+		bpcDiv:   bitmath.New(cfg.BytesPerCycle),
+	}
 	c.issueFn = c.issueEvent
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -260,8 +275,18 @@ func (c *Channel) Enqueue(r Request) {
 		r.Bytes = 64
 	}
 	r.arrive = c.eng.Now()
+	r.bank, r.row = c.decode(r.Addr)
 	c.queue = append(c.queue, r)
 	c.tryIssue()
+}
+
+// decode splits an address into its bank and row. It runs once per
+// request at enqueue; the scheduler and service path read the cached
+// fields.
+func (c *Channel) decode(addr uint64) (bank int32, row int64) {
+	t := addr >> c.rowShift
+	q, rem := c.bankDiv.DivMod(t)
+	return int32(rem), int64(q)
 }
 
 func (c *Channel) armIssue(at uint64) {
@@ -301,7 +326,6 @@ func (c *Channel) pick() int {
 	}
 	for i := range window {
 		r := &window[i]
-		b := &c.banks[c.bankOf(r.Addr)]
 		// Rank: demand beats background, then (optionally) CPU beats
 		// GPU, then row hits beat misses, then age (scan order).
 		rank := 0
@@ -311,7 +335,7 @@ func (c *Channel) pick() int {
 		if c.cfg.CPUPriority && r.Source == SourceCPU {
 			rank += 2
 		}
-		if b.openRow == c.rowOf(r.Addr) {
+		if c.banks[r.bank].openRow == r.row {
 			rank++
 		}
 		if rank > bestRank {
@@ -319,14 +343,6 @@ func (c *Channel) pick() int {
 		}
 	}
 	return best
-}
-
-func (c *Channel) bankOf(addr uint64) int {
-	return int((addr / c.cfg.RowBytes) % uint64(c.cfg.BanksPerChannel))
-}
-
-func (c *Channel) rowOf(addr uint64) int64 {
-	return int64(addr / (c.cfg.RowBytes * uint64(c.cfg.BanksPerChannel)))
 }
 
 func (c *Channel) tryIssue() {
@@ -345,8 +361,8 @@ func (c *Channel) tryIssue() {
 }
 
 func (c *Channel) service(r *Request, now uint64) {
-	b := &c.banks[c.bankOf(r.Addr)]
-	row := c.rowOf(r.Addr)
+	b := &c.banks[r.bank]
+	row := r.row
 
 	// Row hits are bus-limited: the column command's CAS latency overlaps
 	// earlier bursts. Activations additionally serialize on the bank.
@@ -376,7 +392,7 @@ func (c *Channel) service(r *Request, now uint64) {
 	}
 	b.openRow = row
 
-	burst := (r.Bytes + c.cfg.BytesPerCycle - 1) / c.cfg.BytesPerCycle
+	burst := c.bpcDiv.Div(r.Bytes + c.cfg.BytesPerCycle - 1)
 	dataStart := dataReady
 	if c.busBusyUntil > dataStart {
 		dataStart = c.busBusyUntil

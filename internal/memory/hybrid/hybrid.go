@@ -17,8 +17,11 @@ package hybrid
 
 import (
 	"fmt"
+	"math/bits"
 
+	"github.com/hydrogen-sim/hydrogen/internal/bitmath"
 	"github.com/hydrogen-sim/hydrogen/internal/caches"
+	"github.com/hydrogen-sim/hydrogen/internal/container"
 	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
 	"github.com/hydrogen-sim/hydrogen/internal/sim"
 )
@@ -173,6 +176,20 @@ type way struct {
 
 type entry struct {
 	ways []way
+	// ptags mirrors ways for the tag probe: (tag<<1)|1 when the way is
+	// valid, 0 otherwise, so findWay scans one dense word per way
+	// instead of a 32-byte struct. Every tag/valid mutation must call
+	// sync; dirty/busy/lastUse changes don't affect it.
+	ptags []uint64
+}
+
+// sync refreshes way w's probe-mirror word after a tag or valid change.
+func (e *entry) sync(w int) {
+	if y := &e.ways[w]; y.valid {
+		e.ptags[w] = y.tag<<1 | 1
+	} else {
+		e.ptags[w] = 0
+	}
 }
 
 // fill is one in-flight block migration. Fill records live in a pooled
@@ -234,15 +251,29 @@ type Controller struct {
 	linesPerBlock uint64
 	groups        int
 
+	// Strength-reduced address decode, fixed at construction: block size
+	// and lines-per-block are validated powers of two, so those reduce
+	// to shifts; the remaining geometry divisors go through bitmath.Div
+	// (shift/mask when pow2, hardware div otherwise).
+	blockShift uint8
+	blockMask  uint64 // BlockBytes - 1
+	lpbShift   uint8  // log2(linesPerBlock)
+	setDiv     bitmath.Div
+	groupsDiv  bitmath.Div
+	groupKDiv  bitmath.Div // GroupSize
+	fastChDiv  bitmath.Div // len(fast.Channels)
+	slowChDiv  bitmath.Div // len(slow.Channels)
+	perWay     uint64      // BlockBytes / GroupSize
+
 	entries []entry
 	remap   *caches.Cache
 
-	pendingFill openTable // block index -> fill slab slot
-	fills       []fill    // fill slab; freeFills indexes unused slots
+	pendingFill container.Table // block index -> fill slab slot
+	fills       []fill          // fill slab; freeFills indexes unused slots
 	freeFills   []int32
 	fillsBySrc  [2]int // in-flight fills per source
 
-	pendingLine openTable // line key -> packed waiter chain (head<<32 | tail)
+	pendingLine container.Table // line key -> packed waiter chain (head<<32 | tail)
 	wnodes      []waiterNode
 	wfree       int32 // waiter free-list head, -1 = empty
 
@@ -323,6 +354,15 @@ func New(eng *sim.Engine, cfg Config, fast, slow *dram.Tier, pol Policy) (*Contr
 		groups:        len(fast.Channels) / cfg.GroupSize,
 		wfree:         -1,
 	}
+	c.blockShift = uint8(bits.TrailingZeros64(cfg.BlockBytes))
+	c.blockMask = cfg.BlockBytes - 1
+	c.lpbShift = uint8(bits.TrailingZeros64(c.linesPerBlock))
+	c.setDiv = bitmath.New(c.numSets)
+	c.groupsDiv = bitmath.NewInt(c.groups)
+	c.groupKDiv = bitmath.NewInt(cfg.GroupSize)
+	c.fastChDiv = bitmath.NewInt(len(fast.Channels))
+	c.slowChDiv = bitmath.NewInt(len(slow.Channels))
+	c.perWay = cfg.BlockBytes / uint64(cfg.GroupSize)
 	c.setMapper, _ = pol.(SetMapper)
 	c.lazy, _ = pol.(Lazy)
 	c.swapper, _ = pol.(Swapper)
@@ -332,8 +372,10 @@ func New(eng *sim.Engine, cfg Config, fast, slow *dram.Tier, pol Policy) (*Contr
 	c.fillLineDoneFn = c.fillLineDone
 	c.entries = make([]entry, c.numSets)
 	backing := make([]way, c.numSets*uint64(cfg.Assoc))
+	tagBacking := make([]uint64, c.numSets*uint64(cfg.Assoc))
 	for i := range c.entries {
 		c.entries[i].ways, backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+		c.entries[i].ptags, tagBacking = tagBacking[:cfg.Assoc], tagBacking[cfg.Assoc:]
 	}
 	c.remap = caches.New(caches.Config{
 		Name:       "remap",
@@ -427,16 +469,16 @@ func (c *Controller) fillAddWaiter(fi int32, line uint64, write bool, src dram.S
 // missed the SRAC hierarchy. done (optional) runs at completion time.
 func (c *Controller) Access(addr uint64, write bool, src dram.Source, done func(uint64)) {
 	c.stats.Demand[src]++
-	blk := addr / c.cfg.BlockBytes
-	set := blk % c.numSets
+	blk := addr >> c.blockShift
+	set := c.setDiv.Mod(blk)
 	if c.setMapper != nil {
-		set = c.setMapper.SetOf(blk, src, c.numSets) % c.numSets
+		set = c.setDiv.Mod(c.setMapper.SetOf(blk, src, c.numSets))
 	}
 	a := c.getAccess()
 	a.start = c.eng.Now()
 	a.blk = blk
 	a.set = set
-	a.line = (addr % c.cfg.BlockBytes) / LineBytes
+	a.line = (addr & c.blockMask) / LineBytes
 	a.write = write
 	a.src = src
 	a.done = done
@@ -449,9 +491,9 @@ func (c *Controller) Access(addr uint64, write bool, src dram.Source, done func(
 // the row, so sequential set scans get metadata row hits.
 func (c *Controller) metaLine(set uint64) (line uint64, ch *dram.Channel, devAddr uint64) {
 	line = set / setsPerMetaLine
-	n := uint64(len(c.fast.Channels))
-	ch = c.fast.Channels[line%n]
-	devAddr = metaBase + (line/n)*LineBytes
+	q, rem := c.fastChDiv.DivMod(line)
+	ch = c.fast.Channels[rem]
+	devAddr = metaBase + q*LineBytes
 	return line, ch, devAddr
 }
 
@@ -489,8 +531,9 @@ func (c *Controller) touchMeta(set uint64) {
 }
 
 func findWay(e *entry, blk uint64) int {
-	for i := range e.ways {
-		if e.ways[i].valid && e.ways[i].tag == blk {
+	want := blk<<1 | 1
+	for i, t := range e.ptags {
+		if t == want {
 			return i
 		}
 	}
@@ -503,7 +546,7 @@ func (c *Controller) probe(blk, set, line uint64, write bool, src dram.Source, f
 	if w < 0 && c.cfg.Chaining {
 		// HAShCache pseudo-associativity: probe the chained set too.
 		c.stats.ChainProbes++
-		chainSet := (set + 1) % c.numSets
+		chainSet := c.setDiv.Mod(set + 1)
 		if cw := findWay(&c.entries[chainSet], blk); cw >= 0 {
 			c.stats.ChainHits++
 			// The chained probe costs a second metadata access.
@@ -521,21 +564,20 @@ func (c *Controller) probe(blk, set, line uint64, write bool, src dram.Source, f
 // fastLineReq computes the physical channel and device address backing
 // line `line` of way w of set s.
 func (c *Controller) fastLineReq(set uint64, w int, blk, line uint64) (*dram.Channel, uint64) {
-	g := c.pol.WayGroup(set, w) % c.groups
+	g := c.groupsDiv.Mod(uint64(c.pol.WayGroup(set, w)))
 	k := uint64(c.cfg.GroupSize)
-	member := (line + blk) % k
-	ch := c.fast.Channels[uint64(g)*k+member]
-	perWay := c.cfg.BlockBytes / k
-	local := (set*uint64(c.cfg.Assoc)+uint64(w))*perWay + (line/k)*LineBytes
+	member := c.groupKDiv.Mod(line + blk)
+	ch := c.fast.Channels[g*k+member]
+	local := (set*uint64(c.cfg.Assoc)+uint64(w))*c.perWay + c.groupKDiv.Div(line)*LineBytes
 	return ch, local
 }
 
 // slowLineReq computes the slow-tier channel and device address of line
 // `line` of block blk (its home location).
 func (c *Controller) slowLineReq(blk, line uint64) (*dram.Channel, uint64) {
-	n := uint64(len(c.slow.Channels))
-	ch := c.slow.Channels[blk%n]
-	addr := (blk/n)*c.cfg.BlockBytes + line*LineBytes
+	q, rem := c.slowChDiv.DivMod(blk)
+	ch := c.slow.Channels[rem]
+	addr := (q << c.blockShift) + line*LineBytes
 	return ch, addr
 }
 
@@ -587,6 +629,7 @@ func (c *Controller) afterHit(blk, set uint64, w int, src dram.Source) {
 			c.writebackBlock(set, w, wy.tag, src)
 		}
 		*wy = way{}
+		e.sync(w)
 		c.touchMeta(set)
 		return
 	}
@@ -604,6 +647,8 @@ func (c *Controller) afterHit(blk, set uint64, w int, src dram.Source) {
 				}
 			}
 			e.ways[w], e.ways[t] = b, a
+			e.sync(w)
+			e.sync(t)
 			c.touchMeta(set)
 		}
 	}
@@ -664,7 +709,7 @@ func (c *Controller) missPath(blk, set, line uint64, write bool, src dram.Source
 	// the table value packs the chain's head and tail indices.
 	c.stats.SlowDemandReads[src]++
 	ch, addr := c.slowLineReq(blk, line)
-	key := blk*c.linesPerBlock + line
+	key := blk<<c.lpbShift | line
 	ni := c.newWaiter(line, write, src, finish)
 	if packed, ok := c.pendingLine.Get(key); ok {
 		tail := int32(packed)
@@ -736,6 +781,7 @@ func (c *Controller) maybeMigrate(blk, set uint64, src dram.Source) {
 
 	// Install the new mapping immediately; data follows.
 	e.ways[v] = way{tag: blk, valid: true, busy: true, lastUse: c.eng.Now(), src: src}
+	e.sync(v)
 	c.touchMeta(set)
 	fi := c.newFill(blk, set, int32(v), src)
 	c.fillsBySrc[src]++
@@ -821,6 +867,7 @@ func (c *Controller) InvalidateAll() {
 				c.writebackBlock(uint64(s), w, wy.tag, wy.src)
 			}
 			*wy = way{}
+			e.sync(w)
 		}
 	}
 }

@@ -1,0 +1,105 @@
+// Package microbench holds the sub-component benchmark bodies shared by
+// the top-level `go test -bench` suite and cmd/hydrobench. Each one
+// isolates a hot spot the second-wave optimization targeted — trace
+// generation (RNG + Zipf sampling), DRAM channel scheduling (FR-FCFS
+// queue scans with the decoded bank/row cache), and the open-addressed
+// MSHR table — so a regression in one shows up in its own trajectory
+// entry instead of hiding inside a whole-figure run.
+package microbench
+
+import (
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/container"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+	"github.com/hydrogen-sim/hydrogen/internal/trace"
+)
+
+// sink defeats dead-code elimination of benchmark loop bodies.
+var sink uint64
+
+// TraceGenCPU measures one CPU trace op: a class draw, the Zipf (or
+// stream/uniform) address, a gap draw, and a write draw.
+func TraceGenCPU(b *testing.B) {
+	b.ReportAllocs()
+	g := trace.NewCPU(trace.CPUParams{
+		Footprint: 64 << 20, Hot: 1 << 20,
+		HotFrac: 0.6, StreamFrac: 0.2, ChaseFrac: 0.1,
+		WriteFrac: 0.3, MeanGap: 30,
+	}, 0, 1)
+	var s uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, _ := g.Next()
+		s += op.Addr
+	}
+	sink = s
+}
+
+// TraceGenGPU measures one GPU trace op (streaming with hot re-reads
+// and irregular draws).
+func TraceGenGPU(b *testing.B) {
+	b.ReportAllocs()
+	g := trace.NewGPU(trace.GPUParams{
+		Region: 256 << 20, Hot: 4 << 20, HotFrac: 0.2, IrregFrac: 0.2,
+		StrideLines: 1, WriteFrac: 0.2, MeanGap: 12,
+	}, 0, 1)
+	var s uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, _ := g.Next()
+		s += op.Addr
+	}
+	sink = s
+}
+
+// DRAMChannel measures one request through a single HBM2E channel:
+// enqueue (bank/row decode), the FR-FCFS pick scan, and service. The
+// address pattern mixes row hits and conflicts so pick() sees a
+// non-trivial queue, like a loaded channel mid-run.
+func DRAMChannel(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.New()
+	cfg := dram.HBM2E()
+	ch := dram.NewChannel(eng, &cfg, 0)
+	var done uint64
+	cb := func(uint64) { done++ }
+	b.ResetTimer()
+	const batch = 64
+	addr := uint64(0)
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			addr += 64
+			if j&3 == 3 {
+				addr += cfg.RowBytes * 7 // jump row + bank: forces conflicts
+			}
+			ch.Enqueue(dram.Request{Addr: addr, Bytes: 64, Done: cb})
+		}
+		eng.Run()
+	}
+	b.StopTimer()
+	if done == 0 {
+		b.Fatal("no requests completed")
+	}
+	sink = done
+}
+
+// MSHRTable measures the open-addressed table under the cores' MSHR
+// access pattern: membership probe, insert, a missing-key probe, and
+// every other iteration a backward-shift delete.
+func MSHRTable(b *testing.B) {
+	b.ReportAllocs()
+	var tab container.Table
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) & 1023
+		if !tab.Has(k) {
+			tab.Put(k, int64(i))
+		}
+		tab.Get(k ^ 0x2a5)
+		if i&1 == 1 {
+			tab.Delete(k)
+		}
+	}
+	sink = uint64(tab.Len())
+}

@@ -21,6 +21,12 @@ const (
 	wheelSpan  = 1 << wheelBits
 	wheelMask  = wheelSpan - 1
 	wheelWords = wheelSpan / 64
+	// bucketCap is each bucket's initial capacity, carved from one slab
+	// when the wheel is built. Without it every fresh engine re-grows
+	// all 4096 bucket slices from nil (tens of thousands of small
+	// allocations per simulation run); buckets that ever exceed it
+	// reallocate individually and keep the larger capacity.
+	bucketCap = 8
 )
 
 // event is a scheduled callback in one of three closure-free forms:
@@ -28,9 +34,15 @@ const (
 // function fields is non-nil. The two argument-taking forms exist so hot
 // callers can pass long-lived bound functions instead of allocating a
 // fresh closure per event.
+//
+// There is no sequence number: FIFO order within a tick is the bucket's
+// append order (direct schedules append chronologically, and promote
+// runs before any same-tick callback can schedule directly — see
+// promote), so only the overflow heap needs an explicit tie-breaker
+// (overflowEvent.seq). Keeping the struct at five words makes the
+// schedule-path copies measurably cheaper.
 type event struct {
 	at    uint64
-	seq   uint64
 	ctx   uint64
 	fn    func()
 	fnAt  func(now uint64)
@@ -48,10 +60,17 @@ func (ev *event) call() {
 	}
 }
 
+// overflowEvent carries the explicit scheduling-order tie-breaker that
+// heap ordering needs; wheel buckets get it implicitly from FIFO order.
+type overflowEvent struct {
+	event
+	seq uint64
+}
+
 // eventHeap is the overflow queue for events beyond the wheel span. It
 // is hand-rolled over a value slice rather than container/heap because
 // interface boxing would allocate per push.
-type eventHeap []event
+type eventHeap []overflowEvent
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
@@ -90,7 +109,7 @@ func (h eventHeap) down(i int) {
 	}
 }
 
-// bucket holds the events of a single tick in FIFO (seq) order. head
+// bucket holds the events of a single tick in FIFO (insertion) order. head
 // tracks how many have already executed; capacity is reused once the
 // bucket drains.
 type bucket struct {
@@ -102,7 +121,7 @@ type bucket struct {
 // ready to use at time 0.
 type Engine struct {
 	now    uint64
-	seq    uint64
+	seq    uint64 // overflow-heap tie-breaker; see event doc comment
 	nsteps uint64
 
 	buckets    []bucket // wheelSpan per-tick lanes, allocated lazily
@@ -164,12 +183,11 @@ func (e *Engine) schedule(ev event) {
 	if ev.at < e.now {
 		panic("sim: scheduling event in the past")
 	}
-	ev.seq = e.seq
-	e.seq++
 	if ev.at-e.now < wheelSpan {
 		e.wheelInsert(ev)
 	} else {
-		e.overflow = append(e.overflow, ev)
+		e.overflow = append(e.overflow, overflowEvent{event: ev, seq: e.seq})
+		e.seq++
 		e.overflow.up(len(e.overflow) - 1)
 	}
 }
@@ -178,6 +196,10 @@ func (e *Engine) wheelInsert(ev event) {
 	if e.buckets == nil {
 		e.buckets = make([]bucket, wheelSpan)
 		e.occupied = make([]uint64, wheelWords)
+		slab := make([]event, wheelSpan*bucketCap)
+		for i := range e.buckets {
+			e.buckets[i].events, slab = slab[:0:bucketCap], slab[bucketCap:]
+		}
 	}
 	i := ev.at & wheelMask
 	e.buckets[i].events = append(e.buckets[i].events, ev)
@@ -193,10 +215,10 @@ func (e *Engine) wheelInsert(ev event) {
 // preserved.
 func (e *Engine) promote() {
 	for len(e.overflow) > 0 && e.overflow[0].at-e.now < wheelSpan {
-		ev := e.overflow[0]
+		ev := e.overflow[0].event
 		last := len(e.overflow) - 1
 		e.overflow[0] = e.overflow[last]
-		e.overflow[last] = event{}
+		e.overflow[last] = overflowEvent{}
 		e.overflow = e.overflow[:last]
 		if last > 0 {
 			e.overflow.down(0)
@@ -285,13 +307,52 @@ func (e *Engine) peek() (uint64, bool) {
 
 // RunUntil executes events until the queue is empty or the next event is
 // at or beyond t; time is then advanced to exactly t.
+//
+// The loop body fuses peek and Step: a peek-then-Step pair would promote
+// the overflow heap and scan for the next occupied tick twice per event,
+// and RunUntil is the simulation's main driver. The pop sequence mirrors
+// Step's exactly. promote runs only when now advances: promotion
+// eligibility (at-now < wheelSpan) cannot change while now stands still —
+// a callback's direct schedule lands in the wheel precisely when it
+// would be promotable, and its overflow pushes are not — so the inner
+// loop drains the current tick without re-checking the heap.
 func (e *Engine) RunUntil(t uint64) {
+	e.promote()
 	for {
-		at, ok := e.peek()
-		if !ok || at >= t {
-			break
+		if e.wheelCount == 0 {
+			if len(e.overflow) == 0 || e.overflow[0].at >= t {
+				break
+			}
+			// The wheel is drained: jump straight to the overflow minimum
+			// (nothing can be pending in between) and pull it in.
+			e.now = e.overflow[0].at
+			e.promote()
 		}
-		e.Step()
+		i := e.now & wheelMask
+		b := &e.buckets[i]
+		if b.head >= len(b.events) {
+			nt := e.nextTick()
+			if nt >= t {
+				break
+			}
+			e.now = nt
+			e.promote()
+			i = e.now & wheelMask
+			b = &e.buckets[i]
+		}
+		// Drain the current tick. Callbacks may append to this bucket
+		// (zero-delay schedules), so re-check len every iteration.
+		for b.head < len(b.events) {
+			ev := b.events[b.head]
+			b.events[b.head] = event{} // release callback references for the GC
+			b.head++
+			e.wheelCount--
+			e.nsteps++
+			ev.call()
+		}
+		b.events = b.events[:0]
+		b.head = 0
+		e.occupied[i>>6] &^= 1 << (i & 63)
 	}
 	if e.now < t {
 		e.now = t
@@ -323,7 +384,7 @@ func (e *Engine) Stop() {
 	}
 	e.wheelCount = 0
 	for i := range e.overflow {
-		e.overflow[i] = event{}
+		e.overflow[i] = overflowEvent{}
 	}
 	e.overflow = e.overflow[:0]
 }

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestXrngDeterministicAndSeedSensitive(t *testing.T) {
+	a, b := newXrng(42), newXrng(42)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c, d := newXrng(1), newXrng(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c.next() == d.next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between adjacent seeds", same)
+	}
+}
+
+func TestXrngUintnBoundsAndUniformity(t *testing.T) {
+	r := newXrng(7)
+	var counts [8]int
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		v := r.uintn(8)
+		if v >= 8 {
+			t.Fatalf("uintn(8) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, n := range counts {
+		if frac := float64(n) / draws; frac < 0.115 || frac > 0.135 {
+			t.Fatalf("value %d frequency %.3f, want ~0.125", v, frac)
+		}
+	}
+}
+
+func TestXrngFloat64Range(t *testing.T) {
+	r := newXrng(3)
+	sum := 0.0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		f := r.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64() = %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean %.4f, want ~0.5", mean)
+	}
+}
+
+// The quantile-table sampler must reproduce the Zipf pmf: compare the
+// empirical head probabilities against (k+1)^-s / H(n,s).
+func TestZipfTableMatchesPMF(t *testing.T) {
+	const (
+		s     = 1.2
+		n     = 4096
+		draws = 400000
+	)
+	z := newZipfTable(s, n)
+	r := newXrng(11)
+	counts := map[uint64]int{}
+	for i := 0; i < draws; i++ {
+		v := z.draw(&r)
+		if v >= n {
+			t.Fatalf("draw %d out of range [0,%d)", v, n)
+		}
+		counts[v]++
+	}
+	total := 0.0
+	for k := uint64(0); k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+	}
+	for k := uint64(0); k < 8; k++ {
+		want := math.Pow(float64(k+1), -s) / total
+		got := float64(counts[k]) / draws
+		if got < 0.9*want-0.005 || got > 1.1*want+0.005 {
+			t.Fatalf("P(%d) = %.4f, want %.4f ±10%%", k, got, want)
+		}
+	}
+	// Monotone-ish tail: the first decile of values must hold most of
+	// the mass at this skew.
+	head := 0
+	for k := uint64(0); k < n/10; k++ {
+		head += counts[k]
+	}
+	if frac := float64(head) / draws; frac < 0.80 {
+		t.Fatalf("first decile holds %.2f of mass, want >= 0.80", frac)
+	}
+}
+
+func TestZipfTableSmallN(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3} {
+		z := newZipfTable(1.2, n)
+		r := newXrng(5)
+		for i := 0; i < 1000; i++ {
+			if v := z.draw(&r); v >= n {
+				t.Fatalf("n=%d: draw %d out of range", n, v)
+			}
+		}
+	}
+}

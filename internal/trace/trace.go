@@ -7,9 +7,13 @@
 // abstraction level: each Op carries the number of non-memory
 // instructions retired since the previous op (Gap), so the cores can
 // account IPC, and a 64 B-aligned address.
+//
+// Randomness comes from an inline splitmix64 stream plus a precomputed
+// inverse-CDF Zipf sampler (rng.go) rather than math/rand: the
+// generators sit on the simulation's hot path, and both are
+// deterministic per seed, which the engine's reproducibility guarantee
+// requires.
 package trace
-
-import "math/rand"
 
 // Op is one memory operation.
 type Op struct {
@@ -43,8 +47,8 @@ type CPUParams struct {
 type CPUGen struct {
 	p      CPUParams
 	base   uint64
-	rng    *rand.Rand
-	zipf   *rand.Zipf
+	rng    xrng
+	zipf   *zipfTable
 	stream uint64
 }
 
@@ -65,7 +69,6 @@ func NewCPU(p CPUParams, base uint64, seed int64) *CPUGen {
 	if p.ZipfS == 0 {
 		p.ZipfS = 1.2
 	}
-	rng := rand.New(rand.NewSource(seed))
 	// The Zipf draw is over 256 B blocks, not lines: hot program data is
 	// block-grained (structs, tree nodes, rows), which is what makes
 	// block migration profitable in hybrid memories.
@@ -76,27 +79,27 @@ func NewCPU(p CPUParams, base uint64, seed int64) *CPUGen {
 	return &CPUGen{
 		p:    p,
 		base: base &^ 63,
-		rng:  rng,
-		zipf: rand.NewZipf(rng, p.ZipfS, 1, hotBlocks-1),
+		rng:  newXrng(seed),
+		zipf: newZipfTable(p.ZipfS, hotBlocks),
 	}
 }
 
-func gap(rng *rand.Rand, mean uint32) uint32 {
+func gap(rng *xrng, mean uint32) uint32 {
 	if mean <= 1 {
 		return 1
 	}
 	// Uniform in [mean/2, 3*mean/2): cheap, and bursty enough.
-	return mean/2 + uint32(rng.Intn(int(mean)))
+	return mean/2 + uint32(rng.uintn(uint64(mean)))
 }
 
 // Next implements Generator.
 func (g *CPUGen) Next() (Op, bool) {
 	p := &g.p
-	r := g.rng.Float64()
+	r := g.rng.float64()
 	var addr uint64
 	switch {
 	case r < p.HotFrac:
-		addr = g.base + g.zipf.Uint64()*256 + uint64(g.rng.Intn(4))*64
+		addr = g.base + g.zipf.draw(&g.rng)*256 + g.rng.uintn(4)*64
 	case r < p.HotFrac+p.StreamFrac:
 		addr = g.base + g.stream
 		g.stream += 64
@@ -107,12 +110,12 @@ func (g *CPUGen) Next() (Op, bool) {
 		// Chase and uniform classes both draw uniformly over the
 		// footprint; the chase class differs in the core model (dependent
 		// loads serialize), which low CPU MLP already captures.
-		addr = g.base + uint64(g.rng.Int63n(int64(p.Footprint/64)))*64
+		addr = g.base + g.rng.uintn(p.Footprint/64)*64
 	}
 	return Op{
-		Gap:   gap(g.rng, p.MeanGap),
+		Gap:   gap(&g.rng, p.MeanGap),
 		Addr:  addr,
-		Write: g.rng.Float64() < p.WriteFrac,
+		Write: g.rng.float64() < p.WriteFrac,
 	}, true
 }
 
@@ -136,7 +139,7 @@ type GPUParams struct {
 type GPUGen struct {
 	p      GPUParams
 	base   uint64
-	rng    *rand.Rand
+	rng    xrng
 	stream uint64
 	hotPos uint64
 }
@@ -155,13 +158,13 @@ func NewGPU(p GPUParams, base uint64, seed int64) *GPUGen {
 	if p.Hot > p.Region {
 		p.Hot = p.Region
 	}
-	return &GPUGen{p: p, base: base &^ 63, rng: rand.New(rand.NewSource(seed))}
+	return &GPUGen{p: p, base: base &^ 63, rng: newXrng(seed)}
 }
 
 // Next implements Generator.
 func (g *GPUGen) Next() (Op, bool) {
 	p := &g.p
-	r := g.rng.Float64()
+	r := g.rng.float64()
 	var addr uint64
 	switch {
 	case p.Hot > 0 && r < p.HotFrac:
@@ -172,7 +175,7 @@ func (g *GPUGen) Next() (Op, bool) {
 			g.hotPos = 0
 		}
 	case r < p.HotFrac+p.IrregFrac:
-		addr = g.base + uint64(g.rng.Int63n(int64(p.Region/64)))*64
+		addr = g.base + g.rng.uintn(p.Region/64)*64
 	default:
 		addr = g.base + g.stream
 		g.stream += 64 * p.StrideLines
@@ -181,9 +184,9 @@ func (g *GPUGen) Next() (Op, bool) {
 		}
 	}
 	return Op{
-		Gap:   gap(g.rng, p.MeanGap),
+		Gap:   gap(&g.rng, p.MeanGap),
 		Addr:  addr,
-		Write: g.rng.Float64() < p.WriteFrac,
+		Write: g.rng.float64() < p.WriteFrac,
 	}, true
 }
 
@@ -227,11 +230,12 @@ type Paged struct {
 	G         Generator
 	PageBytes uint64
 	Seed      uint64
+	pageShift uint8 // log2(PageBytes): page size is always a power of two
 }
 
 // NewPaged wraps g with a 4 kB page scatter.
 func NewPaged(g Generator, seed int64) *Paged {
-	return &Paged{G: g, PageBytes: 4096, Seed: uint64(seed)}
+	return &Paged{G: g, PageBytes: 4096, Seed: uint64(seed), pageShift: 12}
 }
 
 // Next implements Generator.
@@ -240,7 +244,7 @@ func (p *Paged) Next() (Op, bool) {
 	if !ok {
 		return op, false
 	}
-	vpage := op.Addr / p.PageBytes
+	vpage := op.Addr >> p.pageShift
 	// splitmix64-style hash of (seed, vpage) into a 2^31-page (8 TB)
 	// physical space: uniform set distribution, collision-free in
 	// practice for timing purposes.
@@ -251,6 +255,6 @@ func (p *Paged) Next() (Op, bool) {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	ppage := x % (1 << 31)
-	op.Addr = ppage*p.PageBytes + op.Addr%p.PageBytes
+	op.Addr = ppage<<p.pageShift | op.Addr&(p.PageBytes-1)
 	return op, true
 }

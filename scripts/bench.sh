@@ -7,6 +7,15 @@
 #   scripts/bench.sh -bench 'Figure5$'      # one benchmark
 #   scripts/bench.sh -quick -label quick    # faster, noisier
 #   scripts/bench.sh -pprof /tmp/prof       # capture cpu/heap profiles
+#
+# Compare mode runs nothing: it diffs the two most recent trajectory
+# entries per benchmark and exits nonzero if any ns/op regressed >10%.
+# Typical flow (also run advisory-only in CI, see .github/workflows):
+#
+#   scripts/bench.sh -label before -bench 'Figure5$'
+#   ... apply a change ...
+#   scripts/bench.sh -label after -bench 'Figure5$'
+#   scripts/bench.sh -compare
 set -eu
 cd "$(dirname "$0")/.."
 exec go run ./cmd/hydrobench "$@"
