@@ -1,0 +1,260 @@
+// Package client is a thin Go client for the hydroserved simulation
+// service (cmd/hydroserved): job submission, status polling, waiting,
+// cancellation, and SSE progress consumption. The wire types are shared
+// with the server, so a submitted config round-trips losslessly.
+//
+//	c := client.New("http://127.0.0.1:8077")
+//	res, st, err := c.Run(ctx, client.JobRequest{
+//		Design: "Hydrogen",
+//		Combo:  client.ComboSpec{ID: "C1"},
+//	})
+//	// st.Cached reports whether the daemon answered from its cache.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	hydrogen "github.com/hydrogen-sim/hydrogen"
+	"github.com/hydrogen-sim/hydrogen/internal/serve"
+)
+
+// Wire types, shared with the server.
+type (
+	// JobRequest is the POST /v1/jobs payload.
+	JobRequest = serve.JobRequest
+	// JobStatus is a job record, including the result once done.
+	JobStatus = serve.JobStatus
+	// ComboSpec names a Table II combo or an inline custom assignment.
+	ComboSpec = serve.ComboSpec
+)
+
+// Client talks to one hydroserved instance. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	// PollInterval is the status poll cadence for Wait; zero selects an
+	// adaptive 25ms..500ms backoff.
+	PollInterval time.Duration
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8077").
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+}
+
+// apiError is a non-2xx response decoded from the server's error body.
+type apiError struct {
+	Code int
+	Msg  string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("hydroserved: %d %s", e.Code, e.Msg)
+}
+
+// IsQueueFull reports whether err is the server's queue-full rejection,
+// which a submitter may retry after a backoff.
+func IsQueueFull(err error) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Code == http.StatusTooManyRequests
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &apiError{Code: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job. The returned status may already be terminal: a
+// cache hit comes back done with the result attached, and a submission
+// identical to an in-flight job attaches to it (Deduped).
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches a job's status (with result when done).
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Designs lists the server's design names.
+func (c *Client) Designs(ctx context.Context) ([]string, error) {
+	var out []string
+	err := c.do(ctx, http.MethodGet, "/v1/designs", nil, &out)
+	return out, err
+}
+
+// Combos lists the server's Table II combo IDs.
+func (c *Client) Combos(ctx context.Context) ([]string, error) {
+	var out []string
+	err := c.do(ctx, http.MethodGet, "/v1/combos", nil, &out)
+	return out, err
+}
+
+// Wait polls until the job reaches a terminal state (or ctx expires)
+// and returns the final status.
+func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	interval := c.PollInterval
+	adaptive := interval <= 0
+	if adaptive {
+		interval = 25 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+		if adaptive && interval < 500*time.Millisecond {
+			interval *= 2
+		}
+	}
+}
+
+// Run submits a job, waits for completion, and decodes the results. A
+// failed or canceled job is reported as an error; the final status is
+// returned alongside so callers can inspect Cached/Deduped/timings.
+func (c *Client) Run(ctx context.Context, req JobRequest) (hydrogen.Results, *JobStatus, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return hydrogen.Results{}, nil, err
+	}
+	if st.State != serve.StateDone {
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return hydrogen.Results{}, st, err
+		}
+	}
+	switch st.State {
+	case serve.StateDone:
+	case serve.StateFailed:
+		return hydrogen.Results{}, st, fmt.Errorf("hydroserved: job %s failed: %s", st.ID[:12], st.Error)
+	default:
+		return hydrogen.Results{}, st, fmt.Errorf("hydroserved: job %s %s", st.ID[:12], st.State)
+	}
+	var res hydrogen.Results
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		return hydrogen.Results{}, st, fmt.Errorf("hydroserved: decode result: %w", err)
+	}
+	return res, st, nil
+}
+
+// Event is one SSE message from a job's progress stream.
+type Event struct {
+	// Name is "epoch" or "done".
+	Name string
+	// Data is the raw JSON payload: an EpochSample for epoch events, a
+	// JobStatus (without result) for the final done event.
+	Data json.RawMessage
+}
+
+// Epoch decodes an epoch event's sample.
+func (e Event) Epoch() (hydrogen.EpochSample, error) {
+	var s hydrogen.EpochSample
+	err := json.Unmarshal(e.Data, &s)
+	return s, err
+}
+
+// Events consumes a job's SSE progress stream, calling fn for every
+// event until the stream ends (after the "done" event), fn returns an
+// error, or ctx expires. A nil return from fn continues the stream.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &apiError{Code: resp.StatusCode, Msg: resp.Status}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var ev Event
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = json.RawMessage(strings.TrimPrefix(line, "data: "))
+		case line == "" && ev.Name != "":
+			done := ev.Name == "done"
+			if err := fn(ev); err != nil {
+				return err
+			}
+			ev = Event{}
+			if done {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}

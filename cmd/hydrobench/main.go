@@ -10,6 +10,7 @@
 //	hydrobench -bench Figure5$ -quick  # one benchmark, reduced cycles
 //	hydrobench -pprof /tmp/prof        # also write cpu.pprof + heap.pprof
 //	hydrobench -compare                # diff last two entries per bench
+//	hydrobench -serve                  # serving-layer submit latency, BENCH_serve.json
 //
 // The suite mirrors the simulation-heavy benchmarks of bench_test.go
 // (same reduced configuration, same single-worker pinning) so numbers
@@ -38,6 +39,7 @@ import (
 
 	"github.com/hydrogen-sim/hydrogen/experiments"
 	"github.com/hydrogen-sim/hydrogen/internal/microbench"
+	"github.com/hydrogen-sim/hydrogen/internal/serve"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 )
 
@@ -103,12 +105,26 @@ func main() {
 		label    = flag.String("label", "current", "label recorded with each entry")
 		pprofDir = flag.String("pprof", "", "directory for cpu.pprof and heap.pprof; empty disables")
 		compare  = flag.Bool("compare", false, "diff the last two trajectory entries per benchmark and exit")
+		serveB   = flag.Bool("serve", false, "benchmark the hydroserved submit path (appends to BENCH_serve.json)")
 	)
 	flag.Parse()
 	debug.SetGCPercent(800)
 
+	// The serving-layer numbers live in their own trajectory so the
+	// simulation suite's -compare never pairs across the two.
+	if *serveB && *out == "BENCH_sim.json" {
+		*out = "BENCH_serve.json"
+	}
+
 	if *compare {
 		if err := compareTrajectory(*out); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	if *serveB {
+		if err := runServeBench(*out, *label); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -199,6 +215,34 @@ func main() {
 		}
 		fmt.Printf("appended %d entries to %s\n", len(entries), *out)
 	}
+}
+
+// runServeBench measures the hydroserved submit path with the shared
+// serve.BenchSubmit harness — cold submit-to-done latency, then
+// cache-hit latency percentiles under 64 concurrent submitters — and
+// appends the three numbers to the serve trajectory.
+func runServeBench(out, label string) error {
+	const submitters, hitsPer = 64, 32
+	res, err := serve.BenchSubmit(submitters, hitsPer)
+	if err != nil {
+		return err
+	}
+	when := time.Now().UTC().Format(time.RFC3339)
+	entries := []entry{
+		{Label: label, Bench: "ServeSubmitCold", When: when, Iters: 1, NsOp: res.ColdNs},
+		{Label: label, Bench: "ServeSubmitHitP50", When: when, Iters: res.Samples, NsOp: res.HitP50Ns},
+		{Label: label, Bench: "ServeSubmitHitP99", When: when, Iters: res.Samples, NsOp: res.HitP99Ns},
+	}
+	fmt.Printf("%-18s %14d ns/op  (1 cold submission, simulation included)\n", "ServeSubmitCold", res.ColdNs)
+	fmt.Printf("%-18s %14d ns/op  (%d hits, %d submitters)\n", "ServeSubmitHitP50", res.HitP50Ns, res.Samples, submitters)
+	fmt.Printf("%-18s %14d ns/op\n", "ServeSubmitHitP99", res.HitP99Ns)
+	if out != "" {
+		if err := appendEntries(out, entries); err != nil {
+			return err
+		}
+		fmt.Printf("appended %d entries to %s\n", len(entries), out)
+	}
+	return nil
 }
 
 // regressionTolerance is how much slower the newest entry may be before

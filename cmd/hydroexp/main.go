@@ -12,17 +12,26 @@
 //	hydroexp fig5a                      # main comparison, quick scale
 //	hydroexp -combos C1,C5 -csv fig5a   # two combos, CSV output
 //	hydroexp -paper all                 # full-scale everything (slow)
+//	hydroexp -server http://:8077 fig5a # run against a hydroserved daemon
+//
+// With -server, every named-design simulation is submitted to the
+// daemon instead of running in-process, so repeated sweeps hit its
+// content-addressed result cache (ablation runs that need bespoke
+// policy factories still execute locally).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/debug"
 	"strings"
 
+	"github.com/hydrogen-sim/hydrogen/client"
 	"github.com/hydrogen-sim/hydrogen/experiments"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
 )
 
 func main() {
@@ -34,6 +43,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulations; 0 = all CPUs, 1 = serial")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		server   = flag.String("server", "", "hydroserved base URL; named-design runs are submitted there")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -54,6 +64,17 @@ func main() {
 	opts := experiments.Options{Base: base, Parallel: *parallel}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+	if *server != "" {
+		cl := client.New(*server)
+		opts.Runner = func(cfg system.Config, design string, combo workloads.Combo) (system.Results, error) {
+			res, _, err := cl.Run(context.Background(), client.JobRequest{
+				Config: &cfg,
+				Design: design,
+				Combo:  client.ComboSpec{ID: combo.ID, CPU: combo.CPU, GPU: combo.GPU},
+			})
+			return res, err
+		}
 	}
 	if *combos != "" {
 		opts.Combos = strings.Split(*combos, ",")

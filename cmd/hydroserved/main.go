@@ -1,0 +1,130 @@
+// Command hydroserved is the simulation-as-a-service daemon: it exposes
+// the simulator over an HTTP/JSON API with a bounded job queue, a
+// worker pool, a content-addressed result cache with singleflight
+// dedupe, SSE progress streaming, and Prometheus-text metrics.
+//
+// Usage:
+//
+//	hydroserved [flags]
+//
+// Examples:
+//
+//	hydroserved                               # listen on :8077
+//	hydroserved -addr 127.0.0.1:0             # random port (printed)
+//	hydroserved -cache-dir /var/tmp/hydro     # persistent warm cache
+//
+//	curl -s localhost:8077/v1/jobs -d '{"design":"Hydrogen","combo":"C1"}'
+//	curl -s localhost:8077/v1/jobs/<id>
+//	curl -N  localhost:8077/v1/jobs/<id>/events
+//	curl -s  localhost:8077/metrics
+//
+// On SIGINT/SIGTERM the daemon stops accepting jobs, drains queued and
+// running work (up to -drain-timeout, then cancels), spills the result
+// cache to -cache-dir, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/serve"
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the SIGTERM drain path
+// is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hydroserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8077", "listen address (use :0 for a random port)")
+		workers      = fs.Int("workers", 0, "simulation workers; 0 = GOMAXPROCS")
+		queueDepth   = fs.Int("queue", 64, "job queue depth; submissions beyond it get 429")
+		cacheEntries = fs.Int("cache", 256, "in-memory result cache entries")
+		cacheDir     = fs.String("cache-dir", "", "spill directory for evicted/drained results (optional)")
+		paper        = fs.Bool("paper", false, "default jobs to the full Table I scale instead of quick")
+		drainTO      = fs.Duration("drain-timeout", 10*time.Minute, "max time to let jobs finish on shutdown before canceling")
+		quiet        = fs.Bool("q", false, "suppress per-job logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	debug.SetGCPercent(800)
+
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "hydroserved: %v\n", err)
+			return 1
+		}
+	}
+	logger := log.New(stderr, "hydroserved: ", log.LstdFlags)
+	opts := serve.Options{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+	}
+	if *paper {
+		cfg := system.Paper()
+		opts.DefaultConfig = &cfg
+	}
+	if !*quiet {
+		opts.Logf = logger.Printf
+	}
+	srv := serve.New(opts)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "hydroserved: %v\n", err)
+		return 1
+	}
+	// The parseable listen line is the contract scripts/serve_smoke.sh
+	// and the drain test rely on; keep its format stable.
+	fmt.Fprintf(stdout, "hydroserved: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "hydroserved: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	logger.Printf("signal received: draining (timeout %s)", *drainTO)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	if err := srv.Drain(dctx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	cancel()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	logger.Printf("drained; bye")
+	return 0
+}

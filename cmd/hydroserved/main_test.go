@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	hydrogen "github.com/hydrogen-sim/hydrogen"
+	"github.com/hydrogen-sim/hydrogen/client"
+)
+
+// TestSIGTERMDrainsRunningJobs boots the daemon in-process on a random
+// port, submits a job, waits for it to make progress, sends the process
+// SIGTERM, and asserts that run() exits cleanly only after the job has
+// finished and its result has been spilled to the cache directory —
+// the acceptance criterion that shutdown drains rather than drops work.
+func TestSIGTERMDrainsRunningJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the daemon and runs a multi-second simulation")
+	}
+	dir := t.TempDir()
+
+	pr, pw := io.Pipe()
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-cache-dir", dir, "-workers", "1", "-q"}, pw, io.Discard)
+	}()
+
+	lines := bufio.NewScanner(pr)
+	if !lines.Scan() {
+		t.Fatal("daemon produced no output")
+	}
+	line := lines.Text()
+	const prefix = "hydroserved: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	addr := strings.TrimPrefix(line, prefix)
+
+	cl := client.New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	cfg := hydrogen.QuickConfig()
+	cfg.Hybrid.FastCapacityBytes = 4 << 20
+	cfg.Hybrid.RemapCacheBytes = 16 << 10
+	cfg.LLC.SizeBytes = 256 << 10
+	cfg.EpochLen = 100_000
+	cfg.Cycles = 10_000_000 // long enough to still be running at SIGTERM
+	st, err := cl.Submit(ctx, client.JobRequest{
+		Config: &cfg,
+		Design: "Baseline",
+		Combo:  client.ComboSpec{ID: "C1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the job to be mid-flight: running, with at least one
+	// progress epoch recorded.
+	for {
+		cur, err := cl.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == "running" && cur.Epochs >= 1 {
+			break
+		}
+		if cur.State != "queued" && cur.State != "running" {
+			t.Fatalf("job reached %q before SIGTERM", cur.State)
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("job never started making progress")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("run() exited %d after SIGTERM", code)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// The drain must have let the job finish and spilled its result: the
+	// spill file is the proof the simulation completed before exit.
+	data, err := os.ReadFile(filepath.Join(dir, st.ID+".json"))
+	if err != nil {
+		t.Fatalf("no spilled result after drain: %v", err)
+	}
+	var res hydrogen.Results
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("spilled result corrupt: %v", err)
+	}
+	if res.Cycles != cfg.Cycles {
+		t.Fatalf("drained job simulated %d of %d cycles — drain dropped work", res.Cycles, cfg.Cycles)
+	}
+}

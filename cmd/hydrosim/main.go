@@ -58,7 +58,7 @@ func main() {
 		cfg.Cores = *cores
 	}
 	if *flat {
-		cfg.Hybrid.Mode = 1 // hybrid.ModeFlat
+		cfg.Hybrid.Mode = hydrogen.ModeFlat
 	}
 	cfg.Seed = *seed
 	cfg.WeightCPU, cfg.WeightGPU = *wCPU, *wGPU
@@ -66,9 +66,16 @@ func main() {
 	var res hydrogen.Results
 	var err error
 	if *cpuTr != "" || *gpuTr != "" {
-		cpuGens, closeCPU := openTraces(*cpuTr)
+		cpuGens, closeCPU, err := trace.OpenFiles(splitList(*cpuTr)...)
+		if err != nil {
+			log.Fatal(err)
+		}
 		defer closeCPU()
-		gpuGens, closeGPU := openTraces(*gpuTr)
+		gpuGens, closeGPU, err := trace.OpenFiles(splitList(*gpuTr)...)
+		if err != nil {
+			closeCPU()
+			log.Fatal(err)
+		}
 		defer closeGPU()
 		factory, ferr := hydrogen.ApplyDesign(&cfg, *design)
 		if ferr != nil {
@@ -135,30 +142,12 @@ func main() {
 		res.SlowDynamicPJ/1e9, res.SlowStaticPJ/1e9)
 }
 
-// openTraces opens a comma-separated list of trace files as generators.
-func openTraces(list string) ([]trace.Generator, func()) {
+// splitList turns a comma-separated flag value into paths ("" = none).
+func splitList(list string) []string {
 	if list == "" {
-		return nil, func() {}
+		return nil
 	}
-	var gens []trace.Generator
-	var files []*os.File
-	for _, path := range strings.Split(list, ",") {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r, err := trace.NewReader(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		files = append(files, f)
-		gens = append(gens, r)
-	}
-	return gens, func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}
+	return strings.Split(list, ",")
 }
 
 func max64(a, b uint64) uint64 {

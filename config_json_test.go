@@ -1,0 +1,77 @@
+package hydrogen_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	hydrogen "github.com/hydrogen-sim/hydrogen"
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+)
+
+// TestConfigJSONRoundTrip is the regression test for the serving API's
+// core assumption: a Config survives marshal → unmarshal with nothing
+// lost, so a job submitted over the wire simulates exactly the config
+// the client built (and hashes to the same cache key).
+func TestConfigJSONRoundTrip(t *testing.T) {
+	mutated := system.Quick()
+	mutated.Cores = 3
+	mutated.CPUProfiles = []string{"mcf", "gcc", "mcf"}
+	mutated.GPUProfile = "bert"
+	mutated.Hybrid.Mode = hydrogen.ModeFlat
+	mutated.Hybrid.Chaining = true
+	mutated.Hybrid.MaxInFlightFills = 7
+	mutated.FastBWScale = 0.5
+	mutated.SlowBWScale = 2
+	mutated.Fast.CPUPriority = true
+	mutated.WeightCPU, mutated.WeightGPU = 3, 2
+	mutated.EpochLen = 12345
+	mutated.Cycles = 777_777
+	mutated.Seed = 42
+	mutated.ProfileScaleBytes = 1 << 22
+
+	for _, tc := range []struct {
+		name string
+		cfg  system.Config
+	}{
+		{"quick", system.Quick()},
+		{"paper", system.Paper()},
+		{"mutated", mutated},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := json.Marshal(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back system.Config
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tc.cfg, back) {
+				t.Fatalf("config changed across JSON round trip:\n  in:  %+v\n  out: %+v", tc.cfg, back)
+			}
+			// Re-marshal byte equality guards against map-order or
+			// float-formatting instability leaking into cache keys.
+			again, err := json.Marshal(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Fatalf("re-marshal not byte-identical:\n  1st: %s\n  2nd: %s", data, again)
+			}
+		})
+	}
+}
+
+// TestCanonicalIdempotent: Canonical must be a fixpoint, or cache keys
+// computed server-side vs client-side would diverge.
+func TestCanonicalIdempotent(t *testing.T) {
+	cfg := system.Canonical(system.Quick())
+	if cfg.WeightCPU != 12 || cfg.WeightGPU != 1 {
+		t.Fatalf("Canonical weights = %g:%g, want 12:1", cfg.WeightCPU, cfg.WeightGPU)
+	}
+	if !reflect.DeepEqual(cfg, system.Canonical(cfg)) {
+		t.Fatal("Canonical(Canonical(cfg)) != Canonical(cfg)")
+	}
+}

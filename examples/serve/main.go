@@ -1,0 +1,74 @@
+// Serve: drive a running hydroserved daemon through the client
+// package — submit a job, stream its per-epoch progress over SSE, and
+// show that the identical resubmission is answered from the daemon's
+// content-addressed result cache without simulating again.
+//
+// Start the daemon first, then run this example:
+//
+//	go run ./cmd/hydroserved &
+//	go run ./examples/serve
+//
+// Point it elsewhere with -url or the HYDROSERVED_URL environment
+// variable.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/client"
+)
+
+func main() {
+	def := os.Getenv("HYDROSERVED_URL")
+	if def == "" {
+		def = "http://127.0.0.1:8077"
+	}
+	url := flag.String("url", def, "hydroserved base URL")
+	design := flag.String("design", "Hydrogen", "design to simulate")
+	comboID := flag.String("combo", "C1", "Table II combo")
+	flag.Parse()
+
+	c := client.New(*url)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	req := client.JobRequest{Design: *design, Combo: client.ComboSpec{ID: *comboID}}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		log.Fatalf("submit (is hydroserved running at %s?): %v", *url, err)
+	}
+	fmt.Printf("job %s: %s\n", st.ID[:12], st.State)
+
+	// Follow the per-epoch progress stream until the job finishes.
+	epochs := 0
+	err = c.Events(ctx, st.ID, func(ev client.Event) error {
+		switch ev.Name {
+		case "epoch":
+			e, err := ev.Epoch()
+			if err != nil {
+				return err
+			}
+			epochs++
+			fmt.Printf("  epoch %3d  cycle %9d  weighted IPC %.3f\n", epochs, e.EndCycle, e.WeightedIPC)
+		case "done":
+			fmt.Println("stream done")
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, final, err := c.Run(ctx, req) // already finished: served instantly
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s on %s: CPU IPC %.3f, GPU IPC %.3f, weighted %.3f\n",
+		*design, *comboID, res.CPUIPC, res.GPUIPC, res.WeightedIPC(12, 1))
+	fmt.Printf("resubmission cached=%v (content-addressed: job ID is the cache key)\n", final.Cached)
+}

@@ -27,6 +27,24 @@ type Options struct {
 	Combos   []string      // workload combos to run; nil = all C1..C12
 	Progress io.Writer     // optional live progress sink
 	Parallel int           // concurrent simulations; <=0 = all CPUs, 1 = serial
+
+	// Runner overrides how named-design simulations execute. nil runs
+	// in-process via system.RunDesign; `hydroexp -server` installs a
+	// hydroserved client here so sweep re-runs hit the daemon's
+	// content-addressed result cache. Runner must be safe for
+	// concurrent use. Runs that need a bespoke policy factory (the
+	// ablation variants of Figs. 7-9 and the pinned operating points of
+	// Fig. 8) always execute locally.
+	Runner func(cfg system.Config, design string, combo workloads.Combo) (system.Results, error)
+}
+
+// run executes one named-design simulation through the configured
+// Runner (or locally when none is set).
+func (o *Options) run(cfg system.Config, design string, combo workloads.Combo) (system.Results, error) {
+	if o.Runner != nil {
+		return o.Runner(cfg, design, combo)
+	}
+	return system.RunDesign(cfg, design, combo)
 }
 
 // DefaultOptions returns quick-scale options over all combos.

@@ -27,7 +27,7 @@ func Fig10a(o Options, comboID string, weights [][2]float64) ([]Fig10aRow, error
 		weights = [][2]float64{{1, 1}, {4, 1}, {12, 1}, {32, 1}}
 	}
 	// Alone runs are weight-independent.
-	cpuAlone, gpuAlone, _, err := aloneAndTogether(o.Base, system.DesignBaseline, combo)
+	cpuAlone, gpuAlone, _, err := aloneAndTogether(&o, o.Base, system.DesignBaseline, combo)
 	if err != nil {
 		return nil, err
 	}
@@ -87,15 +87,15 @@ func Fig10b(o Options, counts []int) ([]Fig10bRow, error) {
 		cfg := o.Base
 		cfg.Cores = n
 		cfg.WeightCPU, cfg.WeightGPU = 96/float64(n), 1
-		baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+		baseline, err := o.run(cfg, system.DesignBaseline, combo)
 		if err != nil {
 			return pair{}, err
 		}
-		h, err := system.RunDesign(cfg, system.DesignHydrogen, combo)
+		h, err := o.run(cfg, system.DesignHydrogen, combo)
 		if err != nil {
 			return pair{}, err
 		}
-		p, err := system.RunDesign(cfg, system.DesignProfess, combo)
+		p, err := o.run(cfg, system.DesignProfess, combo)
 		if err != nil {
 			return pair{}, err
 		}

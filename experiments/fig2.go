@@ -8,35 +8,25 @@ import (
 )
 
 // aloneAndTogether runs a combo's CPU-alone, GPU-alone, and co-run
-// configurations under the given design.
-func aloneAndTogether(base system.Config, design string, combo workloads.Combo) (cpuAlone, gpuAlone, together system.Results, err error) {
-	ca := base
-	ca.CPUProfiles = combo.CPUAssignment(base.Cores)
-	ca.GPUProfile = ""
-	f, err := system.ApplyDesign(&ca, design)
+// configurations under the given design. All three are named-design
+// runs (the alone runs just blank out the other processor's workload),
+// so they route through o.run and benefit from a remote Runner's cache.
+func aloneAndTogether(o *Options, base system.Config, design string, combo workloads.Combo) (cpuAlone, gpuAlone, together system.Results, err error) {
+	cpuOnly := combo
+	cpuOnly.GPU = ""
+	cpuAlone, err = o.run(base, design, cpuOnly)
 	if err != nil {
 		return
 	}
-	sys, err := system.New(ca, f)
-	if err != nil {
-		return
-	}
-	cpuAlone = sys.Run()
 
 	ga := base
 	ga.Cores = 0
-	ga.GPUProfile = combo.GPU
-	f, err = system.ApplyDesign(&ga, design)
+	gpuAlone, err = o.run(ga, design, combo)
 	if err != nil {
 		return
 	}
-	sys, err = system.New(ga, f)
-	if err != nil {
-		return
-	}
-	gpuAlone = sys.Run()
 
-	together, err = system.RunDesign(base, design, combo)
+	together, err = o.run(base, design, combo)
 	return
 }
 
@@ -54,7 +44,7 @@ func Fig2a(o Options) ([]Fig2aRow, error) {
 	combos := o.combos()
 	return mapOrdered(o.parallelism(), len(combos), func(i int) (Fig2aRow, error) {
 		c := combos[i]
-		ca, ga, tog, err := aloneAndTogether(o.Base, system.DesignBaseline, c)
+		ca, ga, tog, err := aloneAndTogether(&o, o.Base, system.DesignBaseline, c)
 		if err != nil {
 			return Fig2aRow{}, err
 		}
@@ -136,7 +126,7 @@ func Fig2Sensitivity(o Options, comboID string, knob SensitivityKnob, scales []f
 			}
 			cfg.Hybrid.FastCapacityBytes = cap / setBytes * setBytes
 		}
-		r, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+		r, err := o.run(cfg, system.DesignBaseline, combo)
 		o.logf("fig2 %s: scale %.2f done", knob, sc)
 		return r, err
 	})

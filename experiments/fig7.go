@@ -9,9 +9,11 @@ import (
 )
 
 // runHydrogenVariant runs one combo under a Hydrogen options variant and
-// the baseline, returning the weighted speedup.
-func runHydrogenVariant(base system.Config, opts system.HydrogenOptions, combo workloads.Combo, wCPU, wGPU float64) (float64, error) {
-	baseline, err := system.RunDesign(base, system.DesignBaseline, combo)
+// the baseline, returning the weighted speedup. The baseline is a
+// named-design run and goes through o.run (cacheable against a serve
+// Runner); the variant needs a bespoke factory and always runs locally.
+func runHydrogenVariant(o *Options, base system.Config, opts system.HydrogenOptions, combo workloads.Combo, wCPU, wGPU float64) (float64, error) {
+	baseline, err := o.run(base, system.DesignBaseline, combo)
 	if err != nil {
 		return 0, err
 	}
@@ -45,7 +47,7 @@ func variantGeomean(o Options, variants map[string]system.HydrogenOptions) (map[
 	}
 	speedups, err := mapOrdered(o.parallelism(), len(list), func(i int) (float64, error) {
 		j := list[i]
-		s, err := runHydrogenVariant(o.Base, variants[j.name], j.combo, wCPU, wGPU)
+		s, err := runHydrogenVariant(&o, o.Base, variants[j.name], j.combo, wCPU, wGPU)
 		o.logf("fig7: %s %s speedup %.3f", j.name, j.combo.ID, s)
 		return s, err
 	})
@@ -118,7 +120,7 @@ func Fig7b(o Options) (map[string]float64, error) {
 	for _, combo := range combos {
 		combo := combo
 		points := StaticGrid(coarse)
-		baseline, err := system.RunDesign(o.Base, system.DesignBaseline, combo)
+		baseline, err := o.run(o.Base, system.DesignBaseline, combo)
 		if err != nil {
 			return nil, err
 		}

@@ -97,7 +97,7 @@ func Fig8(o Options, comboID string, d GridDensity) (*Fig8Result, error) {
 		return nil, err
 	}
 	wCPU, wGPU := weightsOf(o.Base)
-	baseline, err := system.RunDesign(o.Base, system.DesignBaseline, combo)
+	baseline, err := o.run(o.Base, system.DesignBaseline, combo)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +113,7 @@ func Fig8(o Options, comboID string, d GridDensity) (*Fig8Result, error) {
 		return nil, err
 	}
 
-	hydro, err := runHydrogenVariant(o.Base,
+	hydro, err := runHydrogenVariant(&o, o.Base,
 		system.HydrogenOptions{Tokens: true, TokIdx: 3, Climb: true}, combo, wCPU, wGPU)
 	if err != nil {
 		return nil, err

@@ -44,7 +44,7 @@ func Fig9Phase(o Options, factors []float64) ([]Fig9Row, error) {
 		if phaseEpochs == 0 {
 			phaseEpochs = 1
 		}
-		s, err := runHydrogenVariant(o.Base, system.HydrogenOptions{
+		s, err := runHydrogenVariant(&o, o.Base, system.HydrogenOptions{
 			Tokens: true, TokIdx: 3, Climb: true, PhaseEpochs: phaseEpochs,
 		}, combo, wCPU, wGPU)
 		o.logf("fig9 phase x%.2f %s: %.3f", f, combo.ID, s)
@@ -68,7 +68,7 @@ func fig9sweep(o Options, factors []float64, label string, mutate func(*system.C
 		f, combo := factors[k/len(combos)], combos[k%len(combos)]
 		cfg := o.Base
 		mutate(&cfg, f)
-		baseline, err := system.RunDesign(cfg, system.DesignBaseline, combo)
+		baseline, err := o.run(cfg, system.DesignBaseline, combo)
 		if err != nil {
 			return 0, err
 		}

@@ -17,7 +17,10 @@
 package hydrogen
 
 import (
+	"context"
+
 	"github.com/hydrogen-sim/hydrogen/experiments"
+	"github.com/hydrogen-sim/hydrogen/internal/memory/hybrid"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/trace"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
@@ -45,6 +48,16 @@ type (
 	// TraceGenerator yields memory operations; trace.Reader (file
 	// replay) and the synthetic generators implement it.
 	TraceGenerator = trace.Generator
+	// HybridMode selects the fast-tier organization (Config.Hybrid.Mode).
+	HybridMode = hybrid.Mode
+)
+
+// Fast-tier organization modes (Section II-A): ModeCache treats the
+// fast tier as a hardware-managed cache of the slow tier; ModeFlat
+// makes both tiers one flat space managed by swapping.
+const (
+	ModeCache = hybrid.ModeCache
+	ModeFlat  = hybrid.ModeFlat
 )
 
 // Design names accepted by Run and ApplyDesign (the Fig. 5 designs).
@@ -100,6 +113,21 @@ func Run(cfg Config, design, comboID string) (Results, error) {
 		return Results{}, err
 	}
 	return system.RunDesign(cfg, design, combo)
+}
+
+// RunWithProgress is Run with cooperative cancellation and a live
+// per-epoch callback: onEpoch (nil for none) receives every epoch
+// sample as it is taken, and ctx is polled at epoch boundaries so a
+// canceled run stops early with partial results and ctx.Err(). The
+// hooks observe the simulation without perturbing it, so results are
+// bit-identical to Run's. cmd/hydroserved uses this to stream progress
+// events for queued jobs.
+func RunWithProgress(ctx context.Context, cfg Config, design, comboID string, onEpoch func(EpochSample)) (Results, error) {
+	combo, err := workloads.ComboByID(comboID)
+	if err != nil {
+		return Results{}, err
+	}
+	return system.RunDesignContext(ctx, cfg, design, combo, onEpoch)
 }
 
 // ApplyDesign resolves a design name to its policy factory, applying any

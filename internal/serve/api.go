@@ -1,0 +1,157 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON API
+// over the simulator with a bounded job queue, a worker pool, a
+// content-addressed result cache (SHA-256 of the canonical job
+// payload) with singleflight dedupe and LRU + disk-spill eviction,
+// live per-epoch progress streaming over SSE, cancellation, graceful
+// drain, and Prometheus-text metrics.
+//
+// Sweep-style studies (the per-configuration tuning sweeps of Vaverka
+// et al. and the batch characterization campaigns of Schieffer et al.)
+// re-run near-identical configurations that differ in a single knob;
+// against a warm daemon every repeated (config, design, combo) point
+// is a cache hit, and concurrent identical submissions share one
+// simulation.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit {config?, design, combo}; dedupes
+//	GET    /v1/jobs             list job records
+//	GET    /v1/jobs/{id}        status + result when done
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events SSE per-epoch progress stream
+//	GET    /v1/designs          design names
+//	GET    /v1/combos           Table II combo IDs
+//	GET    /healthz             liveness + drain state
+//	GET    /metrics             Prometheus text format
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// ComboSpec identifies a job's workload combination: a Table II combo
+// ID ("C1".."C12"), an inline custom assignment, or both (an inline
+// assignment with a label). In JSON it unmarshals from either a bare
+// string or the object form.
+type ComboSpec struct {
+	ID  string   `json:"id,omitempty"`
+	CPU []string `json:"cpu,omitempty"`
+	GPU string   `json:"gpu,omitempty"`
+}
+
+// UnmarshalJSON accepts "C1" as shorthand for {"id":"C1"}.
+func (c *ComboSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var id string
+		if err := json.Unmarshal(b, &id); err != nil {
+			return err
+		}
+		*c = ComboSpec{ID: id}
+		return nil
+	}
+	type raw ComboSpec // drop methods to avoid recursion
+	var r raw
+	if err := json.Unmarshal(b, &r); err != nil {
+		return err
+	}
+	*c = ComboSpec(r)
+	return nil
+}
+
+// resolve expands the spec to a runnable combo plus its canonical form:
+// a bare known ID becomes the full Table II definition, so "C1" and the
+// equivalent inline spec hash to the same cache key.
+func (c ComboSpec) resolve() (workloads.Combo, ComboSpec, error) {
+	if len(c.CPU) == 0 && c.GPU == "" {
+		combo, err := workloads.ComboByID(c.ID)
+		if err != nil {
+			return workloads.Combo{}, c, err
+		}
+		return combo, ComboSpec{ID: combo.ID, CPU: combo.CPU, GPU: combo.GPU}, nil
+	}
+	id := c.ID
+	if id == "" {
+		id = "custom"
+	}
+	combo := workloads.Combo{ID: id, CPU: c.CPU, GPU: c.GPU}
+	return combo, ComboSpec{ID: id, CPU: c.CPU, GPU: c.GPU}, nil
+}
+
+// JobRequest is the POST /v1/jobs payload. Config is a full
+// system.Config (it round-trips JSON losslessly); when omitted the
+// daemon's default configuration is used — system.Quick(), or
+// system.Paper() when Paper is set. Cycles and Seed, when nonzero,
+// override the corresponding config fields, so sweep clients can vary
+// one knob without shipping the whole config.
+type JobRequest struct {
+	Config *system.Config `json:"config,omitempty"`
+	Paper  bool           `json:"paper,omitempty"`
+	Cycles uint64         `json:"cycles,omitempty"`
+	Seed   int64          `json:"seed,omitempty"`
+	Design string         `json:"design"`
+	Combo  ComboSpec      `json:"combo"`
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobStatus is the wire representation of a job record. Result is the
+// cached marshaling of the run's system.Results — byte-identical across
+// cache hits — present only once the job is done.
+type JobStatus struct {
+	ID     string    `json:"id"`
+	State  string    `json:"state"`
+	Design string    `json:"design"`
+	Combo  ComboSpec `json:"combo"`
+
+	// Cached marks a submission answered from the result cache without
+	// queueing; Deduped marks one coalesced onto an identical in-flight
+	// job (singleflight).
+	Cached  bool `json:"cached,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+
+	Epochs int    `json:"epochs"` // progress samples taken so far
+	Error  string `json:"error,omitempty"`
+
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// CacheKey derives a job's content address: the SHA-256 of the
+// canonical JSON encoding of (normalized config, design, resolved
+// combo). The config is canonicalized with system.Canonical and its
+// per-run workload-assignment fields cleared (RunDesign re-derives them
+// from the combo), so configs that simulate identically share a key.
+// encoding/json emits struct fields in declaration order, which makes
+// the encoding deterministic.
+func CacheKey(cfg system.Config, design string, combo ComboSpec) string {
+	c := system.Canonical(cfg)
+	c.CPUProfiles = nil
+	c.GPUProfile = ""
+	payload, err := json.Marshal(struct {
+		Config system.Config `json:"config"`
+		Design string        `json:"design"`
+		Combo  ComboSpec     `json:"combo"`
+	}{c, design, combo})
+	if err != nil {
+		// system.Config contains only plain data; Marshal cannot fail.
+		panic("serve: marshal cache key: " + err.Error())
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+)
+
+// BenchResult is one measurement of the submit path: the cold
+// submit-to-done latency of an uncached job, and the cache-hit request
+// latency distribution under concurrent submitters.
+type BenchResult struct {
+	ColdNs   int64 // uncached submit → job done, one simulation included
+	HitP50Ns int64 // cache-hit request latency, median
+	HitP99Ns int64 // cache-hit request latency, 99th percentile
+	Samples  int   // number of cache-hit requests measured
+}
+
+// benchConfig is the reduced instance the serve benchmarks submit —
+// small enough that the cold run is dominated by a short simulation,
+// so the cache-hit numbers measure the serving layer, not the sim.
+func benchConfig() system.Config {
+	cfg := system.Quick()
+	cfg.Hybrid.FastCapacityBytes = 4 << 20
+	cfg.Hybrid.RemapCacheBytes = 16 << 10
+	cfg.LLC.SizeBytes = 256 << 10
+	cfg.EpochLen = 100_000
+	cfg.Cycles = 200_000
+	return cfg
+}
+
+// BenchSubmit boots an in-process daemon, measures one cold submission
+// (queue + simulation + result marshal), then has `submitters`
+// concurrent clients each issue `hitsPer` identical submissions — all
+// cache hits — and reports the hit latency distribution. It is the
+// engine behind BenchmarkServeSubmit and `hydrobench -serve`.
+func BenchSubmit(submitters, hitsPer int) (BenchResult, error) {
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cfg := benchConfig()
+	body, err := json.Marshal(JobRequest{Config: &cfg, Design: "Baseline", Combo: ComboSpec{ID: "C1"}})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	post := func() (JobStatus, int, error) {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return JobStatus{}, 0, err
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return JobStatus{}, resp.StatusCode, err
+		}
+		return st, resp.StatusCode, nil
+	}
+
+	cold := time.Now()
+	st, code, err := post()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	if code != http.StatusAccepted {
+		return BenchResult{}, fmt.Errorf("cold submit: status %d", code)
+	}
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		var cur JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if cur.State == StateDone {
+			break
+		}
+		if cur.State == StateFailed || cur.State == StateCanceled {
+			return BenchResult{}, fmt.Errorf("cold job %s: %s", short(cur.ID), cur.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res := BenchResult{ColdNs: time.Since(cold).Nanoseconds()}
+
+	lat := make([][]int64, submitters)
+	errs := make(chan error, submitters)
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mine := make([]int64, 0, hitsPer)
+			for k := 0; k < hitsPer; k++ {
+				t0 := time.Now()
+				st, code, err := post()
+				switch {
+				case err != nil:
+					errs <- err
+					return
+				case code != http.StatusOK || !st.Cached:
+					errs <- fmt.Errorf("hit %d/%d: status %d cached=%v", i, k, code, st.Cached)
+					return
+				}
+				mine = append(mine, time.Since(t0).Nanoseconds())
+			}
+			lat[i] = mine
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return BenchResult{}, err
+	default:
+	}
+
+	var all []int64
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	res.Samples = len(all)
+	res.HitP50Ns = percentile(all, 50)
+	res.HitP99Ns = percentile(all, 99)
+	return res, nil
+}
+
+// percentile returns the p-th percentile of sorted nanosecond samples
+// (nearest-rank method).
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}

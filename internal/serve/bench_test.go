@@ -1,0 +1,26 @@
+package serve_test
+
+import (
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/serve"
+)
+
+// BenchmarkServeSubmit measures the serving layer's submit path via the
+// shared harness: each iteration is one full cold-run + 64-submitter
+// cache-hit storm, and the hit percentiles are attached as custom
+// metrics. `hydrobench -serve` records the same numbers in
+// BENCH_serve.json.
+func BenchmarkServeSubmit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := serve.BenchSubmit(64, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 { // report the final iteration's distribution
+			b.ReportMetric(float64(res.ColdNs), "cold-ns")
+			b.ReportMetric(float64(res.HitP50Ns), "hit-p50-ns")
+			b.ReportMetric(float64(res.HitP99Ns), "hit-p99-ns")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: an in-memory LRU
+// over marshaled Results, with optional spill of evicted entries to a
+// directory so a bounded heap still serves long sweep histories (and
+// so a restarted daemon starts warm). Keys are CacheKey hex strings.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	dir     string // "" disables disk spill
+	ll      *list.List
+	entries map[string]*list.Element
+
+	onEvict func(spilled bool) // metrics hook, called outside mu? kept under mu: cheap atomics only
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+func newResultCache(max int, dir string) *resultCache {
+	return &resultCache{
+		max:     max,
+		dir:     dir,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the stored bytes for key, consulting memory first and the
+// spill directory second; a disk hit is promoted back into memory.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.spillPath(key))
+	if err != nil {
+		return nil, false
+	}
+	c.Put(key, data) // promote
+	return data, true
+}
+
+// Put stores data under key, evicting the least-recently-used entry
+// (spilling it to disk when configured) once the cache is full.
+func (c *resultCache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	for c.max > 0 && c.ll.Len() > c.max {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.entries, e.key)
+		spilled := c.spill(e)
+		if c.onEvict != nil {
+			c.onEvict(spilled)
+		}
+	}
+}
+
+// Len reports the number of in-memory entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// spill writes one entry to the spill directory; best-effort.
+func (c *resultCache) spill(e *cacheEntry) bool {
+	if c.dir == "" {
+		return false
+	}
+	return os.WriteFile(c.spillPath(e.key), e.data, 0o644) == nil
+}
+
+// SpillAll persists every in-memory entry to the spill directory — the
+// shutdown path, so a drained daemon leaves its warm state on disk.
+// Without a spill directory it is a no-op.
+func (c *resultCache) SpillAll() error {
+	if c.dir == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if err := os.WriteFile(c.spillPath(e.key), e.data, 0o644); err != nil && first == nil {
+			first = fmt.Errorf("serve: spill %s: %w", e.key[:12], err)
+		}
+	}
+	return first
+}
+
+func (c *resultCache) spillPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

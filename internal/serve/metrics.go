@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics are the daemon's counters, exported in Prometheus text
+// format by /metrics. Plain atomics — no client library dependency.
+type metrics struct {
+	submitted atomic.Int64 // POST /v1/jobs accepted (incl. hits/dedups)
+	enqueued  atomic.Int64 // jobs that entered the queue
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	deduped   atomic.Int64 // submissions coalesced onto in-flight jobs
+	rejected  atomic.Int64 // queue-full or draining rejections
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+	cacheSpills    atomic.Int64
+
+	queued  atomic.Int64 // gauge
+	running atomic.Int64 // gauge
+
+	simCycles      atomic.Int64 // simulated cycles completed
+	simNanos       atomic.Int64 // wall time spent simulating
+	queueWaitNanos atomic.Int64
+	epochsStreamed atomic.Int64
+}
+
+// write renders the Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, cacheEntries int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("hydroserved_jobs_submitted_total", "Job submissions accepted.", m.submitted.Load())
+	counter("hydroserved_jobs_enqueued_total", "Jobs that entered the run queue.", m.enqueued.Load())
+	counter("hydroserved_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
+	counter("hydroserved_jobs_failed_total", "Jobs that ended in error.", m.failed.Load())
+	counter("hydroserved_jobs_canceled_total", "Jobs canceled by clients or shutdown.", m.canceled.Load())
+	counter("hydroserved_jobs_deduped_total", "Submissions coalesced onto identical in-flight jobs.", m.deduped.Load())
+	counter("hydroserved_jobs_rejected_total", "Submissions rejected (queue full or draining).", m.rejected.Load())
+	counter("hydroserved_cache_hits_total", "Submissions answered from the result cache.", m.cacheHits.Load())
+	counter("hydroserved_cache_misses_total", "Submissions that required a simulation.", m.cacheMisses.Load())
+	counter("hydroserved_cache_evictions_total", "Result-cache LRU evictions.", m.cacheEvictions.Load())
+	counter("hydroserved_cache_spills_total", "Evicted or drained results written to the spill directory.", m.cacheSpills.Load())
+	gauge("hydroserved_cache_entries", "Results held in memory.", int64(cacheEntries))
+	gauge("hydroserved_jobs_queued", "Jobs waiting in the queue.", m.queued.Load())
+	gauge("hydroserved_jobs_running", "Jobs currently simulating.", m.running.Load())
+	counter("hydroserved_sim_cycles_total", "Simulated cycles completed.", m.simCycles.Load())
+	counter("hydroserved_sim_seconds_total", "Wall-clock seconds spent simulating.", m.simNanos.Load()/1e9)
+	counter("hydroserved_queue_wait_seconds_total", "Total seconds jobs spent queued before starting.", m.queueWaitNanos.Load()/1e9)
+	counter("hydroserved_epochs_streamed_total", "Per-epoch progress samples recorded.", m.epochsStreamed.Load())
+	// Derived throughput gauge: simulated cycles per wall second.
+	rate := int64(0)
+	if ns := m.simNanos.Load(); ns > 0 {
+		rate = int64(float64(m.simCycles.Load()) / (float64(ns) / 1e9))
+	}
+	gauge("hydroserved_sim_cycles_per_second", "Aggregate simulation throughput.", rate)
+	// Cache hit ratio in millionths, so scrapers need no float parsing.
+	total := m.cacheHits.Load() + m.cacheMisses.Load()
+	ratio := int64(0)
+	if total > 0 {
+		ratio = m.cacheHits.Load() * 1_000_000 / total
+	}
+	gauge("hydroserved_cache_hit_ratio_ppm", "Cache hit ratio in parts per million.", ratio)
+}

@@ -1,0 +1,491 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/serve"
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+)
+
+// tinyConfig mirrors the root package's test config: small enough that
+// one simulation takes well under a second.
+func tinyConfig() system.Config {
+	cfg := system.Quick()
+	cfg.Hybrid.FastCapacityBytes = 4 << 20
+	cfg.Hybrid.RemapCacheBytes = 16 << 10
+	cfg.LLC.SizeBytes = 256 << 10
+	cfg.EpochLen = 100_000
+	cfg.Cycles = 500_000
+	return cfg
+}
+
+func newTestServer(t *testing.T, opts serve.Options) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv := serve.New(opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func submit(t *testing.T, base string, req serve.JobRequest) (serve.JobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func getJob(t *testing.T, base, id string) serve.JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, base, id string, want ...string) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getJob(t, base, id)
+		for _, w := range want {
+			if st.State == w {
+				return st
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v", id, want)
+	return serve.JobStatus{}
+}
+
+// TestSingleflightAndCacheHit is the core acceptance test: two
+// concurrent identical submissions run exactly one simulation, and a
+// resubmission after completion is a cache hit returning byte-identical
+// results.
+func TestSingleflightAndCacheHit(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Options{Workers: 2})
+	cfg := tinyConfig()
+	req := serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+
+	const n = 4
+	var wg sync.WaitGroup
+	statuses := make([]serve.JobStatus, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], codes[i] = submit(t, ts.URL, req)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if statuses[i].ID != statuses[0].ID {
+			t.Fatalf("identical submissions got different job IDs:\n  %s\n  %s", statuses[0].ID, statuses[i].ID)
+		}
+	}
+	if got := srv.SimulationsStarted(); got != 1 {
+		t.Fatalf("%d concurrent identical submissions started %d simulations, want 1", n, got)
+	}
+
+	done := waitState(t, ts.URL, statuses[0].ID, serve.StateDone)
+	if len(done.Result) == 0 {
+		t.Fatal("done job has no result")
+	}
+	var res system.Results
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("result not a system.Results: %v", err)
+	}
+	if res.Cycles != cfg.Cycles {
+		t.Fatalf("result simulated %d cycles, want %d", res.Cycles, cfg.Cycles)
+	}
+
+	// Resubmission after completion: cache hit, no new simulation,
+	// byte-identical result.
+	st, code := submit(t, ts.URL, req)
+	if code != http.StatusOK || !st.Cached {
+		t.Fatalf("resubmission: code=%d cached=%v, want 200 cached", code, st.Cached)
+	}
+	if !bytes.Equal(st.Result, done.Result) {
+		t.Fatal("cache hit returned different bytes than the original result")
+	}
+	if got := srv.SimulationsStarted(); got != 1 {
+		t.Fatalf("resubmission started a simulation (total %d)", got)
+	}
+
+	// The fully expanded spelling of C1 (as the server canonicalizes it)
+	// must hash to the same job as the bare ID.
+	inline := req
+	inline.Combo = getJob(t, ts.URL, st.ID).Combo
+	st2, _ := submit(t, ts.URL, inline)
+	if st2.ID != st.ID {
+		t.Fatalf("inline combo spelling minted a new job:\n  %s\n  %s", st.ID, st2.ID)
+	}
+}
+
+// TestSSEProgressBeforeCompletion: epoch events stream while the job is
+// still running — every epoch event must be received before the job's
+// FinishedAt timestamp — and the stream ends with a done event.
+func TestSSEProgressBeforeCompletion(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	cfg := tinyConfig()
+	cfg.Cycles = 2_000_000 // 20 epochs, so the stream outlives subscription
+	req := serve.JobRequest{Config: &cfg, Design: "Baseline", Combo: serve.ComboSpec{ID: "C1"}}
+
+	st, code := submit(t, ts.URL, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+
+	var (
+		epochEvents int
+		firstEpoch  time.Time
+		doneStatus  *serve.JobStatus
+	)
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "epoch":
+				epochEvents++
+				if firstEpoch.IsZero() {
+					firstEpoch = time.Now()
+				}
+				if doneStatus != nil {
+					t.Fatal("epoch event after done event")
+				}
+				var e system.EpochSample
+				if err := json.Unmarshal([]byte(data), &e); err != nil {
+					t.Fatalf("bad epoch payload: %v", err)
+				}
+			case "done":
+				var d serve.JobStatus
+				if err := json.Unmarshal([]byte(data), &d); err != nil {
+					t.Fatalf("bad done payload: %v", err)
+				}
+				doneStatus = &d
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if epochEvents == 0 {
+		t.Fatal("no epoch events streamed")
+	}
+	if doneStatus == nil {
+		t.Fatal("stream ended without a done event")
+	}
+	if doneStatus.State != serve.StateDone {
+		t.Fatalf("done event state %q", doneStatus.State)
+	}
+	if doneStatus.Epochs != epochEvents {
+		t.Fatalf("streamed %d epoch events, done reports %d epochs", epochEvents, doneStatus.Epochs)
+	}
+	if len(doneStatus.Result) != 0 {
+		t.Fatal("done SSE event carries the result; results belong to GET")
+	}
+	if !firstEpoch.Before(doneStatus.FinishedAt) {
+		t.Fatalf("first epoch event at %v, after job finished at %v — progress did not arrive before completion",
+			firstEpoch, doneStatus.FinishedAt)
+	}
+}
+
+// TestCancelRunningJob: DELETE lands at the next epoch boundary and the
+// job reports canceled, not done.
+func TestCancelRunningJob(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Options{Workers: 1})
+	cfg := tinyConfig()
+	cfg.Cycles = 200_000_000 // far longer than the test will allow
+	req := serve.JobRequest{Config: &cfg, Design: "Baseline", Combo: serve.ComboSpec{ID: "C1"}}
+
+	st, _ := submit(t, ts.URL, req)
+	waitState(t, ts.URL, st.ID, serve.StateRunning)
+
+	hreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	end := waitState(t, ts.URL, st.ID, serve.StateCanceled)
+	if end.Error == "" {
+		t.Fatal("canceled job has no error message")
+	}
+	_ = srv
+}
+
+// TestQueueFullRejects: with one worker busy and a depth-1 queue, a
+// third submission is rejected with 429.
+func TestQueueFullRejects(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1, QueueDepth: 1})
+	long := tinyConfig()
+	long.Cycles = 200_000_000
+	mk := func(seed int64) serve.JobRequest {
+		cfg := long
+		cfg.Seed = seed
+		return serve.JobRequest{Config: &cfg, Design: "Baseline", Combo: serve.ComboSpec{ID: "C1"}}
+	}
+
+	st1, _ := submit(t, ts.URL, mk(1))
+	waitState(t, ts.URL, st1.ID, serve.StateRunning) // worker occupied
+	_, code2 := submit(t, ts.URL, mk(2))             // sits in the queue
+	if code2 != http.StatusAccepted {
+		t.Fatalf("second submit: %d", code2)
+	}
+	_, code3 := submit(t, ts.URL, mk(3))
+	if code3 != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %d, want 429", code3)
+	}
+}
+
+// TestDrainRefusesAndFinishes: during a drain new submissions get 503;
+// a running job is canceled once the drain deadline expires, and Drain
+// returns.
+func TestDrainRefusesAndFinishes(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Options{Workers: 1})
+	cfg := tinyConfig()
+	cfg.Cycles = 200_000_000
+	req := serve.JobRequest{Config: &cfg, Design: "Baseline", Combo: serve.ComboSpec{ID: "C1"}}
+
+	st, _ := submit(t, ts.URL, req)
+	waitState(t, ts.URL, st.ID, serve.StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(ctx) }()
+
+	// The draining flag flips before Drain blocks on the workers; poll
+	// until submissions are refused.
+	other := req
+	other.Seed = 99
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, code := submit(t, ts.URL, other)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions never refused during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Drain did not return after its context expired")
+	}
+	end := getJob(t, ts.URL, st.ID)
+	if end.State != serve.StateCanceled {
+		t.Fatalf("running job state after expired drain: %q, want canceled", end.State)
+	}
+}
+
+// TestWarmRestartFromSpillDir: a drained daemon leaves its results on
+// disk; a fresh daemon over the same directory answers the identical
+// submission from the spill file, byte-identically, without simulating.
+func TestWarmRestartFromSpillDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	req := serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C2"}}
+
+	srv1, ts1 := newTestServer(t, serve.Options{Workers: 1, CacheDir: dir})
+	st, _ := submit(t, ts1.URL, req)
+	first := waitState(t, ts1.URL, st.ID, serve.StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := newTestServer(t, serve.Options{Workers: 1, CacheDir: dir})
+	st2, code := submit(t, ts2.URL, req)
+	if code != http.StatusOK || !st2.Cached {
+		t.Fatalf("warm restart submit: code=%d cached=%v", code, st2.Cached)
+	}
+	if !bytes.Equal(st2.Result, first.Result) {
+		t.Fatal("spilled result differs from the original")
+	}
+	if srv2.SimulationsStarted() != 0 {
+		t.Fatal("warm restart ran a simulation")
+	}
+}
+
+// TestBadSubmissions: malformed payloads get 400 with a JSON error.
+func TestBadSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	for _, body := range []string{
+		`{`,                                    // not JSON
+		`{"combo":"C1"}`,                       // missing design
+		`{"design":"NoSuchDesign","combo":"C1"}`,
+		`{"design":"Baseline","combo":"C99"}`, // unknown combo
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: error body not JSON: %v", body, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || e["error"] == "" {
+			t.Fatalf("%s: code=%d error=%q", body, resp.StatusCode, e["error"])
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+}
+
+// TestListingsAndMetrics: the discovery and observability endpoints.
+func TestListingsAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	cfg := tinyConfig()
+	st, _ := submit(t, ts.URL, serve.JobRequest{Config: &cfg, Design: "Baseline", Combo: serve.ComboSpec{ID: "C1"}})
+	waitState(t, ts.URL, st.ID, serve.StateDone)
+
+	var designs []string
+	mustGetJSON(t, ts.URL+"/v1/designs", &designs)
+	if len(designs) == 0 {
+		t.Fatal("no designs listed")
+	}
+	var combos []string
+	mustGetJSON(t, ts.URL+"/v1/combos", &combos)
+	if len(combos) != 12 {
+		t.Fatalf("%d combos listed, want 12", len(combos))
+	}
+	var jobs []serve.JobStatus
+	mustGetJSON(t, ts.URL+"/v1/jobs", &jobs)
+	if len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Fatalf("job listing: %+v", jobs)
+	}
+	var health map[string]any
+	mustGetJSON(t, ts.URL+"/healthz", &health)
+	if health["ok"] != true {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"hydroserved_jobs_submitted_total 1",
+		"hydroserved_jobs_completed_total 1",
+		"hydroserved_cache_entries 1",
+		"# TYPE hydroserved_jobs_running gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func mustGetJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheKeyStability: the content address ignores per-run workload
+// assignment fields and weight spellings that canonicalize identically.
+func TestCacheKeyStability(t *testing.T) {
+	cfg := tinyConfig()
+	spec := serve.ComboSpec{ID: "C1", CPU: []string{"a"}, GPU: "b"}
+	k1 := serve.CacheKey(cfg, "Hydrogen", spec)
+
+	withProfiles := cfg
+	withProfiles.CPUProfiles = []string{"x", "y"}
+	withProfiles.GPUProfile = "z"
+	if k2 := serve.CacheKey(withProfiles, "Hydrogen", spec); k2 != k1 {
+		t.Fatal("cache key depends on per-run profile assignments")
+	}
+
+	withWeights := cfg
+	withWeights.WeightCPU, withWeights.WeightGPU = 12, 1
+	if k3 := serve.CacheKey(withWeights, "Hydrogen", spec); k3 != k1 {
+		t.Fatal("explicit default weights change the cache key")
+	}
+
+	other := cfg
+	other.Cycles++
+	if k4 := serve.CacheKey(other, "Hydrogen", spec); k4 == k1 {
+		t.Fatal("different cycles share a cache key")
+	}
+	if k5 := serve.CacheKey(cfg, "Baseline", spec); k5 == k1 {
+		t.Fatal("different designs share a cache key")
+	}
+}

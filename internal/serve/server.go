@@ -1,0 +1,664 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the simulation worker-pool size; <=0 selects
+	// runtime.GOMAXPROCS(0), matching the experiments package's
+	// parallel-run default.
+	Workers int
+	// QueueDepth bounds the job queue; submissions beyond it are
+	// rejected with 429 so clients back off instead of piling onto an
+	// unbounded backlog. <=0 selects 64.
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache; <=0 selects 256.
+	CacheEntries int
+	// CacheDir, when set, receives evicted and drained results as
+	// <key>.json files and is consulted on cache misses, so restarts
+	// keep the cache warm.
+	CacheDir string
+	// DefaultConfig is used for requests that omit their config; nil
+	// selects system.Quick() (system.Paper() when the request sets
+	// paper).
+	DefaultConfig *system.Config
+	// Logf, when set, receives one line per job state change.
+	Logf func(format string, args ...any)
+}
+
+// job is one submission's record. Its identity is its cache key, which
+// is what makes dedupe structural: an identical submission cannot mint
+// a second job while the first is in flight.
+type job struct {
+	id     string
+	cfg    system.Config
+	design string
+	combo  workloads.Combo
+	spec   ComboSpec
+
+	mu        sync.Mutex
+	state     string
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	epochs    []system.EpochSample
+	subs      map[chan system.EpochSample]struct{}
+	cancel    context.CancelFunc
+	result    []byte
+	done      chan struct{} // closed on any terminal state
+}
+
+// Server implements the serving API over http.Handler.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	cache *resultCache
+	m     metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job IDs in first-submission order, for listing
+	queue    chan *job
+	draining bool
+	workers  sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 256
+	}
+	s := &Server{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		cache: newResultCache(opts.CacheEntries, opts.CacheDir),
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, opts.QueueDepth),
+	}
+	s.cache.onEvict = func(spilled bool) {
+		s.m.cacheEvictions.Add(1)
+		if spilled {
+			s.m.cacheSpills.Add(1)
+		}
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/designs", s.handleDesigns)
+	s.mux.HandleFunc("GET /v1/combos", s.handleCombos)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < opts.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// resolveRequest turns a JobRequest into a runnable (config, design,
+// combo) triple plus its cache key.
+func (s *Server) resolveRequest(req *JobRequest) (system.Config, workloads.Combo, ComboSpec, string, error) {
+	var cfg system.Config
+	switch {
+	case req.Config != nil:
+		cfg = *req.Config
+	case s.opts.DefaultConfig != nil:
+		cfg = *s.opts.DefaultConfig
+	case req.Paper:
+		cfg = system.Paper()
+	default:
+		cfg = system.Quick()
+	}
+	if req.Cycles > 0 {
+		cfg.Cycles = req.Cycles
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if req.Design == "" {
+		return cfg, workloads.Combo{}, ComboSpec{}, "", fmt.Errorf("missing design")
+	}
+	probe := cfg
+	if _, err := system.ApplyDesign(&probe, req.Design); err != nil {
+		return cfg, workloads.Combo{}, ComboSpec{}, "", err
+	}
+	if err := cfg.Hybrid.Validate(); err != nil {
+		return cfg, workloads.Combo{}, ComboSpec{}, "", err
+	}
+	combo, spec, err := req.Combo.resolve()
+	if err != nil {
+		return cfg, combo, spec, "", err
+	}
+	return cfg, combo, spec, CacheKey(cfg, req.Design, spec), nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job payload: %v", err)
+		return
+	}
+	cfg, combo, spec, key, err := s.resolveRequest(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job payload: %v", err)
+		return
+	}
+	s.m.submitted.Add(1)
+
+	s.mu.Lock()
+	if j, ok := s.jobs[key]; ok {
+		st := j.snapshot()
+		switch st.State {
+		case StateQueued, StateRunning:
+			// Singleflight: attach to the in-flight identical job.
+			s.mu.Unlock()
+			s.m.deduped.Add(1)
+			st.Deduped = true
+			writeJSON(w, http.StatusOK, st)
+			return
+		case StateDone:
+			if data, ok := s.cache.Get(key); ok {
+				s.mu.Unlock()
+				s.m.cacheHits.Add(1)
+				st.Cached = true
+				st.Result = data
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
+			// Result evicted with no spill copy: fall through and rerun.
+		}
+		// Terminal without a reusable result (failed/canceled/evicted):
+		// replace the record with a fresh attempt below.
+	} else if data, ok := s.cache.Get(key); ok {
+		// No job record (e.g. fresh daemon with a warm spill directory)
+		// but the result exists: synthesize a done record.
+		j := s.newJobLocked(key, cfg, req.Design, combo, spec)
+		j.state = StateDone
+		j.finished = time.Now()
+		j.result = data
+		close(j.done)
+		st := j.snapshot()
+		s.mu.Unlock()
+		s.m.cacheHits.Add(1)
+		st.Cached = true
+		st.Result = data
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+
+	if s.draining {
+		s.mu.Unlock()
+		s.m.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	j := s.newJobLocked(key, cfg, req.Design, combo, spec)
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		delete(s.jobs, key)
+		s.mu.Unlock()
+		s.m.rejected.Add(1)
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d deep)", s.opts.QueueDepth)
+		return
+	}
+	s.m.cacheMisses.Add(1)
+	s.m.enqueued.Add(1)
+	s.m.queued.Add(1)
+	s.logf("job %s queued: design=%s combo=%s", short(key), req.Design, spec.ID)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// newJobLocked creates and registers a job record; s.mu must be held.
+// A pre-existing terminal record under the same key is replaced.
+func (s *Server) newJobLocked(key string, cfg system.Config, design string, combo workloads.Combo, spec ComboSpec) *job {
+	j := &job{
+		id:        key,
+		cfg:       cfg,
+		design:    design,
+		combo:     combo,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		subs:      make(map[chan system.EpochSample]struct{}),
+		done:      make(chan struct{}),
+	}
+	if _, existed := s.jobs[key]; !existed {
+		s.order = append(s.order, key)
+	}
+	s.jobs[key] = j
+	return j
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.snapshot()
+	if st.State == StateDone && st.Result == nil {
+		if data, ok := s.cache.Get(j.id); ok {
+			st.Result = data
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j := s.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot() // statuses only; results stay in the cache
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		// The worker will skip it when it reaches the head of the queue.
+		j.finish(StateCanceled, "canceled while queued", nil)
+		j.mu.Unlock()
+		s.m.queued.Add(-1)
+		s.m.canceled.Add(1)
+		s.logf("job %s canceled (queued)", short(j.id))
+	case StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel() // the worker observes ctx at the next epoch boundary
+		s.logf("job %s cancel requested", short(j.id))
+	default:
+		st := j.state
+		j.mu.Unlock()
+		httpError(w, http.StatusConflict, "job already %s", st)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, system.Designs())
+}
+
+func (s *Server) handleCombos(w http.ResponseWriter, r *http.Request) {
+	ids := make([]string, len(workloads.Combos))
+	for i, c := range workloads.Combos {
+		ids[i] = c.ID
+	}
+	writeJSON(w, http.StatusOK, ids)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"draining": draining,
+		"queued":   s.m.queued.Load(),
+		"running":  s.m.running.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.write(w, s.cache.Len())
+}
+
+// worker pops jobs until the queue is closed by Drain.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	wait := j.started.Sub(j.submitted)
+	j.mu.Unlock()
+	defer cancel()
+	s.m.queued.Add(-1)
+	s.m.running.Add(1)
+	s.m.queueWaitNanos.Add(wait.Nanoseconds())
+	s.logf("job %s running after %s queued", short(j.id), wait.Round(time.Millisecond))
+
+	onEpoch := func(e system.EpochSample) {
+		s.m.epochsStreamed.Add(1)
+		j.publishEpoch(e)
+	}
+	res, err := system.RunDesignContext(ctx, j.cfg, j.design, j.combo, onEpoch)
+	elapsed := time.Since(j.started)
+	s.m.running.Add(-1)
+	s.m.simNanos.Add(elapsed.Nanoseconds())
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		data, merr := json.Marshal(res)
+		if merr != nil {
+			j.finish(StateFailed, "marshal results: "+merr.Error(), nil)
+			s.m.failed.Add(1)
+			return
+		}
+		s.cache.Put(j.id, data)
+		j.finish(StateDone, "", data)
+		s.m.completed.Add(1)
+		s.m.simCycles.Add(int64(res.Cycles))
+		s.logf("job %s done in %s (%d epochs)", short(j.id), elapsed.Round(time.Millisecond), len(j.epochs))
+	case ctx.Err() != nil:
+		j.finish(StateCanceled, "canceled", nil)
+		s.m.canceled.Add(1)
+		s.logf("job %s canceled after %s", short(j.id), elapsed.Round(time.Millisecond))
+	default:
+		j.finish(StateFailed, err.Error(), nil)
+		s.m.failed.Add(1)
+		s.logf("job %s failed: %v", short(j.id), err)
+	}
+}
+
+// Drain stops accepting submissions, lets queued and running jobs
+// finish (canceling whatever is still unfinished when ctx expires),
+// waits for the worker pool to exit, and spills the in-memory cache to
+// the spill directory. It is the SIGTERM path of cmd/hydroserved and is
+// idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() { s.workers.Wait(); close(idle) }()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		s.cancelAll()
+		<-idle // cancellation lands at the next epoch boundary
+	}
+	return s.cache.SpillAll()
+}
+
+// Close force-cancels everything and waits for the workers; for tests
+// and defer-style cleanup.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.cancelAll()
+	s.workers.Wait()
+	return nil
+}
+
+func (s *Server) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			j.finish(StateCanceled, "canceled: server shutting down", nil)
+			s.m.queued.Add(-1)
+			s.m.canceled.Add(1)
+		case StateRunning:
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Stats used by tests: how many simulations actually ran (every
+// non-deduped, non-cached submission costs exactly one).
+func (s *Server) SimulationsStarted() int64 { return s.m.enqueued.Load() }
+
+// --- job helpers ---
+
+// finish moves the job to a terminal state and wakes subscribers and
+// waiters. j.mu must be held.
+func (j *job) finish(state, errMsg string, result []byte) {
+	j.state = state
+	j.err = errMsg
+	j.result = result
+	j.finished = time.Now()
+	for ch := range j.subs {
+		close(ch) // subscribers emit the final SSE event on close
+	}
+	j.subs = nil
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
+	}
+}
+
+// publishEpoch appends a sample to the backlog and fans it out to
+// subscribers; a subscriber whose buffer is full misses that sample
+// (the backlog replay on subscribe keeps late joiners complete).
+func (j *job) publishEpoch(e system.EpochSample) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.epochs = append(j.epochs, e)
+	for ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// subscribe registers a live channel and returns the backlog of samples
+// already taken; terminal reports whether the job has already finished
+// (in which case ch is not registered).
+func (j *job) subscribe(ch chan system.EpochSample) (backlog []system.EpochSample, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	backlog = append(backlog, j.epochs...)
+	switch j.state {
+	case StateQueued, StateRunning:
+		j.subs[ch] = struct{}{}
+		return backlog, false
+	}
+	return backlog, true
+}
+
+func (j *job) unsubscribe(ch chan system.EpochSample) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.subs, ch)
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Design:      j.design,
+		Combo:       j.spec,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+		Epochs:      len(j.epochs),
+		Error:       j.err,
+	}
+	if j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// handleEvents streams SSE: one `epoch` event per sample (backlog
+// first, then live), then a single `done` event carrying the terminal
+// status. The stream ends when the job finishes or the client goes
+// away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch := make(chan system.EpochSample, 256)
+	backlog, terminal := j.subscribe(ch)
+	defer j.unsubscribe(ch)
+
+	writeEvent := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	writeDone := func() {
+		st := j.snapshot()
+		st.Result = nil // results are fetched via GET, not pushed over SSE
+		writeEvent("done", st)
+	}
+
+	for _, e := range backlog {
+		if !writeEvent("epoch", e) {
+			return
+		}
+	}
+	if terminal {
+		writeDone()
+		return
+	}
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				writeDone()
+				return
+			}
+			if !writeEvent("epoch", e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// --- small helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+// sortedStates is a tiny helper for deterministic debug output of the
+// job table (used by tests).
+func (s *Server) sortedStates() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{}
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := s.jobs[id]
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}

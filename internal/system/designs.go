@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hydrogen-sim/hydrogen/internal/core"
@@ -152,6 +153,14 @@ func ApplyDesign(cfg *Config, design string) (PolicyFactory, error) {
 // RunDesign builds and runs one simulation of a design on the given
 // workload combo.
 func RunDesign(cfg Config, design string, combo workloads.Combo) (Results, error) {
+	return RunDesignContext(context.Background(), cfg, design, combo, nil)
+}
+
+// RunDesignContext is RunDesign with cooperative cancellation and an
+// optional per-epoch progress callback (nil for none) — the hooks the
+// serving layer threads down to stream live progress and abandon
+// canceled jobs. Neither hook perturbs the simulation.
+func RunDesignContext(ctx context.Context, cfg Config, design string, combo workloads.Combo, onEpoch func(EpochSample)) (Results, error) {
 	cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
 	cfg.GPUProfile = combo.GPU
 	factory, err := ApplyDesign(&cfg, design)
@@ -162,7 +171,10 @@ func RunDesign(cfg Config, design string, combo workloads.Combo) (Results, error
 	if err != nil {
 		return Results{}, err
 	}
-	return sys.Run(), nil
+	if onEpoch != nil {
+		sys.SetProgress(onEpoch)
+	}
+	return sys.RunContext(ctx)
 }
 
 func maxInt(a, b int) int {

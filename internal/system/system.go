@@ -6,6 +6,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hydrogen-sim/hydrogen/internal/caches"
@@ -144,6 +145,21 @@ func scaleOr1(s float64) float64 {
 	return s
 }
 
+// Canonical returns cfg with the runtime defaults build() applies
+// filled in explicitly (the 12:1 IPC weights and the 250k-cycle
+// sampling epoch). Two configs with equal canonical forms simulate
+// identically; the serve layer hashes this form to derive stable
+// content addresses for its result cache.
+func Canonical(cfg Config) Config {
+	if cfg.WeightCPU == 0 && cfg.WeightGPU == 0 {
+		cfg.WeightCPU, cfg.WeightGPU = 12, 1
+	}
+	if cfg.EpochLen == 0 {
+		cfg.EpochLen = 250_000
+	}
+	return cfg
+}
+
 // EpochSample records one sampling epoch's measurements.
 type EpochSample struct {
 	EndCycle    uint64
@@ -198,6 +214,13 @@ type System struct {
 	epochs     []EpochSample
 	lastCPUIns uint64
 	lastGPUIns uint64
+
+	// progress, when set, receives every epoch sample as it is taken;
+	// ctx, when set, is polled at epoch boundaries to cancel the run.
+	// Neither influences the simulated machine, so results stay
+	// bit-identical whether or not they are installed.
+	progress func(EpochSample)
+	ctx      context.Context
 }
 
 // New builds a system with the policy produced by factory, creating
@@ -214,6 +237,9 @@ func New(cfg Config, factory PolicyFactory) (*System, error) {
 // cfg.Cores/GPU.Subslices are taken from the slice lengths; the
 // profile-name fields are ignored.
 func NewWithGenerators(cfg Config, factory PolicyFactory, cpuGens, gpuGens []trace.Generator) (*System, error) {
+	if len(cpuGens) == 0 && len(gpuGens) == 0 {
+		return nil, fmt.Errorf("system: no trace generators given (need at least one CPU or GPU stream)")
+	}
 	cfg.Cores = len(cpuGens)
 	if len(gpuGens) > 0 {
 		cfg.GPU.Subslices = len(gpuGens)
@@ -223,12 +249,7 @@ func NewWithGenerators(cfg Config, factory PolicyFactory, cpuGens, gpuGens []tra
 }
 
 func build(cfg Config, factory PolicyFactory, cpuGens, gpuGens []trace.Generator) (*System, error) {
-	if cfg.WeightCPU == 0 && cfg.WeightGPU == 0 {
-		cfg.WeightCPU, cfg.WeightGPU = 12, 1
-	}
-	if cfg.EpochLen == 0 {
-		cfg.EpochLen = 250_000
-	}
+	cfg = Canonical(cfg)
 
 	eng := sim.New()
 	fcfg, scfg := cfg.Fast, cfg.Slow
@@ -319,6 +340,11 @@ func (s *System) Engine() *sim.Engine { return s.eng }
 // Controller exposes the hybrid memory controller.
 func (s *System) Controller() *hybrid.Controller { return s.ctl }
 
+// SetProgress registers fn to receive every epoch sample as it is
+// recorded. fn runs on the simulation goroutine between epochs, so it
+// must return promptly; install it before Run.
+func (s *System) SetProgress(fn func(EpochSample)) { s.progress = fn }
+
 // Run simulates cfg.Cycles cycles and returns the results.
 func (s *System) Run() Results {
 	for _, c := range s.cores {
@@ -330,6 +356,19 @@ func (s *System) Run() Results {
 	s.scheduleEpoch()
 	s.eng.RunUntil(s.cfg.Cycles)
 	return s.results()
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled at
+// every epoch boundary and a canceled run stops early, returning the
+// partial results accumulated so far together with ctx.Err(). (IPC in
+// partial results is still normalized by the full cfg.Cycles budget.)
+func (s *System) RunContext(ctx context.Context) (Results, error) {
+	if err := ctx.Err(); err != nil {
+		return s.results(), err
+	}
+	s.ctx = ctx
+	res := s.Run()
+	return res, ctx.Err()
 }
 
 func (s *System) scheduleEpoch() {
@@ -349,6 +388,13 @@ func (s *System) epochTick() {
 	sample.WeightedIPC = s.cfg.WeightCPU*sample.CPUIPC + s.cfg.WeightGPU*sample.GPUIPC
 	s.lastCPUIns, s.lastGPUIns = cpuIns, gpuIns
 	s.epochs = append(s.epochs, sample)
+	if s.progress != nil {
+		s.progress(sample)
+	}
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.eng.Stop() // abandon the run; RunUntil drains immediately
+		return
+	}
 
 	if l, ok := s.ctl.Policy().(hybrid.EpochListener); ok {
 		l.OnEpoch(hybrid.EpochMetrics{

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 )
 
 // The binary trace file format mirrors the paper's artifact workflow
@@ -124,4 +125,40 @@ func wrapTruncated(err error) error {
 		return fmt.Errorf("%w: truncated record", ErrBadFormat)
 	}
 	return err
+}
+
+// OpenFiles opens every named trace file as a replay Generator. On any
+// failure it closes whatever it had opened and returns an error naming
+// the offending file, so callers get one clean diagnostic instead of a
+// fatal exit and a descriptor leak. The returned close function closes
+// all files (first error wins). Zero paths yield zero generators; it is
+// the caller's job to require at least one stream (system.New* does).
+func OpenFiles(paths ...string) ([]Generator, func() error, error) {
+	var gens []Generator
+	var files []*os.File
+	closeAll := func() error {
+		var first error
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			closeAll()
+			return nil, nil, err // *PathError already names the file
+		}
+		r, err := NewReader(f)
+		if err != nil {
+			f.Close()
+			closeAll()
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		files = append(files, f)
+		gens = append(gens, r)
+	}
+	return gens, closeAll, nil
 }

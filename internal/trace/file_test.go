@@ -1,0 +1,165 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/trace"
+)
+
+// writeTraceFile writes a small valid trace with n ops and returns its
+// path and the ops' raw bytes.
+func writeTraceFile(t *testing.T, n int) (string, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Write(trace.Op{Gap: uint32(i), Addr: uint64(i) * 64, Write: i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ok.trace")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, buf.Bytes()
+}
+
+func TestNewReaderEmptyInput(t *testing.T) {
+	_, err := trace.NewReader(bytes.NewReader(nil))
+	if err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if !strings.Contains(err.Error(), "header") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestNewReaderShortHeader(t *testing.T) {
+	_, err := trace.NewReader(strings.NewReader("HYT"))
+	if err == nil {
+		t.Fatal("short header accepted")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want io.ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestNewReaderBadMagic(t *testing.T) {
+	_, err := trace.NewReader(strings.NewReader("NOTRC1\nrest"))
+	if !errors.Is(err, trace.ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	_, raw := writeTraceFile(t, 8)
+	// Chop the final flags byte so the last record is incomplete.
+	r, err := trace.NewReader(bytes.NewReader(raw[:len(raw)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 7 {
+		t.Fatalf("replayed %d of 7 whole records", n)
+	}
+	if err := r.Err(); !errors.Is(err, trace.ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat for truncated record, got %v", err)
+	}
+}
+
+func TestReaderCleanEOFIsNotAnError(t *testing.T) {
+	_, raw := writeTraceFile(t, 3)
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean EOF reported as error: %v", err)
+	}
+}
+
+func TestOpenFilesMissingFile(t *testing.T) {
+	ok, _ := writeTraceFile(t, 2)
+	missing := filepath.Join(t.TempDir(), "nope.trace")
+	_, _, err := trace.OpenFiles(ok, missing)
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if !errors.Is(err, os.ErrNotExist) || !strings.Contains(err.Error(), "nope.trace") {
+		t.Fatalf("error should name the missing file: %v", err)
+	}
+}
+
+func TestOpenFilesBadHeaderNamesFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := trace.OpenFiles(bad)
+	if !errors.Is(err, trace.ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad.trace") {
+		t.Fatalf("error should name the file: %v", err)
+	}
+}
+
+func TestOpenFilesZeroPaths(t *testing.T) {
+	gens, closeAll, err := trace.OpenFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 0 {
+		t.Fatalf("%d generators from zero paths", len(gens))
+	}
+	if err := closeAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenFilesReplays(t *testing.T) {
+	path, _ := writeTraceFile(t, 5)
+	gens, closeAll, err := trace.OpenFiles(path, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll()
+	if len(gens) != 2 {
+		t.Fatalf("%d generators", len(gens))
+	}
+	for i, g := range gens {
+		n := 0
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 5 {
+			t.Fatalf("generator %d replayed %d of 5 ops", i, n)
+		}
+	}
+}

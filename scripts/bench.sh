@@ -7,6 +7,9 @@
 #   scripts/bench.sh -bench 'Figure5$'      # one benchmark
 #   scripts/bench.sh -quick -label quick    # faster, noisier
 #   scripts/bench.sh -pprof /tmp/prof       # capture cpu/heap profiles
+#   scripts/bench.sh -serve                 # hydroserved submit latency
+#                                           # (cold + cache-hit p50/p99,
+#                                           # appends to BENCH_serve.json)
 #
 # Compare mode runs nothing: it diffs the two most recent trajectory
 # entries per benchmark and exits nonzero if any ns/op regressed >10%.
