@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 bench bench-quick
+.PHONY: all tier1 chaos bench bench-quick
 
 all: tier1
 
@@ -9,6 +9,10 @@ tier1:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Crash-safety smoke: SIGKILL mid-job + journal replay + quarantine.
+chaos:
+	./scripts/chaos_smoke.sh
 
 # Benchmark suite; appends measurements to BENCH_sim.json.
 bench:

@@ -43,6 +43,11 @@ type Client struct {
 	// PollInterval is the status poll cadence for Wait; zero selects an
 	// adaptive 25ms..500ms backoff.
 	PollInterval time.Duration
+	// Retry governs transparent retries of transient failures (see
+	// RetryPolicy); the zero value selects the defaults. Assign NoRetry
+	// to disable. Events streams are never retried — a consumer that
+	// loses a stream re-subscribes and gets the backlog replayed.
+	Retry RetryPolicy
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -53,8 +58,9 @@ func New(baseURL string) *Client {
 
 // apiError is a non-2xx response decoded from the server's error body.
 type apiError struct {
-	Code int
-	Msg  string
+	Code       int
+	Msg        string
+	RetryAfter time.Duration // server's Retry-After hint, 0 if absent
 }
 
 func (e *apiError) Error() string {
@@ -68,41 +74,92 @@ func IsQueueFull(err error) bool {
 	return ok && ae.Code == http.StatusTooManyRequests
 }
 
+// IsQuarantined reports whether err is the server's quarantine
+// rejection: the job has failed repeatedly and will not be accepted
+// again, so retrying is pointless.
+func IsQuarantined(err error) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Code == http.StatusUnprocessableEntity
+}
+
+// do issues one API request with the client's retry policy: transport
+// errors and retryable statuses (see retryableStatus) back off and try
+// again — job submission is content-addressed, so a replayed POST
+// attaches to the original job instead of duplicating work — while
+// permanent rejections return immediately.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	pol := c.Retry.withDefaults()
+	var slept time.Duration
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if data != nil {
+			rd = bytes.NewReader(data) // fresh body every attempt
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
+		if data != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			msg = e.Error
+		var retryAfter time.Duration
+		resp, err := c.hc.Do(req)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return err // the caller gave up; not a server failure
+			}
+			lastErr = err
+		case resp.StatusCode/100 == 2:
+			defer resp.Body.Close()
+			if out == nil {
+				return nil
+			}
+			return json.NewDecoder(resp.Body).Decode(out)
+		default:
+			var e struct {
+				Error string `json:"error"`
+			}
+			msg := resp.Status
+			if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+				msg = e.Error
+			}
+			ae := &apiError{
+				Code:       resp.StatusCode,
+				Msg:        msg,
+				RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			}
+			resp.Body.Close()
+			if !retryableStatus(resp.StatusCode) {
+				return ae
+			}
+			lastErr = ae
+			retryAfter = ae.RetryAfter
 		}
-		return &apiError{Code: resp.StatusCode, Msg: msg}
+		if attempt >= pol.MaxAttempts {
+			return lastErr
+		}
+		d := pol.delay(attempt, retryAfter)
+		if slept+d > pol.Budget {
+			return lastErr // the wait would blow the budget; give up now
+		}
+		slept += d
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return lastErr
+		case <-timer.C:
+		}
 	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Submit posts a job. The returned status may already be terminal: a
@@ -158,7 +215,7 @@ func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
 			return nil, err
 		}
 		switch st.State {
-		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+		case serve.StateDone, serve.StateFailed, serve.StateCanceled, serve.StateDeadline:
 			return st, nil
 		}
 		select {

@@ -12,15 +12,30 @@
 //	hydroserved                               # listen on :8077
 //	hydroserved -addr 127.0.0.1:0             # random port (printed)
 //	hydroserved -cache-dir /var/tmp/hydro     # persistent warm cache
+//	hydroserved -journal /var/tmp/hydro/jobs.wal \
+//	            -cache-dir /var/tmp/hydro     # crash-safe job queue
 //
 //	curl -s localhost:8077/v1/jobs -d '{"design":"Hydrogen","combo":"C1"}'
 //	curl -s localhost:8077/v1/jobs/<id>
 //	curl -N  localhost:8077/v1/jobs/<id>/events
 //	curl -s  localhost:8077/metrics
 //
-// On SIGINT/SIGTERM the daemon stops accepting jobs, drains queued and
-// running work (up to -drain-timeout, then cancels), spills the result
-// cache to -cache-dir, and exits.
+// On SIGINT/SIGTERM the daemon stops accepting jobs (503 with
+// Retry-After; /readyz goes unready), drains queued and running work
+// (up to -drain-timeout, then cancels), spills the result cache to
+// -cache-dir, and exits 0. A second signal kills it the default way.
+//
+// With -journal set, every accepted job is fsynced to an append-only
+// CRC-framed log before the submitter sees 202: after a crash
+// (kill -9, OOM) the restarted daemon replays the log, re-enqueues the
+// jobs that were queued or running, and compacts it. Job IDs are
+// content addresses, so replayed work that already reached the result
+// cache is not re-run. A job that keeps failing (e.g. a config that
+// panics the simulator) is quarantined after -quarantine failures
+// instead of crash-looping the daemon.
+//
+// Exit codes: 0 clean drain, 1 runtime error (bind failure, journal
+// replay failure), 2 flag error.
 package main
 
 import (
@@ -34,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime/debug"
 	"syscall"
 	"time"
@@ -57,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		queueDepth   = fs.Int("queue", 64, "job queue depth; submissions beyond it get 429")
 		cacheEntries = fs.Int("cache", 256, "in-memory result cache entries")
 		cacheDir     = fs.String("cache-dir", "", "spill directory for evicted/drained results (optional)")
+		journalPath  = fs.String("journal", "", "durable job journal file; enables crash-safe replay of queued/running jobs (optional)")
+		quarantine   = fs.Int("quarantine", 3, "failures after which a job ID is quarantined")
 		paper        = fs.Bool("paper", false, "default jobs to the full Table I scale instead of quick")
 		drainTO      = fs.Duration("drain-timeout", 10*time.Minute, "max time to let jobs finish on shutdown before canceling")
 		quiet        = fs.Bool("q", false, "suppress per-job logging")
@@ -72,12 +90,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if *journalPath != "" {
+		if err := os.MkdirAll(filepath.Dir(*journalPath), 0o755); err != nil {
+			fmt.Fprintf(stderr, "hydroserved: %v\n", err)
+			return 1
+		}
+	}
 	logger := log.New(stderr, "hydroserved: ", log.LstdFlags)
 	opts := serve.Options{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		CacheDir:        *cacheDir,
+		JournalPath:     *journalPath,
+		QuarantineAfter: *quarantine,
 	}
 	if *paper {
 		cfg := system.Paper()
@@ -86,7 +112,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*quiet {
 		opts.Logf = logger.Printf
 	}
-	srv := serve.New(opts)
+	srv, err := serve.New(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "hydroserved: %v\n", err)
+		return 1
+	}
+	if n := srv.ReplayedJobs(); n > 0 {
+		logger.Printf("journal replay re-enqueued %d interrupted job(s)", n)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -30,7 +30,11 @@ func TestSIGTERMDrainsRunningJobs(t *testing.T) {
 	pr, pw := io.Pipe()
 	exit := make(chan int, 1)
 	go func() {
-		exit <- run([]string{"-addr", "127.0.0.1:0", "-cache-dir", dir, "-workers", "1", "-q"}, pw, io.Discard)
+		exit <- run([]string{
+			"-addr", "127.0.0.1:0", "-cache-dir", dir,
+			"-journal", filepath.Join(dir, "jobs.wal"),
+			"-workers", "1", "-q",
+		}, pw, io.Discard)
 	}()
 
 	lines := bufio.NewScanner(pr)
@@ -107,5 +111,10 @@ func TestSIGTERMDrainsRunningJobs(t *testing.T) {
 	}
 	if res.Cycles != cfg.Cycles {
 		t.Fatalf("drained job simulated %d of %d cycles — drain dropped work", res.Cycles, cfg.Cycles)
+	}
+	// The journal was in play for the whole run (submit/start/done
+	// records); a clean drain must leave it closed but present.
+	if _, err := os.Stat(filepath.Join(dir, "jobs.wal")); err != nil {
+		t.Fatalf("journal missing after drain: %v", err)
 	}
 }

@@ -118,7 +118,10 @@ func Run(cfg Config, design, comboID string) (Results, error) {
 // RunWithProgress is Run with cooperative cancellation and a live
 // per-epoch callback: onEpoch (nil for none) receives every epoch
 // sample as it is taken, and ctx is polled at epoch boundaries so a
-// canceled run stops early with partial results and ctx.Err(). The
+// canceled run stops early with partial results and ctx.Err(). A
+// context deadline behaves the same way — the run returns
+// context.DeadlineExceeded at the first epoch boundary past the
+// deadline, which is how hydroserved enforces per-job timeouts. The
 // hooks observe the simulation without perturbing it, so results are
 // bit-identical to Run's. cmd/hydroserved uses this to stream progress
 // events for queued jobs.

@@ -1,0 +1,163 @@
+// Package journal is a minimal crash-safe append-only record log — the
+// write-ahead journal behind hydroserved's durable job queue.
+//
+// Framing: each record is
+//
+//	[4-byte LE payload length][4-byte LE CRC32-IEEE of payload][payload]
+//
+// Appends are a single write(2) to an O_APPEND descriptor followed by
+// fsync, so a record is either fully durable or detectably torn.
+// Replay walks frames from the start and stops at the first frame that
+// does not check out — a crash mid-append leaves a torn tail, and
+// everything before it is intact by construction. Rewrite (the
+// compaction primitive) replaces the log atomically: temp file + fsync
+// + rename, the same discipline the result cache uses for spills.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
+)
+
+const frameHeader = 8 // length + CRC
+
+// maxRecord bounds a single record; anything larger in a header means
+// the frame is corrupt, not a 4 GB job description.
+const maxRecord = 16 << 20
+
+// Journal is an open log accepting appends. Safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	buf  []byte
+}
+
+// Open opens (creating if needed) the journal at path for appending.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// Path returns the file the journal appends to.
+func (j *Journal) Path() string { return j.path }
+
+// Append frames payload, writes it in one call, and fsyncs. On return
+// the record is durable; on error the caller must assume it is not
+// (the file may hold a torn frame, which Replay tolerates).
+func (j *Journal) Append(payload []byte) error {
+	if _, fired := faultinject.Hit(faultinject.JournalAppendErr); fired {
+		return errors.New("journal: faultinject: append error")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.buf = j.buf[:0]
+	j.buf = binary.LittleEndian.AppendUint32(j.buf, uint32(len(payload)))
+	j.buf = binary.LittleEndian.AppendUint32(j.buf, crc32.ChecksumIEEE(payload))
+	j.buf = append(j.buf, payload...)
+	if _, fired := faultinject.Hit(faultinject.JournalTornWrite); fired {
+		// Simulate a crash mid-write: half the frame lands on disk and
+		// the append reports failure.
+		j.f.Write(j.buf[:len(j.buf)/2])
+		j.f.Sync()
+		return errors.New("journal: faultinject: torn write")
+	}
+	if _, err := j.f.Write(j.buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Replay reads the log at path and calls fn for every intact record in
+// order. A missing file is an empty journal. Replay stops without
+// error at the first torn or corrupt frame — the crash-truncation
+// case — and reports the length of the valid prefix alongside the
+// total file size so the caller can detect (and compact away) a torn
+// tail. An error from fn aborts the replay and is returned.
+func Replay(path string, fn func(payload []byte) error) (valid, size int64, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("journal: read: %w", err)
+	}
+	size = int64(len(data))
+	off := 0
+	for len(data)-off >= frameHeader {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecord || len(data)-off-frameHeader < n {
+			break // torn or corrupt length: stop at the valid prefix
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		if err := fn(payload); err != nil {
+			return int64(off), size, err
+		}
+		off += frameHeader + n
+	}
+	return int64(off), size, nil
+}
+
+// Rewrite atomically replaces the log at path with the given records:
+// the frames are written to a temp file in the same directory, fsynced,
+// and renamed over path, so a crash leaves either the old log or the
+// new one, never a mix. This is the compaction primitive.
+func Rewrite(path string, records [][]byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var buf []byte
+	for _, payload := range records {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+		buf = append(buf, payload...)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	// Durability of the rename itself: fsync the directory; best-effort
+	// on platforms where directories cannot be synced.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

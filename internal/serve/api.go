@@ -21,8 +21,20 @@
 //	GET    /v1/jobs/{id}/events SSE per-epoch progress stream
 //	GET    /v1/designs          design names
 //	GET    /v1/combos           Table II combo IDs
-//	GET    /healthz             liveness + drain state
+//	GET    /healthz             liveness + drain state (legacy combined)
+//	GET    /livez               liveness: 200 while the process serves
+//	GET    /readyz              readiness: 503 while draining or replaying
 //	GET    /metrics             Prometheus text format
+//
+// Crash safety: with Options.JournalPath set, every accepted job is
+// recorded in an append-only CRC-framed journal (internal/journal)
+// before the submitter sees 202, and every state transition after it.
+// A restarted daemon replays the journal, re-enqueues jobs that were
+// queued or running at crash time (content-addressed job IDs make the
+// replay idempotent against the result cache), and compacts the log.
+// Worker panics are recovered into failed job records, and a job ID
+// that keeps failing is quarantined so a poison config cannot
+// crash-loop the daemon.
 package serve
 
 import (
@@ -83,19 +95,59 @@ func (c ComboSpec) resolve() (workloads.Combo, ComboSpec, error) {
 	return combo, ComboSpec{ID: id, CPU: c.CPU, GPU: c.GPU}, nil
 }
 
+// Duration wraps time.Duration for the wire: it marshals as a Go
+// duration string ("1m30s") and unmarshals from either that form or a
+// bare number of seconds.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a Go duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "30s" or a bare number of seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return err
+	}
+	*d = Duration(secs * float64(time.Second))
+	return nil
+}
+
 // JobRequest is the POST /v1/jobs payload. Config is a full
 // system.Config (it round-trips JSON losslessly); when omitted the
 // daemon's default configuration is used — system.Quick(), or
 // system.Paper() when Paper is set. Cycles and Seed, when nonzero,
 // override the corresponding config fields, so sweep clients can vary
 // one knob without shipping the whole config.
+//
+// Timeout, when positive, is a per-job execution deadline measured
+// from the moment a worker starts the job; it is enforced at epoch
+// boundaries through the simulation's context plumbing and surfaces
+// as the deadline_exceeded terminal state. The timeout is not part of
+// the job's content address: identical configurations share one job
+// and the first-submitted timeout governs the run.
 type JobRequest struct {
-	Config *system.Config `json:"config,omitempty"`
-	Paper  bool           `json:"paper,omitempty"`
-	Cycles uint64         `json:"cycles,omitempty"`
-	Seed   int64          `json:"seed,omitempty"`
-	Design string         `json:"design"`
-	Combo  ComboSpec      `json:"combo"`
+	Config  *system.Config `json:"config,omitempty"`
+	Paper   bool           `json:"paper,omitempty"`
+	Cycles  uint64         `json:"cycles,omitempty"`
+	Seed    int64          `json:"seed,omitempty"`
+	Design  string         `json:"design"`
+	Combo   ComboSpec      `json:"combo"`
+	Timeout Duration       `json:"timeout,omitempty"`
 }
 
 // Job states.
@@ -105,6 +157,10 @@ const (
 	StateDone     = "done"
 	StateFailed   = "failed"
 	StateCanceled = "canceled"
+	// StateDeadline marks a job stopped by its own timeout — distinct
+	// from canceled so sweep clients can tell "I asked it to stop"
+	// from "it ran out of budget".
+	StateDeadline = "deadline_exceeded"
 )
 
 // JobStatus is the wire representation of a job record. Result is the
@@ -118,9 +174,14 @@ type JobStatus struct {
 
 	// Cached marks a submission answered from the result cache without
 	// queueing; Deduped marks one coalesced onto an identical in-flight
-	// job (singleflight).
-	Cached  bool `json:"cached,omitempty"`
-	Deduped bool `json:"deduped,omitempty"`
+	// job (singleflight); Replayed marks a job re-enqueued from the
+	// durable journal after a restart.
+	Cached   bool `json:"cached,omitempty"`
+	Deduped  bool `json:"deduped,omitempty"`
+	Replayed bool `json:"replayed,omitempty"`
+
+	// Timeout is the job's execution deadline, when one was set.
+	Timeout Duration `json:"timeout,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`

@@ -42,7 +42,10 @@ func benchConfig() system.Config {
 // cache hits — and reports the hit latency distribution. It is the
 // engine behind BenchmarkServeSubmit and `hydrobench -serve`.
 func BenchSubmit(submitters, hitsPer int) (BenchResult, error) {
-	srv := New(Options{})
+	srv, err := New(Options{})
+	if err != nil {
+		return BenchResult{}, err
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

@@ -2,16 +2,25 @@ package serve
 
 import (
 	"container/list"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
 )
 
 // resultCache is the content-addressed result store: an in-memory LRU
 // over marshaled Results, with optional spill of evicted entries to a
 // directory so a bounded heap still serves long sweep histories (and
 // so a restarted daemon starts warm). Keys are CacheKey hex strings.
+//
+// Spills are atomic (temp file + fsync + rename), so a crash mid-spill
+// can never leave a torn file under a valid key name; disk reads are
+// still validated and a corrupt entry is removed and reported as a
+// miss rather than served.
 type resultCache struct {
 	mu      sync.Mutex
 	max     int
@@ -19,7 +28,8 @@ type resultCache struct {
 	ll      *list.List
 	entries map[string]*list.Element
 
-	onEvict func(spilled bool) // metrics hook, called outside mu? kept under mu: cheap atomics only
+	onEvict   func(spilled bool) // metrics hook; cheap atomics only
+	onCorrupt func()             // corrupt spill file rejected
 }
 
 type cacheEntry struct {
@@ -28,6 +38,15 @@ type cacheEntry struct {
 }
 
 func newResultCache(max int, dir string) *resultCache {
+	if dir != "" {
+		// Sweep temp files a crashed spill left behind; they were never
+		// renamed into place, so they are garbage by construction.
+		if stale, err := filepath.Glob(filepath.Join(dir, "spill-*.tmp")); err == nil {
+			for _, p := range stale {
+				os.Remove(p)
+			}
+		}
+	}
 	return &resultCache{
 		max:     max,
 		dir:     dir,
@@ -37,7 +56,9 @@ func newResultCache(max int, dir string) *resultCache {
 }
 
 // Get returns the stored bytes for key, consulting memory first and the
-// spill directory second; a disk hit is promoted back into memory.
+// spill directory second; a disk hit is promoted back into memory. A
+// spill file that fails validation — a torn or bit-rotted write — is
+// removed and reported as a miss, never served.
 func (c *resultCache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -52,6 +73,13 @@ func (c *resultCache) Get(key string) ([]byte, bool) {
 	}
 	data, err := os.ReadFile(c.spillPath(key))
 	if err != nil {
+		return nil, false
+	}
+	if len(data) == 0 || !json.Valid(data) {
+		os.Remove(c.spillPath(key))
+		if c.onCorrupt != nil {
+			c.onCorrupt()
+		}
 		return nil, false
 	}
 	c.Put(key, data) // promote
@@ -74,7 +102,7 @@ func (c *resultCache) Put(key string, data []byte) {
 		e := el.Value.(*cacheEntry)
 		c.ll.Remove(el)
 		delete(c.entries, e.key)
-		spilled := c.spill(e)
+		spilled := c.dir != "" && c.writeSpill(e.key, e.data) == nil
 		if c.onEvict != nil {
 			c.onEvict(spilled)
 		}
@@ -88,12 +116,31 @@ func (c *resultCache) Len() int {
 	return c.ll.Len()
 }
 
-// spill writes one entry to the spill directory; best-effort.
-func (c *resultCache) spill(e *cacheEntry) bool {
-	if c.dir == "" {
-		return false
+// writeSpill persists one entry atomically: the bytes land in a temp
+// file in the spill directory, are fsynced, and are renamed over the
+// final <key>.json — so the final name only ever refers to a complete
+// file, whatever the process does mid-write.
+func (c *resultCache) writeSpill(key string, data []byte) error {
+	if _, fired := faultinject.Hit(faultinject.CacheSpillErr); fired {
+		return errors.New("serve: faultinject: cache-spill-error")
 	}
-	return os.WriteFile(c.spillPath(e.key), e.data, 0o644) == nil
+	tmp, err := os.CreateTemp(c.dir, "spill-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), c.spillPath(key))
 }
 
 // SpillAll persists every in-memory entry to the spill directory — the
@@ -108,7 +155,7 @@ func (c *resultCache) SpillAll() error {
 	var first error
 	for el := c.ll.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*cacheEntry)
-		if err := os.WriteFile(c.spillPath(e.key), e.data, 0o644); err != nil && first == nil {
+		if err := c.writeSpill(e.key, e.data); err != nil && first == nil {
 			first = fmt.Errorf("serve: spill %s: %w", e.key[:12], err)
 		}
 	}

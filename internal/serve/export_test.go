@@ -1,0 +1,29 @@
+package serve
+
+// Crash simulates a kill -9 for chaos tests: it detaches the journal
+// WITHOUT writing terminal records, force-cancels everything, and
+// waits for the workers to exit — leaving the journal and spill
+// directory exactly as a crashed process would have left them (submit
+// and start records present, no terminal records, nothing spilled).
+// The server is unusable afterward; tests construct a fresh one over
+// the same paths to exercise recovery.
+// SpillForTest flushes the in-memory cache to the spill directory so
+// chaos tests can stage precise on-disk states.
+func (s *Server) SpillForTest() error { return s.cache.SpillAll() }
+
+func (s *Server) Crash() {
+	s.jlMu.Lock()
+	if s.jl != nil {
+		s.jl.Close()
+		s.jl = nil
+	}
+	s.jlMu.Unlock()
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.cancelAll()
+	s.workers.Wait()
+}

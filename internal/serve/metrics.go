@@ -14,13 +14,22 @@ type metrics struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	canceled  atomic.Int64
+	deadlined atomic.Int64 // jobs stopped by their own timeout
 	deduped   atomic.Int64 // submissions coalesced onto in-flight jobs
-	rejected  atomic.Int64 // queue-full or draining rejections
+	rejected  atomic.Int64 // queue-full, draining, or quarantine rejections
+	replayed  atomic.Int64 // jobs re-enqueued from the journal at startup
+
+	panics      atomic.Int64 // worker panics recovered into failed jobs
+	quarantined atomic.Int64 // job IDs quarantined after repeated failures
+
+	journalAppends atomic.Int64
+	journalErrors  atomic.Int64
 
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
 	cacheSpills    atomic.Int64
+	cacheCorrupt   atomic.Int64 // corrupt spill files rejected (and removed)
 
 	queued  atomic.Int64 // gauge
 	running atomic.Int64 // gauge
@@ -44,12 +53,19 @@ func (m *metrics) write(w io.Writer, cacheEntries int) {
 	counter("hydroserved_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
 	counter("hydroserved_jobs_failed_total", "Jobs that ended in error.", m.failed.Load())
 	counter("hydroserved_jobs_canceled_total", "Jobs canceled by clients or shutdown.", m.canceled.Load())
+	counter("hydroserved_jobs_deadline_exceeded_total", "Jobs stopped by their per-job timeout.", m.deadlined.Load())
 	counter("hydroserved_jobs_deduped_total", "Submissions coalesced onto identical in-flight jobs.", m.deduped.Load())
-	counter("hydroserved_jobs_rejected_total", "Submissions rejected (queue full or draining).", m.rejected.Load())
+	counter("hydroserved_jobs_rejected_total", "Submissions rejected (queue full, draining, or quarantined).", m.rejected.Load())
+	counter("hydroserved_jobs_replayed_total", "Jobs re-enqueued from the journal at startup.", m.replayed.Load())
+	counter("hydroserved_worker_panics_total", "Worker panics recovered into failed jobs.", m.panics.Load())
+	counter("hydroserved_jobs_quarantined_total", "Job IDs quarantined after repeated failures.", m.quarantined.Load())
+	counter("hydroserved_journal_appends_total", "Journal records made durable.", m.journalAppends.Load())
+	counter("hydroserved_journal_errors_total", "Journal append failures.", m.journalErrors.Load())
 	counter("hydroserved_cache_hits_total", "Submissions answered from the result cache.", m.cacheHits.Load())
 	counter("hydroserved_cache_misses_total", "Submissions that required a simulation.", m.cacheMisses.Load())
 	counter("hydroserved_cache_evictions_total", "Result-cache LRU evictions.", m.cacheEvictions.Load())
 	counter("hydroserved_cache_spills_total", "Evicted or drained results written to the spill directory.", m.cacheSpills.Load())
+	counter("hydroserved_cache_corrupt_total", "Corrupt spill files rejected and removed.", m.cacheCorrupt.Load())
 	gauge("hydroserved_cache_entries", "Results held in memory.", int64(cacheEntries))
 	gauge("hydroserved_jobs_queued", "Jobs waiting in the queue.", m.queued.Load())
 	gauge("hydroserved_jobs_running", "Jobs currently simulating.", m.running.Load())

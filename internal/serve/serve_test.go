@@ -30,7 +30,10 @@ func tinyConfig() system.Config {
 
 func newTestServer(t *testing.T, opts serve.Options) (*serve.Server, *httptest.Server) {
 	t.Helper()
-	srv := serve.New(opts)
+	srv, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return srv, ts

@@ -3,13 +3,18 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
+	"github.com/hydrogen-sim/hydrogen/internal/journal"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
 )
@@ -34,6 +39,17 @@ type Options struct {
 	// selects system.Quick() (system.Paper() when the request sets
 	// paper).
 	DefaultConfig *system.Config
+	// JournalPath, when set, enables the durable job journal: accepted
+	// jobs are recorded (fsynced) before the submitter sees 202, state
+	// transitions are appended as they happen, and New replays the file
+	// to re-enqueue jobs a crash interrupted. Empty disables
+	// durability (jobs die with the process, as before).
+	JournalPath string
+	// QuarantineAfter is the failure count at which a job ID is
+	// quarantined: further submissions are refused with 422 so a
+	// pathological config cannot crash-loop the daemon. Failures are
+	// counted across restarts via the journal. <=0 selects 3.
+	QuarantineAfter int
 	// Logf, when set, receives one line per job state change.
 	Logf func(format string, args ...any)
 }
@@ -42,11 +58,13 @@ type Options struct {
 // is what makes dedupe structural: an identical submission cannot mint
 // a second job while the first is in flight.
 type job struct {
-	id     string
-	cfg    system.Config
-	design string
-	combo  workloads.Combo
-	spec   ComboSpec
+	id       string
+	cfg      system.Config
+	design   string
+	combo    workloads.Combo
+	spec     ComboSpec
+	timeout  time.Duration // execution deadline, 0 = none
+	replayed bool          // re-enqueued from the journal after a restart
 
 	mu        sync.Mutex
 	state     string
@@ -68,16 +86,27 @@ type Server struct {
 	cache *resultCache
 	m     metrics
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // job IDs in first-submission order, for listing
-	queue    chan *job
-	draining bool
-	workers  sync.WaitGroup
+	// jlMu guards the journal handle only; appends are serialized by
+	// the journal itself. Kept separate from mu so a crash-simulation
+	// hook can detach the journal without the server lock.
+	jlMu sync.Mutex
+	jl   *journal.Journal
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // job IDs in first-submission order, for listing
+	failCount map[string]int
+	queue     chan *job
+	draining  bool
+	replaying bool
+	workers   sync.WaitGroup
 }
 
-// New builds a Server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds a Server, replays its journal (when configured), and
+// starts the worker pool. A replay error — an unreadable journal or a
+// failed compaction — is returned rather than silently dropping the
+// durable queue on the floor.
+func New(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -87,12 +116,15 @@ func New(opts Options) *Server {
 	if opts.CacheEntries <= 0 {
 		opts.CacheEntries = 256
 	}
+	if opts.QuarantineAfter <= 0 {
+		opts.QuarantineAfter = 3
+	}
 	s := &Server{
-		opts:  opts,
-		mux:   http.NewServeMux(),
-		cache: newResultCache(opts.CacheEntries, opts.CacheDir),
-		jobs:  make(map[string]*job),
-		queue: make(chan *job, opts.QueueDepth),
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		cache:     newResultCache(opts.CacheEntries, opts.CacheDir),
+		jobs:      make(map[string]*job),
+		failCount: make(map[string]int),
 	}
 	s.cache.onEvict = func(spilled bool) {
 		s.m.cacheEvictions.Add(1)
@@ -100,6 +132,7 @@ func New(opts Options) *Server {
 			s.m.cacheSpills.Add(1)
 		}
 	}
+	s.cache.onCorrupt = func() { s.m.cacheCorrupt.Add(1) }
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -108,12 +141,98 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/designs", s.handleDesigns)
 	s.mux.HandleFunc("GET /v1/combos", s.handleCombos)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	pending, err := s.recover()
+	if err != nil {
+		return nil, err
+	}
+	// The queue must hold every replayed job plus the configured depth
+	// of new work; it is sized once, before the workers start.
+	s.queue = make(chan *job, maxInt(opts.QueueDepth, len(pending)))
+	for _, j := range pending {
+		s.queue <- j
+		s.m.enqueued.Add(1)
+		s.m.queued.Add(1)
+		s.m.replayed.Add(1)
+		s.logf("job %s re-enqueued from journal: design=%s combo=%s", short(j.id), j.design, j.spec.ID)
+	}
+
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// recover replays the journal at Options.JournalPath: jobs that were
+// queued or running when the previous process died come back as
+// pending (unless their result already reached the cache — the
+// content-addressed ID makes replay idempotent — or their ID is
+// quarantined), failure counts are restored, and the log is compacted
+// to the minimal equivalent state before being reopened for appends.
+func (s *Server) recover() ([]*job, error) {
+	if s.opts.JournalPath == "" {
+		return nil, nil
+	}
+	s.replaying = true
+	defer func() { s.replaying = false }()
+	replayed, fails, torn, err := replayJournal(s.opts.JournalPath)
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		s.logf("journal: torn tail detected (crash mid-append); discarding it")
+	}
+	s.failCount = fails
+	if s.failCount == nil {
+		s.failCount = make(map[string]int)
+	}
+	var pending []*job
+	var still []*replayedJob
+	for _, r := range replayed {
+		rec := r.submit
+		if data, ok := s.cache.Get(rec.ID); ok {
+			// The crash landed between the result reaching the cache
+			// and the terminal record reaching the journal: the work is
+			// done, so synthesize the finished job instead of re-running.
+			j := s.newJobLocked(rec.ID, *rec.Config, rec.Design, workloads.Combo{}, *rec.Combo, time.Duration(rec.Timeout), true)
+			j.state = StateDone
+			j.finished = time.Now()
+			j.result = data
+			close(j.done)
+			continue
+		}
+		if s.failCount[rec.ID] >= s.opts.QuarantineAfter {
+			s.logf("job %s not replayed: quarantined after %d failures", short(rec.ID), s.failCount[rec.ID])
+			continue
+		}
+		combo, spec, err := rec.Combo.resolve()
+		if err != nil {
+			s.logf("job %s not replayed: %v", short(rec.ID), err)
+			continue
+		}
+		j := s.newJobLocked(rec.ID, *rec.Config, rec.Design, combo, spec, time.Duration(rec.Timeout), true)
+		pending = append(pending, j)
+		still = append(still, r)
+	}
+	records, err := compactRecords(still, s.failCount)
+	if err != nil {
+		return nil, err
+	}
+	if err := journal.Rewrite(s.opts.JournalPath, records); err != nil {
+		return nil, err
+	}
+	jl, err := journal.Open(s.opts.JournalPath)
+	if err != nil {
+		return nil, err
+	}
+	s.jlMu.Lock()
+	s.jl = jl
+	s.jlMu.Unlock()
+	return pending, nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -167,6 +286,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad job payload: %v", err)
 		return
 	}
+	if req.Timeout < 0 {
+		httpError(w, http.StatusBadRequest, "bad job payload: negative timeout")
+		return
+	}
 	cfg, combo, spec, key, err := s.resolveRequest(&req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad job payload: %v", err)
@@ -201,7 +324,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	} else if data, ok := s.cache.Get(key); ok {
 		// No job record (e.g. fresh daemon with a warm spill directory)
 		// but the result exists: synthesize a done record.
-		j := s.newJobLocked(key, cfg, req.Design, combo, spec)
+		j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), false)
 		j.state = StateDone
 		j.finished = time.Now()
 		j.result = data
@@ -218,17 +341,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.mu.Unlock()
 		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "5")
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
 		return
 	}
-	j := s.newJobLocked(key, cfg, req.Design, combo, spec)
+	if n := s.failCount[key]; n >= s.opts.QuarantineAfter {
+		s.mu.Unlock()
+		s.m.rejected.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, "job quarantined after %d failures; refusing to run it again", n)
+		return
+	}
+	j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), false)
+	// Durability barrier: the submit record must be on disk before the
+	// submitter is told 202 — an accepted job survives kill -9. The
+	// fsync happens under s.mu, which serializes submissions; at
+	// simulation-length job granularity that is a fine trade for not
+	// having to reason about journal/job-table interleavings.
+	if err := s.appendRecord(journalRecord{Type: recSubmit, ID: key, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: req.Timeout}); err != nil {
+		delete(s.jobs, key)
+		s.mu.Unlock()
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "journal write failed: %v", err)
+		return
+	}
 	select {
 	case s.queue <- j:
 		s.mu.Unlock()
 	default:
 		delete(s.jobs, key)
 		s.mu.Unlock()
+		// Neutralize the submit record so a restart does not resurrect
+		// a job whose submitter was told to back off and retry.
+		s.appendRecord(journalRecord{Type: StateCanceled, ID: key, Error: "queue full"})
 		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "job queue full (%d deep)", s.opts.QueueDepth)
 		return
 	}
@@ -241,13 +388,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // newJobLocked creates and registers a job record; s.mu must be held.
 // A pre-existing terminal record under the same key is replaced.
-func (s *Server) newJobLocked(key string, cfg system.Config, design string, combo workloads.Combo, spec ComboSpec) *job {
+func (s *Server) newJobLocked(key string, cfg system.Config, design string, combo workloads.Combo, spec ComboSpec, timeout time.Duration, replayed bool) *job {
 	j := &job{
 		id:        key,
 		cfg:       cfg,
 		design:    design,
 		combo:     combo,
 		spec:      spec,
+		timeout:   timeout,
+		replayed:  replayed,
 		state:     StateQueued,
 		submitted: time.Now(),
 		subs:      make(map[chan system.EpochSample]struct{}),
@@ -312,6 +461,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 		s.m.queued.Add(-1)
 		s.m.canceled.Add(1)
+		if err := s.appendRecord(journalRecord{Type: StateCanceled, ID: j.id, Error: "canceled while queued"}); err != nil {
+			s.logf("job %s: journal cancel: %v", short(j.id), err)
+		}
 		s.logf("job %s canceled (queued)", short(j.id))
 	case StateRunning:
 		cancel := j.cancel
@@ -339,16 +491,47 @@ func (s *Server) handleCombos(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ids)
 }
 
+// handleHealthz is the legacy combined endpoint: always 200 while the
+// process serves (liveness semantics), with readiness detail inline.
+// Orchestrators should probe /livez and /readyz instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	draining := s.draining
+	draining, replaying := s.draining, s.replaying
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":       true,
+		"ready":    !draining && !replaying,
 		"draining": draining,
 		"queued":   s.m.queued.Load(),
 		"running":  s.m.running.Load(),
 	})
+}
+
+// handleLivez reports process liveness: 200 as long as the handler can
+// run at all. A deadlocked or dead process fails the probe by not
+// answering, which is the only honest liveness signal.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleReadyz reports whether the daemon is accepting work: false
+// (503, with Retry-After) while draining toward shutdown or replaying
+// the journal at startup, so load balancers stop routing submissions
+// before they start bouncing off 503s from the submit path itself.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, replaying := s.draining, s.replaying
+	s.mu.Unlock()
+	if draining || replaying {
+		reason := "draining"
+		if replaying {
+			reason = "replaying journal"
+		}
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -356,12 +539,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.m.write(w, s.cache.Len())
 }
 
-// worker pops jobs until the queue is closed by Drain.
+// worker pops jobs until the queue is closed by Drain. A second
+// recover barrier around the whole loop body means even a bug in the
+// server's own bookkeeping cannot take the pool down.
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
-		s.runJob(j)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					s.m.panics.Add(1)
+					s.logf("job %s: worker bookkeeping panic recovered: %v", short(j.id), p)
+				}
+			}()
+			s.runJob(j)
+		}()
 	}
+}
+
+// simulate runs the job behind a recover barrier: a panic anywhere in
+// the simulation (or in the progress callback) becomes a failed-job
+// error carrying the stack, instead of a dead daemon.
+func (s *Server) simulate(ctx context.Context, j *job, onEpoch func(system.EpochSample)) (res system.Results, err error, panicked bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("worker panic: %v\n%s", p, debug.Stack())
+			panicked = true
+		}
+	}()
+	res, err = system.RunDesignContext(ctx, j.cfg, j.design, j.combo, onEpoch)
+	return res, err, false
 }
 
 func (s *Server) runJob(j *job) {
@@ -370,7 +577,16 @@ func (s *Server) runJob(j *job) {
 		j.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		// The deadline covers execution, not queue wait; it lands at
+		// the next epoch boundary via the same context plumbing as
+		// cancellation.
+		ctx, cancel = context.WithTimeout(context.Background(), j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = time.Now()
@@ -381,39 +597,95 @@ func (s *Server) runJob(j *job) {
 	s.m.running.Add(1)
 	s.m.queueWaitNanos.Add(wait.Nanoseconds())
 	s.logf("job %s running after %s queued", short(j.id), wait.Round(time.Millisecond))
+	if err := s.appendRecord(journalRecord{Type: recStart, ID: j.id}); err != nil {
+		// Non-fatal: without the start record the job replays as
+		// still-queued, which recovers identically.
+		s.logf("job %s: journal start: %v", short(j.id), err)
+	}
+	if ms, fired := faultinject.Hit(faultinject.SlowWorker); fired {
+		if ms <= 0 {
+			ms = 100
+		}
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+	}
 
 	onEpoch := func(e system.EpochSample) {
+		if _, fired := faultinject.Hit(faultinject.PanicOnEpoch); fired {
+			panic("faultinject: panic-on-epoch")
+		}
 		s.m.epochsStreamed.Add(1)
 		j.publishEpoch(e)
 	}
-	res, err := system.RunDesignContext(ctx, j.cfg, j.design, j.combo, onEpoch)
+	res, err, panicked := s.simulate(ctx, j, onEpoch)
 	elapsed := time.Since(j.started)
 	s.m.running.Add(-1)
 	s.m.simNanos.Add(elapsed.Nanoseconds())
 
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	var state, errMsg string
+	var result []byte
 	switch {
+	case panicked:
+		state, errMsg = StateFailed, err.Error()
+		s.m.panics.Add(1)
+		s.m.failed.Add(1)
+		s.logf("job %s worker panic recovered: %s", short(j.id), firstLine(errMsg))
 	case err == nil:
 		data, merr := json.Marshal(res)
 		if merr != nil {
-			j.finish(StateFailed, "marshal results: "+merr.Error(), nil)
+			state, errMsg = StateFailed, "marshal results: "+merr.Error()
 			s.m.failed.Add(1)
-			return
+			s.logf("job %s failed: %s", short(j.id), errMsg)
+		} else {
+			// The cache write precedes the terminal journal record: if
+			// the process dies between the two, replay finds the result
+			// under the job's content address and synthesizes done
+			// instead of re-running.
+			s.cache.Put(j.id, data)
+			state, result = StateDone, data
+			s.m.completed.Add(1)
+			s.m.simCycles.Add(int64(res.Cycles))
 		}
-		s.cache.Put(j.id, data)
-		j.finish(StateDone, "", data)
-		s.m.completed.Add(1)
-		s.m.simCycles.Add(int64(res.Cycles))
-		s.logf("job %s done in %s (%d epochs)", short(j.id), elapsed.Round(time.Millisecond), len(j.epochs))
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		state = StateDeadline
+		errMsg = fmt.Sprintf("deadline exceeded: ran %s of a %s budget", elapsed.Round(time.Millisecond), j.timeout)
+		s.m.deadlined.Add(1)
+		s.logf("job %s exceeded its %s deadline", short(j.id), j.timeout)
 	case ctx.Err() != nil:
-		j.finish(StateCanceled, "canceled", nil)
+		state, errMsg = StateCanceled, "canceled"
 		s.m.canceled.Add(1)
 		s.logf("job %s canceled after %s", short(j.id), elapsed.Round(time.Millisecond))
 	default:
-		j.finish(StateFailed, err.Error(), nil)
+		state, errMsg = StateFailed, err.Error()
 		s.m.failed.Add(1)
 		s.logf("job %s failed: %v", short(j.id), err)
+	}
+
+	j.mu.Lock()
+	j.finish(state, errMsg, result)
+	epochs := len(j.epochs)
+	j.mu.Unlock()
+	if state == StateDone {
+		s.logf("job %s done in %s (%d epochs)", short(j.id), elapsed.Round(time.Millisecond), epochs)
+	}
+	if state == StateFailed {
+		s.noteFailure(j.id)
+	}
+	if jerr := s.appendRecord(journalRecord{Type: state, ID: j.id, Error: errMsg}); jerr != nil {
+		s.logf("job %s: journal %s: %v", short(j.id), state, jerr)
+	}
+}
+
+// noteFailure counts a failed attempt toward quarantine. Crossing the
+// threshold quarantines the ID: submissions are refused with 422 and a
+// restart will not replay it, so a config that panics the simulator
+// cannot crash-loop the daemon no matter how persistent the client.
+func (s *Server) noteFailure(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failCount[id]++
+	if s.failCount[id] == s.opts.QuarantineAfter {
+		s.m.quarantined.Add(1)
+		s.logf("job %s quarantined after %d failed attempts", short(id), s.failCount[id])
 	}
 }
 
@@ -438,7 +710,21 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.cancelAll()
 		<-idle // cancellation lands at the next epoch boundary
 	}
-	return s.cache.SpillAll()
+	err := s.cache.SpillAll()
+	s.closeJournal()
+	return err
+}
+
+// closeJournal detaches and closes the journal handle; later appends
+// become no-ops. Idempotent.
+func (s *Server) closeJournal() {
+	s.jlMu.Lock()
+	jl := s.jl
+	s.jl = nil
+	s.jlMu.Unlock()
+	if jl != nil {
+		jl.Close()
+	}
 }
 
 // Close force-cancels everything and waits for the workers; for tests
@@ -452,6 +738,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.cancelAll()
 	s.workers.Wait()
+	s.closeJournal()
 	return nil
 }
 
@@ -462,6 +749,7 @@ func (s *Server) cancelAll() {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
+	var droppedQueued []string
 	for _, j := range jobs {
 		j.mu.Lock()
 		switch j.state {
@@ -469,6 +757,7 @@ func (s *Server) cancelAll() {
 			j.finish(StateCanceled, "canceled: server shutting down", nil)
 			s.m.queued.Add(-1)
 			s.m.canceled.Add(1)
+			droppedQueued = append(droppedQueued, j.id)
 		case StateRunning:
 			if j.cancel != nil {
 				j.cancel()
@@ -476,11 +765,23 @@ func (s *Server) cancelAll() {
 		}
 		j.mu.Unlock()
 	}
+	// Journal the queued cancellations so a restart does not resurrect
+	// jobs the shutdown already reported as canceled. (Running jobs
+	// write their own terminal records as their contexts land.)
+	for _, id := range droppedQueued {
+		if err := s.appendRecord(journalRecord{Type: StateCanceled, ID: id, Error: "canceled: server shutting down"}); err != nil {
+			s.logf("job %s: journal shutdown cancel: %v", short(id), err)
+		}
+	}
 }
 
 // Stats used by tests: how many simulations actually ran (every
 // non-deduped, non-cached submission costs exactly one).
 func (s *Server) SimulationsStarted() int64 { return s.m.enqueued.Load() }
+
+// ReplayedJobs reports how many jobs the startup journal replay
+// re-enqueued — the daemon logs it, and chaos tests assert on it.
+func (s *Server) ReplayedJobs() int64 { return s.m.replayed.Load() }
 
 // --- job helpers ---
 
@@ -546,6 +847,8 @@ func (j *job) snapshot() JobStatus {
 		State:       j.state,
 		Design:      j.design,
 		Combo:       j.spec,
+		Replayed:    j.replayed,
+		Timeout:     Duration(j.timeout),
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
@@ -641,6 +944,22 @@ func short(key string) string {
 		return key[:12]
 	}
 	return key
+}
+
+// firstLine trims a multi-line message (a panic with its stack) to its
+// first line for log output; the full text stays on the job record.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // sortedStates is a tiny helper for deterministic debug output of the

@@ -1,0 +1,98 @@
+package serve_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/serve"
+)
+
+// TestHostileSubmissions: every malformed, type-confused, or hostile
+// payload is a clean 400 — never a 5xx, never a dropped connection
+// (which is what a handler panic looks like from the client side).
+func TestHostileSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ``},
+		{"not json", `not json at all`},
+		{"truncated object", `{"design":"Baseline","combo":`},
+		{"null", `null`},
+		{"array", `[1,2,3]`},
+		{"bare string", `"Baseline"`},
+		{"missing design", `{"combo":"C1"}`},
+		{"empty design", `{"design":"","combo":"C1"}`},
+		{"unknown design", `{"design":"NoSuchDesign","combo":"C1"}`},
+		{"unknown combo", `{"design":"Baseline","combo":"C99"}`},
+		{"combo wrong type", `{"design":"Baseline","combo":42}`},
+		{"combo null bytes", "{\"design\":\"Baseline\",\"combo\":\"C1\\u0000\"}"},
+		{"design wrong type", `{"design":{"a":1},"combo":"C1"}`},
+		{"cycles wrong type", `{"design":"Baseline","combo":"C1","cycles":"lots"}`},
+		{"negative cycles", `{"design":"Baseline","combo":"C1","cycles":-1}`},
+		{"seed wrong type", `{"design":"Baseline","combo":"C1","seed":[]}`},
+		{"timeout garbage", `{"design":"Baseline","combo":"C1","timeout":"soon"}`},
+		{"timeout negative", `{"design":"Baseline","combo":"C1","timeout":"-1h"}`},
+		{"timeout wrong type", `{"design":"Baseline","combo":"C1","timeout":{}}`},
+		{"config wrong type", `{"design":"Baseline","combo":"C1","config":"quick"}`},
+		{"config invalid hybrid", `{"design":"Hydrogen","combo":"C1","config":{"hybrid":{"fast_capacity_bytes":-1}}}`},
+		{"huge nesting", `{"design":` + strings.Repeat(`[`, 1000) + strings.Repeat(`]`, 1000) + `,"combo":"C1"}`},
+		{"long string field", `{"design":"` + strings.Repeat("A", 1<<16) + `","combo":"C1"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("transport error (handler panic?): %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("code %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// FuzzSubmit hammers the submit handler with mutated payloads; the
+// invariant is that the server always answers with a well-formed HTTP
+// response — anything below 500 — and never panics the handler (which
+// would surface as a transport error). The seed corpus deliberately
+// contains no valid design name, so seed-corpus CI runs never enqueue
+// a simulation.
+func FuzzSubmit(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`{}`,
+		`null`,
+		`{"design":"X","combo":"C1"}`,
+		`{"design":"X","combo":{"id":"C1","cpu":["a"],"gpu":"b"}}`,
+		`{"design":"X","combo":"C1","cycles":18446744073709551615}`,
+		`{"design":"X","combo":"C1","timeout":"1ns"}`,
+		`{"design":"X","combo":"C1","config":{"cycles":1}}`,
+		`{"design":` + `"` + "\x00\xff" + `","combo":"C1"}`,
+		`{"design":"X","combo":[{}]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	srv, err := serve.New(serve.Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer srv.Close()
+	hts := httptest.NewServer(srv)
+	f.Cleanup(hts.Close)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := http.Post(hts.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("transport error (handler panic?): %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("payload %q: server error %d", body, resp.StatusCode)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+#!/bin/sh
+# Chaos smoke test of hydroserved's crash safety, as run in CI.
+#
+# Leg 1 (crash replay): boot the daemon with a journal, submit a job,
+# SIGKILL the process while the job is running, restart it over the
+# same journal + cache dir, and require that the job completes WITHOUT
+# being resubmitted — and that its result is byte-identical to a clean
+# daemon's run of the same job.
+#
+# Leg 2 (poison-job quarantine): boot with HYDRO_FAILPOINTS making the
+# simulation panic, require two recovered failures then a 422
+# quarantine rejection, and require that a healthy job still completes
+# on the same daemon.
+#
+# Needs only curl, grep, sed, cmp. Exits nonzero on any failed
+# expectation.
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+trap 'if [ -n "$pid" ]; then kill -9 "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; fi; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/hydroserved" ./cmd/hydroserved
+
+# start_daemon <args...>: boots the daemon, waits for its listen line,
+# and sets $pid and $base. Extra environment goes via HYDRO_FAILPOINTS.
+start_daemon() {
+    : >"$workdir/out"
+    "$workdir/hydroserved" -addr 127.0.0.1:0 -workers 1 "$@" \
+        >"$workdir/out" 2>>"$workdir/log" &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^hydroserved: listening on //p' "$workdir/out")
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { echo "daemon died:"; cat "$workdir/log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "daemon never printed its listen address"; exit 1; }
+    base="http://$addr"
+}
+
+# wait_for_state <id> <state> [tries]: polls until the job reaches the
+# state; fails on any other terminal state.
+wait_for_state() {
+    _id=$1; _want=$2; _tries=${3:-600}
+    for _ in $(seq 1 "$_tries"); do
+        _status=$(curl -sf "$base/v1/jobs/$_id")
+        _state=$(printf '%s' "$_status" | sed -n 's/.*"state":"\([a-z_]*\)".*/\1/p')
+        [ "$_state" = "$_want" ] && return 0
+        case "$_state" in
+            done|failed|canceled|deadline_exceeded)
+                echo "job reached $_state while waiting for $_want: $_status"; return 1 ;;
+        esac
+        sleep 0.2
+    done
+    echo "job never reached $_want (last state: $_state)"; return 1
+}
+
+echo "== leg 1: SIGKILL mid-job, restart, replay, byte-identical result"
+cache1="$workdir/cache1"; wal1="$workdir/jobs.wal"
+job='{"design":"Hydrogen","combo":"C1","cycles":30000000}'
+
+start_daemon -cache-dir "$cache1" -journal "$wal1"
+resp=$(curl -sf "$base/v1/jobs" -d "$job")
+id=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$id" ] || { echo "no job id in response: $resp"; exit 1; }
+wait_for_state "$id" running
+echo "job $id running; kill -9 $pid"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+start_daemon -cache-dir "$cache1" -journal "$wal1"
+grep -q "journal replay re-enqueued 1 interrupted job" "$workdir/log" \
+    || { echo "no replay log line:"; cat "$workdir/log"; exit 1; }
+# No resubmission: the replayed job is already registered under its
+# content-addressed ID.
+curl -sf "$base/v1/jobs/$id" | grep -q '"replayed":true' \
+    || { echo "job $id not marked replayed after restart"; exit 1; }
+wait_for_state "$id" done
+echo "replayed job completed"
+kill -TERM "$pid"
+wait "$pid" || { echo "daemon exited nonzero on SIGTERM"; exit 1; }
+pid=""
+[ -f "$cache1/$id.json" ] || { echo "no spilled result after drain"; exit 1; }
+
+cache2="$workdir/cache2"
+start_daemon -cache-dir "$cache2"
+resp=$(curl -sf "$base/v1/jobs" -d "$job")
+id2=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ "$id2" = "$id" ] || { echo "clean daemon minted a different job id: $id2 vs $id"; exit 1; }
+wait_for_state "$id" done
+kill -TERM "$pid"
+wait "$pid" || { echo "clean daemon exited nonzero on SIGTERM"; exit 1; }
+pid=""
+cmp "$cache1/$id.json" "$cache2/$id.json" \
+    || { echo "replayed result differs from clean run"; exit 1; }
+echo "crashed-and-replayed result is byte-identical to the clean run"
+
+echo "== leg 2: fault-injected panics quarantine the poison job"
+wal2="$workdir/poison.wal"
+HYDRO_FAILPOINTS="panic-on-epoch=2" \
+    start_daemon -journal "$wal2" -quarantine 2
+poison='{"design":"Hydrogen","combo":"C2","cycles":2000000}'
+resp=$(curl -sf "$base/v1/jobs" -d "$poison")
+pid1=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+wait_for_state "$pid1" failed
+curl -sf "$base/v1/jobs/$pid1" | grep -q 'worker panic' \
+    || { echo "failed job does not carry the panic"; exit 1; }
+curl -sf "$base/v1/jobs" -d "$poison" >/dev/null  # second attempt
+wait_for_state "$pid1" failed
+# Third submission must be refused with 422.
+code=$(curl -s -o "$workdir/quarantine" -w '%{http_code}' "$base/v1/jobs" -d "$poison")
+[ "$code" = 422 ] || { echo "poison resubmit: HTTP $code, want 422: $(cat "$workdir/quarantine")"; exit 1; }
+grep -q quarantined "$workdir/quarantine" || { echo "422 without quarantine message"; exit 1; }
+echo "poison job quarantined after 2 panics"
+
+# The daemon is still healthy: a clean job (failpoint exhausted)
+# completes and the panics were counted.
+healthy='{"design":"Hydrogen","combo":"C2","cycles":2000000,"seed":7}'
+resp=$(curl -sf "$base/v1/jobs" -d "$healthy")
+hid=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+wait_for_state "$hid" done
+metrics=$(curl -sf "$base/metrics")
+printf '%s' "$metrics" | grep -q '^hydroserved_worker_panics_total 2$' \
+    || { echo "bad panic metrics:"; printf '%s\n' "$metrics" | grep panic; exit 1; }
+printf '%s' "$metrics" | grep -q '^hydroserved_jobs_quarantined_total 1$' \
+    || { echo "bad quarantine metrics:"; printf '%s\n' "$metrics" | grep quarantine; exit 1; }
+kill -TERM "$pid"
+wait "$pid" || { echo "daemon exited nonzero on SIGTERM"; exit 1; }
+pid=""
+echo "healthy job completed alongside the quarantine"
+
+echo "chaos smoke OK"
