@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 chaos bench bench-quick
+.PHONY: all tier1 lint chaos bench bench-quick
 
 all: tier1
 
@@ -9,6 +9,16 @@ tier1:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Static analysis: go vet always; staticcheck when installed (CI
+# installs it, local runs skip with a hint instead of failing).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Crash-safety smoke: SIGKILL mid-job + journal replay + quarantine.
 chaos:

@@ -87,6 +87,20 @@ func BenchmarkFigure5(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure5Telemetry is BenchmarkFigure5 with per-run epoch
+// telemetry capture and CSV artifact writing enabled — the pair
+// quantifies the observability overhead on the main comparison.
+func BenchmarkFigure5Telemetry(b *testing.B) {
+	b.ReportAllocs()
+	opts := benchOptions()
+	opts.TelemetryDir = b.TempDir()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(opts, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFigure5HBM3 regenerates Fig. 5(b) with the HBM3 fast tier.
 func BenchmarkFigure5HBM3(b *testing.B) {
 	b.ReportAllocs()

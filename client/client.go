@@ -18,11 +18,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	hydrogen "github.com/hydrogen-sim/hydrogen"
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/serve"
 )
 
@@ -34,6 +36,8 @@ type (
 	JobStatus = serve.JobStatus
 	// ComboSpec names a Table II combo or an inline custom assignment.
 	ComboSpec = serve.ComboSpec
+	// TelemetrySnapshot is the GET /v1/jobs/{id}/telemetry payload.
+	TelemetrySnapshot = serve.TelemetrySnapshot
 )
 
 // Client talks to one hydroserved instance. Safe for concurrent use.
@@ -48,6 +52,9 @@ type Client struct {
 	// to disable. Events streams are never retried — a consumer that
 	// loses a stream re-subscribes and gets the backlog replayed.
 	Retry RetryPolicy
+	// Logger, when set, receives one debug record per API call with the
+	// request ID the call carried, so client and server logs correlate.
+	Logger *slog.Logger
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -96,6 +103,10 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 	}
 	pol := c.Retry.withDefaults()
+	// One request ID covers every attempt of this call, so retries of a
+	// flaky submission correlate to one logical operation in the
+	// server's access log.
+	reqID := obs.NewRequestID()
 	var slept time.Duration
 	var lastErr error
 	for attempt := 1; ; attempt++ {
@@ -107,11 +118,20 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if err != nil {
 			return err
 		}
+		req.Header.Set(obs.HeaderRequestID, reqID)
 		if data != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		var retryAfter time.Duration
 		resp, err := c.hc.Do(req)
+		if c.Logger != nil {
+			status := 0
+			if resp != nil {
+				status = resp.StatusCode
+			}
+			c.Logger.Debug("api request", "method", method, "path", path,
+				"status", status, "attempt", attempt, "request_id", reqID, "err", err)
+		}
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -185,6 +205,18 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 // Cancel requests cancellation of a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Telemetry fetches a job's per-epoch telemetry snapshot: the retained
+// points (knob trajectory, token and migration activity, tier
+// utilization) plus how many older points the server's bounded ring
+// dropped.
+func (c *Client) Telemetry(ctx context.Context, id string) (*TelemetrySnapshot, error) {
+	var ts TelemetrySnapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/telemetry", nil, &ts); err != nil {
+		return nil, err
+	}
+	return &ts, nil
 }
 
 // Designs lists the server's design names.

@@ -13,6 +13,7 @@
 //	hydroexp -combos C1,C5 -csv fig5a   # two combos, CSV output
 //	hydroexp -paper all                 # full-scale everything (slow)
 //	hydroexp -server http://:8077 fig5a # run against a hydroserved daemon
+//	hydroexp -telemetry /tmp/telem fig8 # dump per-run epoch telemetry CSVs
 //
 // With -server, every named-design simulation is submitted to the
 // daemon instead of running in-process, so repeated sweeps hit its
@@ -44,6 +45,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		server   = flag.String("server", "", "hydroserved base URL; named-design runs are submitted there")
+		telemDir = flag.String("telemetry", "", "directory for per-run epoch telemetry CSVs (local runs only)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -64,6 +66,13 @@ func main() {
 	opts := experiments.Options{Base: base, Parallel: *parallel}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+	if *telemDir != "" {
+		if err := os.MkdirAll(*telemDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "hydroexp: %v\n", err)
+			os.Exit(1)
+		}
+		opts.TelemetryDir = *telemDir
 	}
 	if *server != "" {
 		cl := client.New(*server)

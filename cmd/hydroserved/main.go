@@ -14,10 +14,13 @@
 //	hydroserved -cache-dir /var/tmp/hydro     # persistent warm cache
 //	hydroserved -journal /var/tmp/hydro/jobs.wal \
 //	            -cache-dir /var/tmp/hydro     # crash-safe job queue
+//	hydroserved -access-log -log-json         # structured request logs
+//	hydroserved -debug-addr 127.0.0.1:6060    # pprof + runtime metrics
 //
 //	curl -s localhost:8077/v1/jobs -d '{"design":"Hydrogen","combo":"C1"}'
 //	curl -s localhost:8077/v1/jobs/<id>
 //	curl -N  localhost:8077/v1/jobs/<id>/events
+//	curl -s  localhost:8077/v1/jobs/<id>/telemetry?format=csv
 //	curl -s  localhost:8077/metrics
 //
 // On SIGINT/SIGTERM the daemon stops accepting jobs (503 with
@@ -45,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -54,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/serve"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 )
@@ -78,6 +83,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		paper        = fs.Bool("paper", false, "default jobs to the full Table I scale instead of quick")
 		drainTO      = fs.Duration("drain-timeout", 10*time.Minute, "max time to let jobs finish on shutdown before canceling")
 		quiet        = fs.Bool("q", false, "suppress per-job logging")
+		logJSON      = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		accessLog    = fs.Bool("access-log", false, "log one structured line per HTTP request")
+		debugAddr    = fs.String("debug-addr", "", "separate listener for /debug/pprof and /debug/runtimez (e.g. 127.0.0.1:6060); empty disables")
+		telemPoints  = fs.Int("telemetry-points", 0, "per-job telemetry ring size; 0 = default")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -104,13 +113,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheDir:        *cacheDir,
 		JournalPath:     *journalPath,
 		QuarantineAfter: *quarantine,
+		AccessLog:       *accessLog,
+		TelemetryPoints: *telemPoints,
 	}
 	if *paper {
 		cfg := system.Paper()
 		opts.DefaultConfig = &cfg
 	}
 	if !*quiet {
-		opts.Logf = logger.Printf
+		// Lifecycle events go out as structured records (text or JSON);
+		// the legacy Logf sink stays off so each event is logged once.
+		opts.Logger = obs.NewLogger(stderr, *logJSON, slog.LevelInfo)
 	}
 	srv, err := serve.New(opts)
 	if err != nil {
@@ -129,6 +142,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// The parseable listen line is the contract scripts/serve_smoke.sh
 	// and the drain test rely on; keep its format stable.
 	fmt.Fprintf(stdout, "hydroserved: listening on %s\n", ln.Addr())
+
+	if *debugAddr != "" {
+		// pprof and runtime metrics live on their own listener: profiles
+		// expose internals and profiling costs CPU, so the serving port
+		// never carries them.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "hydroserved: debug listener: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "hydroserved: debug listening on %s\n", dln.Addr())
+		dbg := &http.Server{Handler: obs.DebugMux()}
+		go func() {
+			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug serve: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	hs := &http.Server{Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

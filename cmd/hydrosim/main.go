@@ -12,9 +12,16 @@
 //	hydrosim -combo C1 -design Baseline -cycles 20000000 -json
 //	hydrosim -cpu mcf,gcc -gpu bert -cores 2 -design Hydrogen
 //	hydrosim -cputraces a.trace,b.trace -gputraces g.trace -design Hydrogen
+//	hydrosim -combo C5 -design Hydrogen -telemetry c5.csv
+//
+// With -telemetry, every sampling epoch's telemetry point (IPCs, the
+// (cap, bw, tok) operating point, token/migration activity, tier
+// utilization — the signal behind the paper's Figs. 8-11) is written to
+// the given file: CSV by default, JSON when the path ends in .json.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +31,7 @@ import (
 	"strings"
 
 	hydrogen "github.com/hydrogen-sim/hydrogen"
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/trace"
 )
 
@@ -43,6 +51,7 @@ func main() {
 		gpuTr   = flag.String("gputraces", "", "comma-separated GPU trace files")
 		wCPU    = flag.Float64("wcpu", 12, "CPU IPC weight")
 		wGPU    = flag.Float64("wgpu", 1, "GPU IPC weight")
+		telem   = flag.String("telemetry", "", "write per-epoch telemetry to this file (.json for JSON, else CSV)")
 	)
 	flag.Parse()
 	debug.SetGCPercent(800)
@@ -62,6 +71,12 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.WeightCPU, cfg.WeightGPU = *wCPU, *wGPU
+
+	var points []hydrogen.TelemetryPoint
+	var collect func(hydrogen.TelemetryPoint)
+	if *telem != "" {
+		collect = func(p hydrogen.TelemetryPoint) { points = append(points, p) }
+	}
 
 	var res hydrogen.Results
 	var err error
@@ -85,6 +100,9 @@ func main() {
 		if serr != nil {
 			log.Fatal(serr)
 		}
+		if collect != nil {
+			sys.SetTelemetry(collect)
+		}
 		res = sys.Run()
 	} else if *cpuList != "" || *gpuName != "" {
 		custom := hydrogen.Combo{ID: "custom", CPU: strings.Split(*cpuList, ","), GPU: *gpuName}
@@ -103,12 +121,23 @@ func main() {
 		if serr != nil {
 			log.Fatal(serr)
 		}
+		if collect != nil {
+			sys.SetTelemetry(collect)
+		}
 		res = sys.Run()
 	} else {
-		res, err = hydrogen.Run(cfg, *design, *comboID)
+		res, err = hydrogen.RunObserved(context.Background(), cfg, *design, *comboID,
+			hydrogen.RunHooks{OnTelemetry: collect})
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *telem != "" {
+		if err := writeTelemetry(*telem, points); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hydrosim: wrote %d telemetry points to %s\n", len(points), *telem)
 	}
 
 	if *asJSON {
@@ -140,6 +169,20 @@ func main() {
 	fmt.Printf("energy:      %.2f mJ total (fast %.2f dyn + %.2f static, slow %.2f dyn + %.2f static)\n",
 		res.TotalEnergyPJ()/1e9, res.FastDynamicPJ/1e9, res.FastStaticPJ/1e9,
 		res.SlowDynamicPJ/1e9, res.SlowStaticPJ/1e9)
+}
+
+// writeTelemetry dumps the collected epoch points to path, CSV or JSON
+// depending on the extension.
+func writeTelemetry(path string, points []hydrogen.TelemetryPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteFileFormat(f, path, points); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // splitList turns a comma-separated flag value into paths ("" = none).

@@ -1,0 +1,59 @@
+// Command promcheck validates Prometheus text exposition format: it
+// reads a metrics payload from stdin or fetches it from a URL argument,
+// runs the same well-formedness rules the repo's tests enforce
+// (obs.ValidateExposition), and exits nonzero naming the first
+// offending line. The serve smoke script pipes /metrics scrapes through
+// it so a malformed exposition fails CI, not a dashboard.
+//
+// Usage:
+//
+//	curl -s localhost:8077/metrics | promcheck
+//	promcheck http://localhost:8077/metrics
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
+)
+
+func main() {
+	var (
+		text []byte
+		err  error
+	)
+	switch {
+	case len(os.Args) > 2:
+		fmt.Fprintln(os.Stderr, "usage: promcheck [url]   (reads stdin without a url)")
+		os.Exit(2)
+	case len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "http"):
+		var resp *http.Response
+		if resp, err = http.Get(os.Args[1]); err == nil {
+			text, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("GET %s: %s", os.Args[1], resp.Status)
+			}
+		}
+	case len(os.Args) == 2:
+		text, err = os.ReadFile(os.Args[1])
+	default:
+		text, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(text) == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: empty exposition")
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(string(text)); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -9,14 +9,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
 )
@@ -36,7 +41,18 @@ type Options struct {
 	// ablation variants of Figs. 7-9 and the pinned operating points of
 	// Fig. 8) always execute locally.
 	Runner func(cfg system.Config, design string, combo workloads.Combo) (system.Results, error)
+
+	// TelemetryDir, when set, makes every locally executed named-design
+	// simulation dump its per-epoch telemetry to
+	// telemetry_<seq>_<design>_<combo>.csv in that directory — the raw
+	// material of the knob-trajectory views (Figs. 8-11). Runs routed
+	// through Runner (a remote daemon) are not captured; stream those via
+	// GET /v1/jobs/{id}/telemetry instead.
+	TelemetryDir string
 }
+
+// telemetrySeq numbers telemetry artifacts across concurrent runs.
+var telemetrySeq atomic.Int64
 
 // run executes one named-design simulation through the configured
 // Runner (or locally when none is set).
@@ -44,7 +60,45 @@ func (o *Options) run(cfg system.Config, design string, combo workloads.Combo) (
 	if o.Runner != nil {
 		return o.Runner(cfg, design, combo)
 	}
-	return system.RunDesign(cfg, design, combo)
+	if o.TelemetryDir == "" {
+		return system.RunDesign(cfg, design, combo)
+	}
+	var points []obs.EpochPoint
+	res, err := system.RunDesignObserved(context.Background(), cfg, design, combo, system.Hooks{
+		OnTelemetry: func(p obs.EpochPoint) { points = append(points, p) },
+	})
+	if err != nil {
+		return res, err
+	}
+	name := fmt.Sprintf("telemetry_%03d_%s_%s.csv", telemetrySeq.Add(1), sanitize(design), sanitize(combo.ID))
+	if werr := writeTelemetryCSV(filepath.Join(o.TelemetryDir, name), points); werr != nil {
+		o.logf("telemetry: %v", werr)
+	}
+	return res, nil
+}
+
+// sanitize makes a design or combo ID filename-safe.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// writeTelemetryCSV dumps one run's telemetry artifact.
+func writeTelemetryCSV(path string, points []obs.EpochPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteCSV(f, points); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // DefaultOptions returns quick-scale options over all combos.

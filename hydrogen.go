@@ -21,6 +21,7 @@ import (
 
 	"github.com/hydrogen-sim/hydrogen/experiments"
 	"github.com/hydrogen-sim/hydrogen/internal/memory/hybrid"
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/trace"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
@@ -50,6 +51,14 @@ type (
 	TraceGenerator = trace.Generator
 	// HybridMode selects the fast-tier organization (Config.Hybrid.Mode).
 	HybridMode = hybrid.Mode
+	// TelemetryPoint is one epoch's full telemetry: IPCs, the Hydrogen
+	// (cap, bw, tok) operating point, token-faucet and migration
+	// activity, and fast/slow channel utilization — the signal the
+	// paper's Figures 8-11 visualize.
+	TelemetryPoint = obs.EpochPoint
+	// RunHooks bundles the optional observation callbacks of
+	// RunObserved (per-epoch progress and telemetry).
+	RunHooks = system.Hooks
 )
 
 // Fast-tier organization modes (Section II-A): ModeCache treats the
@@ -131,6 +140,21 @@ func RunWithProgress(ctx context.Context, cfg Config, design, comboID string, on
 		return Results{}, err
 	}
 	return system.RunDesignContext(ctx, cfg, design, combo, onEpoch)
+}
+
+// RunObserved is RunWithProgress with the full observation hook set:
+// alongside the per-epoch IPC sample, hooks.OnTelemetry receives every
+// epoch's TelemetryPoint — the knob trajectory and contention counters
+// behind Figs. 8-11. `hydrosim -telemetry` uses this to dump CSV/JSON
+// telemetry artifacts; hydroserved streams the same points over
+// GET /v1/jobs/{id}/telemetry. The hooks observe without perturbing, so
+// results stay bit-identical to Run's.
+func RunObserved(ctx context.Context, cfg Config, design, comboID string, hooks RunHooks) (Results, error) {
+	combo, err := workloads.ComboByID(comboID)
+	if err != nil {
+		return Results{}, err
+	}
+	return system.RunDesignObserved(ctx, cfg, design, combo, hooks)
 }
 
 // ApplyDesign resolves a design name to its policy factory, applying any

@@ -81,6 +81,18 @@ func (j *Journal) Append(payload []byte) error {
 	return nil
 }
 
+// Size reports the journal file's current length in bytes — the
+// hydroserved_journal_bytes gauge. A stat failure reads as zero.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st, err := j.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
 // Close closes the underlying file. Appends after Close fail.
 func (j *Journal) Close() error {
 	j.mu.Lock()

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEpochPlotScript smoke-tests scripts/epoch_plot.sh against a CSV
+// written by WriteCSV: the knob-trajectory table must show the start
+// point, every knob move, the final epoch, and a convergence summary
+// naming the last operating point. This pins the script's header-name
+// column lookup to the CSV schema in one place.
+func TestEpochPlotScript(t *testing.T) {
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("sh not available")
+	}
+	script := filepath.Join("..", "..", "scripts", "epoch_plot.sh")
+	if _, err := os.Stat(script); err != nil {
+		t.Fatalf("missing %s: %v", script, err)
+	}
+
+	pts := []EpochPoint{
+		{Epoch: 0, EndCycle: 1000, WeightedIPC: 0.5, CapWays: 2, BwGroups: 1, TokIdx: 0},
+		{Epoch: 1, EndCycle: 2000, WeightedIPC: 0.6, CapWays: 2, BwGroups: 1, TokIdx: 0},
+		{Epoch: 2, EndCycle: 3000, WeightedIPC: 0.7, CapWays: 4, BwGroups: 1, TokIdx: 0},
+		{Epoch: 3, EndCycle: 4000, WeightedIPC: 0.8, CapWays: 4, BwGroups: 2, TokIdx: 1},
+		{Epoch: 4, EndCycle: 5000, WeightedIPC: 0.8, CapWays: 4, BwGroups: 2, TokIdx: 1},
+	}
+	csvPath := filepath.Join(t.TempDir(), "telem.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(f, pts); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out, err := exec.Command("sh", script, csvPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("epoch_plot.sh failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"start",    // epoch 0
+		"cap 2->4", // epoch 2 move
+		"bw 1->2",  // epoch 3 moves
+		"tok 0->1", //
+		"final",    // last epoch had no move, still shown
+		"5 epochs, 3 knob moves, converged at (cap=4, bw=2, tok=1)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Epoch 1 changed nothing, so it must not appear as a row.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "1 ") {
+			t.Errorf("no-move epoch 1 rendered as a row: %q", line)
+		}
+	}
+
+	// A header missing a required column is a hard error, not garbage.
+	badPath := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(badPath, []byte("epoch,end_cycle\n0,1000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command("sh", script, badPath).CombinedOutput(); err == nil {
+		t.Fatalf("script accepted a CSV without knob columns:\n%s", out)
+	}
+}

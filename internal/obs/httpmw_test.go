@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareRequestID(t *testing.T) {
+	var seenID string
+	mw := &Middleware{Next: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenID = RequestID(r.Context())
+		Logger(r.Context()).Info("handler ran") // discard logger; must not panic
+		w.WriteHeader(http.StatusTeapot)
+	})}
+
+	// A caller-supplied ID is propagated and echoed.
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	req.Header.Set(HeaderRequestID, "abc123")
+	rr := httptest.NewRecorder()
+	mw.ServeHTTP(rr, req)
+	if seenID != "abc123" {
+		t.Fatalf("context request ID = %q, want abc123", seenID)
+	}
+	if got := rr.Header().Get(HeaderRequestID); got != "abc123" {
+		t.Fatalf("echoed request ID = %q, want abc123", got)
+	}
+	if rr.Code != http.StatusTeapot {
+		t.Fatalf("status = %d", rr.Code)
+	}
+
+	// Without one, the middleware mints a fresh ID.
+	rr = httptest.NewRecorder()
+	mw.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/x", nil))
+	minted := rr.Header().Get(HeaderRequestID)
+	if minted == "" || minted == "abc123" {
+		t.Fatalf("minted request ID = %q", minted)
+	}
+	if seenID != minted {
+		t.Fatalf("context ID %q != echoed ID %q", seenID, minted)
+	}
+}
+
+func TestMiddlewareLatencyAndAccessLog(t *testing.T) {
+	reg := NewRegistry()
+	lat := reg.Histogram("http_seconds", "Latency.", DurationBuckets)
+	var logBuf strings.Builder
+	mw := &Middleware{
+		Next: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("hello"))
+		}),
+		Latency:   lat,
+		Logger:    slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		AccessLog: true,
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
+	mw.ServeHTTP(httptest.NewRecorder(), req)
+
+	if got := lat.Count(); got != 1 {
+		t.Fatalf("latency observations = %d, want 1", got)
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(logBuf.String()), &line); err != nil {
+		t.Fatalf("access log is not one JSON line: %v\n%s", err, logBuf.String())
+	}
+	if line["method"] != "GET" || line["path"] != "/v1/jobs" ||
+		line["status"] != float64(http.StatusOK) || line["bytes"] != float64(5) {
+		t.Fatalf("access log line = %v", line)
+	}
+	if line["request_id"] == "" || line["duration"] == nil {
+		t.Fatalf("access log missing correlation fields: %v", line)
+	}
+}
+
+func TestStatusWriterFlushPassthrough(t *testing.T) {
+	// httptest.ResponseRecorder implements http.Flusher; the wrapper must
+	// forward Flush so SSE streaming works through the middleware.
+	rr := httptest.NewRecorder()
+	mw := &Middleware{Next: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("statusWriter does not implement http.Flusher")
+			return
+		}
+		w.Write([]byte("data: x\n\n"))
+		f.Flush()
+	})}
+	mw.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/events", nil))
+	if !rr.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}
+
+func TestDebugMuxRuntimez(t *testing.T) {
+	ts := httptest.NewServer(DebugMux())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/runtimez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats RuntimeStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Goroutines <= 0 || stats.HeapAllocBytes == 0 || stats.GOMAXPROCS <= 0 {
+		t.Fatalf("implausible runtime stats: %+v", stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// ctxKey keys the obs values carried in a context.
+type ctxKey int
+
+const (
+	loggerKey ctxKey = iota
+	requestIDKey
+)
+
+// NewLogger builds a slog.Logger writing to w, as JSON when jsonFormat
+// is set and human-readable text otherwise. A nil w yields a discard
+// logger.
+func NewLogger(w io.Writer, jsonFormat bool, level slog.Level) *slog.Logger {
+	if w == nil {
+		return Discard()
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// Discard returns a logger that drops everything — the default for
+// components whose operator did not ask for logging.
+func Discard() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// WithLogger stores l in the context for handlers downstream.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Logger extracts the context's logger, falling back to a discard
+// logger so call sites never nil-check.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return Discard()
+}
+
+// WithRequestID stamps a request ID into the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID ("" when absent).
+func RequestID(ctx context.Context) string {
+	if id, ok := ctx.Value(requestIDKey).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// reqCounter disambiguates IDs minted in the same process.
+var reqCounter atomic.Uint64
+
+// NewRequestID mints a short unique request ID: 8 random bytes, hex.
+// Falls back to a process-local counter if the OS entropy source fails.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqCounter.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}

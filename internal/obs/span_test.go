@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordJSONRoundTrip(t *testing.T) {
+	rec := SpanRecord{
+		Name:     "run",
+		Start:    time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+		Duration: 1500 * time.Millisecond,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire form carries both float seconds and the exact Go string.
+	var wire map[string]any
+	if err := json.Unmarshal(b, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire["name"] != "run" || wire["seconds"] != 1.5 || wire["duration"] != "1.5s" {
+		t.Fatalf("wire form = %v", wire)
+	}
+	var back SpanRecord
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != rec.Name || !back.Start.Equal(rec.Start) || back.Duration != rec.Duration {
+		t.Fatalf("round trip: got %+v, want %+v", back, rec)
+	}
+}
+
+func TestSpanEndInto(t *testing.T) {
+	tr := NewTrace()
+	sp := StartSpan("queue")
+	sp.EndInto(tr)
+	tr.AddInterval("wait", time.Now(), 30*time.Millisecond)
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("Records len = %d, want 2", len(recs))
+	}
+	if recs[0].Name != "queue" || recs[0].Duration < 0 {
+		t.Fatalf("span record = %+v", recs[0])
+	}
+	if recs[1].Name != "wait" || recs[1].Duration != 30*time.Millisecond {
+		t.Fatalf("interval record = %+v", recs[1])
+	}
+	// Records returns a copy: mutating it must not affect the trace.
+	recs[0].Name = "mutated"
+	if got := tr.Records()[0].Name; got != "queue" {
+		t.Fatalf("trace mutated through returned slice: %q", got)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(SpanRecord{Name: "x"})
+	tr.AddInterval("y", time.Now(), time.Second)
+	StartSpan("z").EndInto(tr)
+	if got := tr.Records(); got != nil {
+		t.Fatalf("nil trace Records = %v, want nil", got)
+	}
+}

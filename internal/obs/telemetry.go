@@ -1,0 +1,240 @@
+// Package obs is the observability layer: per-epoch telemetry capture
+// into bounded ring buffers, lightweight span tracing, a small metrics
+// registry (counters, gauges, fixed-bucket histograms) rendered in
+// Prometheus text exposition format, structured logging helpers over
+// log/slog with request/job-ID correlation, and an opt-in debug mux
+// (net/http/pprof + runtime metrics).
+//
+// The package deliberately imports nothing from the simulator, so every
+// tier of the stack — the system core, the serving layer, the CLIs, and
+// the client — can depend on it without cycles. EpochPoint is a flat
+// struct of plain numbers the system core fills in at each sampling
+// epoch; everything downstream (SSE streams, CSV artifacts, the
+// knob-trajectory tables of Figs. 8-11) is a view over a sequence of
+// them.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// EpochPoint is one sampling epoch's telemetry: the measurements the
+// paper's Figures 8-11 plot (knob trajectory, token-faucet behavior,
+// migration and swap rates, tier utilization), captured as deltas over
+// the epoch where the underlying counters are cumulative.
+type EpochPoint struct {
+	Epoch    int    `json:"epoch"`     // 0-based epoch index
+	EndCycle uint64 `json:"end_cycle"` // simulated cycle the epoch ended on
+
+	CPUIPC      float64 `json:"cpu_ipc"`
+	GPUIPC      float64 `json:"gpu_ipc"`
+	WeightedIPC float64 `json:"weighted_ipc"`
+
+	// Operating point after this epoch's adaptation step: cap (CPU ways
+	// per set), bw (dedicated CPU channel groups), tok (token-level
+	// index). All -1 when the active policy has no such point.
+	CapWays  int `json:"cap_ways"`
+	BwGroups int `json:"bw_groups"`
+	TokIdx   int `json:"tok_idx"`
+
+	// Token faucet activity over the epoch (Section IV-B).
+	TokensGranted uint64 `json:"tokens_granted"`
+	TokensDenied  uint64 `json:"tokens_denied"`
+
+	// Migration/swap activity over the epoch.
+	MigrationsCPU uint64 `json:"migrations_cpu"`
+	MigrationsGPU uint64 `json:"migrations_gpu"`
+	Bypassed      uint64 `json:"bypassed"` // victim found but migration denied
+	Swaps         uint64 `json:"swaps"`
+
+	// Demand accesses and fast-tier hits over the epoch, per source.
+	DemandCPU   uint64 `json:"demand_cpu"`
+	DemandGPU   uint64 `json:"demand_gpu"`
+	FastHitsCPU uint64 `json:"fast_hits_cpu"`
+	FastHitsGPU uint64 `json:"fast_hits_gpu"`
+
+	// Channel utilization over the epoch: the fraction of the tier's
+	// aggregate bus-cycle capacity that was busy, in [0,1].
+	FastUtil float64 `json:"fast_util"`
+	SlowUtil float64 `json:"slow_util"`
+}
+
+// Ring is a bounded, concurrency-safe ring buffer of epoch points: the
+// per-run telemetry store of the serving layer. Appends are O(1) under
+// one uncontended mutex (the writer is the simulation goroutine, the
+// readers are HTTP handlers taking snapshots); once full, the oldest
+// point is overwritten and counted as dropped, so a multi-day run can
+// stream forever in bounded memory.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []EpochPoint
+	start   int // index of the oldest element
+	n       int // elements held, <= len(buf)
+	dropped uint64
+}
+
+// DefaultRingPoints is the per-job telemetry bound the serving layer
+// uses when the operator does not set one: at the quick configuration's
+// 400k-cycle epochs it holds 25 full runs; at the paper's 10M-cycle
+// epochs, 200x that.
+const DefaultRingPoints = 4096
+
+// NewRing returns a ring holding at most capacity points (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]EpochPoint, capacity)}
+}
+
+// Append records p, overwriting the oldest point when full.
+func (r *Ring) Append(p EpochPoint) {
+	r.mu.Lock()
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = p
+		r.n++
+	} else {
+		r.buf[r.start] = p
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained points, oldest first. The slice is a
+// copy; the caller may keep it across further appends.
+func (r *Ring) Snapshot() []EpochPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EpochPoint, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Last returns the most recent point, if any.
+func (r *Ring) Last() (EpochPoint, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return EpochPoint{}, false
+	}
+	return r.buf[(r.start+r.n-1)%len(r.buf)], true
+}
+
+// Len reports how many points the ring currently holds.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped reports how many points were overwritten since creation.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// csvHeader lists the CSV columns in EpochPoint field order. Kept in
+// one place so WriteCSV and scripts/epoch_plot.sh agree by name, not by
+// position.
+var csvHeader = []string{
+	"epoch", "end_cycle", "cpu_ipc", "gpu_ipc", "weighted_ipc",
+	"cap_ways", "bw_groups", "tok_idx",
+	"tokens_granted", "tokens_denied",
+	"migrations_cpu", "migrations_gpu", "bypassed", "swaps",
+	"demand_cpu", "demand_gpu", "fast_hits_cpu", "fast_hits_gpu",
+	"fast_util", "slow_util",
+}
+
+// CSVHeader returns the column names WriteCSV emits.
+func CSVHeader() []string { return append([]string(nil), csvHeader...) }
+
+// WriteCSV renders points as a CSV telemetry artifact: one header line
+// followed by one row per epoch. Floats use the shortest round-trip
+// representation.
+func WriteCSV(w io.Writer, points []EpochPoint) error {
+	if err := writeRow(w, csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for _, p := range points {
+		row[0] = strconv.Itoa(p.Epoch)
+		row[1] = strconv.FormatUint(p.EndCycle, 10)
+		row[2] = formatFloat(p.CPUIPC)
+		row[3] = formatFloat(p.GPUIPC)
+		row[4] = formatFloat(p.WeightedIPC)
+		row[5] = strconv.Itoa(p.CapWays)
+		row[6] = strconv.Itoa(p.BwGroups)
+		row[7] = strconv.Itoa(p.TokIdx)
+		row[8] = strconv.FormatUint(p.TokensGranted, 10)
+		row[9] = strconv.FormatUint(p.TokensDenied, 10)
+		row[10] = strconv.FormatUint(p.MigrationsCPU, 10)
+		row[11] = strconv.FormatUint(p.MigrationsGPU, 10)
+		row[12] = strconv.FormatUint(p.Bypassed, 10)
+		row[13] = strconv.FormatUint(p.Swaps, 10)
+		row[14] = strconv.FormatUint(p.DemandCPU, 10)
+		row[15] = strconv.FormatUint(p.DemandGPU, 10)
+		row[16] = strconv.FormatUint(p.FastHitsCPU, 10)
+		row[17] = strconv.FormatUint(p.FastHitsGPU, 10)
+		row[18] = formatFloat(p.FastUtil)
+		row[19] = formatFloat(p.SlowUtil)
+		if err := writeRow(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeRow(w io.Writer, fields []string) error {
+	for i, f := range fields {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, f); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WriteJSON renders points as a JSON array artifact.
+func WriteJSON(w io.Writer, points []EpochPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(points)
+}
+
+// FormatKind classifies a telemetry artifact path by extension.
+func FormatKind(path string) string {
+	if len(path) > 5 && path[len(path)-5:] == ".json" {
+		return "json"
+	}
+	return "csv"
+}
+
+// WriteFileFormat writes points to w in the format FormatKind selects
+// for path ("json" or "csv").
+func WriteFileFormat(w io.Writer, path string, points []EpochPoint) error {
+	if FormatKind(path) == "json" {
+		return WriteJSON(w, points)
+	}
+	return WriteCSV(w, points)
+}
+
+// String renders a compact one-line summary for logs.
+func (p EpochPoint) String() string {
+	return fmt.Sprintf("epoch %d @%d wIPC=%.3f point=(%d,%d,%d)",
+		p.Epoch, p.EndCycle, p.WeightedIPC, p.CapWays, p.BwGroups, p.TokIdx)
+}

@@ -14,17 +14,19 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs             submit {config?, design, combo}; dedupes
-//	GET    /v1/jobs             list job records
-//	GET    /v1/jobs/{id}        status + result when done
-//	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/jobs/{id}/events SSE per-epoch progress stream
-//	GET    /v1/designs          design names
-//	GET    /v1/combos           Table II combo IDs
-//	GET    /healthz             liveness + drain state (legacy combined)
-//	GET    /livez               liveness: 200 while the process serves
-//	GET    /readyz              readiness: 503 while draining or replaying
-//	GET    /metrics             Prometheus text format
+//	POST   /v1/jobs                submit {config?, design, combo}; dedupes
+//	GET    /v1/jobs                list job records
+//	GET    /v1/jobs/{id}           status + result when done
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	GET    /v1/jobs/{id}/events    SSE per-epoch progress stream
+//	GET    /v1/jobs/{id}/telemetry epoch telemetry: JSON snapshot,
+//	                               ?format=csv, or ?stream=1 for SSE
+//	GET    /v1/designs             design names
+//	GET    /v1/combos              Table II combo IDs
+//	GET    /healthz                liveness + drain state (legacy combined)
+//	GET    /livez                  liveness: 200 while the process serves
+//	GET    /readyz                 readiness: 503 while draining or replaying
+//	GET    /metrics                Prometheus text format
 //
 // Crash safety: with Options.JournalPath set, every accepted job is
 // recorded in an append-only CRC-framed journal (internal/journal)
@@ -43,6 +45,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
 )
@@ -189,6 +192,10 @@ type JobStatus struct {
 
 	Epochs int    `json:"epochs"` // progress samples taken so far
 	Error  string `json:"error,omitempty"`
+
+	// Spans are the job's finished trace intervals (queue wait, the run
+	// itself, cache and journal writes), in completion order.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 
 	Result json.RawMessage `json:"result,omitempty"`
 }

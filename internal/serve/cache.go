@@ -27,6 +27,7 @@ type resultCache struct {
 	dir     string // "" disables disk spill
 	ll      *list.List
 	entries map[string]*list.Element
+	bytes   int64 // sum of in-memory entry payload sizes
 
 	onEvict   func(spilled bool) // metrics hook; cheap atomics only
 	onCorrupt func()             // corrupt spill file rejected
@@ -93,15 +94,19 @@ func (c *resultCache) Put(key string, data []byte) {
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).data = data
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
 		return
 	}
 	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.bytes += int64(len(data))
 	for c.max > 0 && c.ll.Len() > c.max {
 		el := c.ll.Back()
 		e := el.Value.(*cacheEntry)
 		c.ll.Remove(el)
 		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.data))
 		spilled := c.dir != "" && c.writeSpill(e.key, e.data) == nil
 		if c.onEvict != nil {
 			c.onEvict(spilled)
@@ -114,6 +119,14 @@ func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes reports the total payload bytes held in memory — the
+// hydroserved_cache_bytes gauge.
+func (c *resultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // writeSpill persists one entry atomically: the bytes land in a temp

@@ -1,89 +1,130 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"sync/atomic"
+
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 )
 
-// metrics are the daemon's counters, exported in Prometheus text
-// format by /metrics. Plain atomics — no client library dependency.
+// metrics are the daemon's counters, gauges, and histograms, registered
+// on an obs.Registry and rendered in Prometheus text format by
+// /metrics. Updates are plain atomics; the registry snapshots every
+// series in one pass before rendering, so a scrape observes one
+// coherent instant rather than values read piecemeal while fmt I/O
+// interleaves with updates.
 type metrics struct {
-	submitted atomic.Int64 // POST /v1/jobs accepted (incl. hits/dedups)
-	enqueued  atomic.Int64 // jobs that entered the queue
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	deadlined atomic.Int64 // jobs stopped by their own timeout
-	deduped   atomic.Int64 // submissions coalesced onto in-flight jobs
-	rejected  atomic.Int64 // queue-full, draining, or quarantine rejections
-	replayed  atomic.Int64 // jobs re-enqueued from the journal at startup
+	reg *obs.Registry
 
-	panics      atomic.Int64 // worker panics recovered into failed jobs
-	quarantined atomic.Int64 // job IDs quarantined after repeated failures
+	submitted *obs.Counter // POST /v1/jobs accepted (incl. hits/dedups)
+	enqueued  *obs.Counter // jobs that entered the queue
+	completed *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+	deadlined *obs.Counter // jobs stopped by their own timeout
+	deduped   *obs.Counter // submissions coalesced onto in-flight jobs
+	rejected  *obs.Counter // queue-full, draining, or quarantine rejections
+	replayed  *obs.Counter // jobs re-enqueued from the journal at startup
 
-	journalAppends atomic.Int64
-	journalErrors  atomic.Int64
+	panics      *obs.Counter // worker panics recovered into failed jobs
+	quarantined *obs.Counter // job IDs quarantined after repeated failures
 
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	cacheEvictions atomic.Int64
-	cacheSpills    atomic.Int64
-	cacheCorrupt   atomic.Int64 // corrupt spill files rejected (and removed)
+	journalAppends *obs.Counter
+	journalErrors  *obs.Counter
 
-	queued  atomic.Int64 // gauge
-	running atomic.Int64 // gauge
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheSpills    *obs.Counter
+	cacheCorrupt   *obs.Counter // corrupt spill files rejected (and removed)
 
-	simCycles      atomic.Int64 // simulated cycles completed
-	simNanos       atomic.Int64 // wall time spent simulating
-	queueWaitNanos atomic.Int64
-	epochsStreamed atomic.Int64
+	queued  *obs.Gauge
+	running *obs.Gauge
+
+	simCycles      *obs.Counter // simulated cycles completed
+	simNanos       *obs.Counter // wall time spent simulating
+	queueWaitNanos *obs.Counter
+	epochsStreamed *obs.Counter
+
+	jobSeconds       *obs.Histogram // wall time per finished job
+	queueWaitSeconds *obs.Histogram // queue wait per started job
+	epochSeconds     *obs.Histogram // wall time between epoch samples
+	httpSeconds      *obs.Histogram // HTTP request latency
+}
+
+// newMetrics builds the daemon's registry. The function arguments feed
+// scrape-time gauges for state owned elsewhere (cache entry count and
+// bytes, journal file length); a nil callback reads as zero.
+func newMetrics(cacheEntries, cacheBytes, journalBytes func() int64) *metrics {
+	zero := func() int64 { return 0 }
+	if cacheEntries == nil {
+		cacheEntries = zero
+	}
+	if cacheBytes == nil {
+		cacheBytes = zero
+	}
+	if journalBytes == nil {
+		journalBytes = zero
+	}
+	r := obs.NewRegistry()
+	m := &metrics{reg: r}
+	m.submitted = r.Counter("hydroserved_jobs_submitted_total", "Job submissions accepted.")
+	m.enqueued = r.Counter("hydroserved_jobs_enqueued_total", "Jobs that entered the run queue.")
+	m.completed = r.Counter("hydroserved_jobs_completed_total", "Jobs finished successfully.")
+	m.failed = r.Counter("hydroserved_jobs_failed_total", "Jobs that ended in error.")
+	m.canceled = r.Counter("hydroserved_jobs_canceled_total", "Jobs canceled by clients or shutdown.")
+	m.deadlined = r.Counter("hydroserved_jobs_deadline_exceeded_total", "Jobs stopped by their per-job timeout.")
+	m.deduped = r.Counter("hydroserved_jobs_deduped_total", "Submissions coalesced onto identical in-flight jobs.")
+	m.rejected = r.Counter("hydroserved_jobs_rejected_total", "Submissions rejected (queue full, draining, or quarantined).")
+	m.replayed = r.Counter("hydroserved_jobs_replayed_total", "Jobs re-enqueued from the journal at startup.")
+	m.panics = r.Counter("hydroserved_worker_panics_total", "Worker panics recovered into failed jobs.")
+	m.quarantined = r.Counter("hydroserved_jobs_quarantined_total", "Job IDs quarantined after repeated failures.")
+	m.journalAppends = r.Counter("hydroserved_journal_appends_total", "Journal records made durable.")
+	m.journalErrors = r.Counter("hydroserved_journal_errors_total", "Journal append failures.")
+	m.cacheHits = r.Counter("hydroserved_cache_hits_total", "Submissions answered from the result cache.")
+	m.cacheMisses = r.Counter("hydroserved_cache_misses_total", "Submissions that required a simulation.")
+	m.cacheEvictions = r.Counter("hydroserved_cache_evictions_total", "Result-cache LRU evictions.")
+	m.cacheSpills = r.Counter("hydroserved_cache_spills_total", "Evicted or drained results written to the spill directory.")
+	m.cacheCorrupt = r.Counter("hydroserved_cache_corrupt_total", "Corrupt spill files rejected and removed.")
+	r.GaugeFunc("hydroserved_cache_entries", "Results held in memory.", cacheEntries)
+	r.GaugeFunc("hydroserved_cache_bytes", "Bytes of results held in memory.", cacheBytes)
+	r.GaugeFunc("hydroserved_journal_bytes", "Length of the job journal file.", journalBytes)
+	m.queued = r.Gauge("hydroserved_jobs_queued", "Jobs waiting in the queue.")
+	m.running = r.Gauge("hydroserved_jobs_running", "Jobs currently simulating.")
+	m.simCycles = r.Counter("hydroserved_sim_cycles_total", "Simulated cycles completed.")
+	m.simNanos = &obs.Counter{}
+	r.CounterFunc("hydroserved_sim_seconds_total", "Wall-clock seconds spent simulating.",
+		func() int64 { return m.simNanos.Load() / 1e9 })
+	m.queueWaitNanos = &obs.Counter{}
+	r.CounterFunc("hydroserved_queue_wait_seconds_total", "Total seconds jobs spent queued before starting.",
+		func() int64 { return m.queueWaitNanos.Load() / 1e9 })
+	m.epochsStreamed = r.Counter("hydroserved_epochs_streamed_total", "Per-epoch progress samples recorded.")
+	// Derived throughput gauge: simulated cycles per wall second.
+	r.GaugeFunc("hydroserved_sim_cycles_per_second", "Aggregate simulation throughput.", func() int64 {
+		ns := m.simNanos.Load()
+		if ns <= 0 {
+			return 0
+		}
+		return int64(float64(m.simCycles.Load()) / (float64(ns) / 1e9))
+	})
+	// Cache hit ratio in millionths, so scrapers need no float parsing.
+	r.GaugeFunc("hydroserved_cache_hit_ratio_ppm", "Cache hit ratio in parts per million.", func() int64 {
+		hits := m.cacheHits.Load()
+		total := hits + m.cacheMisses.Load()
+		if total == 0 {
+			return 0
+		}
+		return hits * 1_000_000 / total
+	})
+	m.jobSeconds = r.Histogram("hydroserved_job_seconds",
+		"Wall-clock duration of finished jobs.", obs.DurationBuckets)
+	m.queueWaitSeconds = r.Histogram("hydroserved_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up.", obs.DurationBuckets)
+	m.epochSeconds = r.Histogram("hydroserved_epoch_seconds",
+		"Wall-clock duration of simulation epochs.", obs.DurationBuckets)
+	m.httpSeconds = r.Histogram("hydroserved_http_request_seconds",
+		"HTTP request handling latency.", obs.DurationBuckets)
+	return m
 }
 
 // write renders the Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, cacheEntries int) {
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter("hydroserved_jobs_submitted_total", "Job submissions accepted.", m.submitted.Load())
-	counter("hydroserved_jobs_enqueued_total", "Jobs that entered the run queue.", m.enqueued.Load())
-	counter("hydroserved_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
-	counter("hydroserved_jobs_failed_total", "Jobs that ended in error.", m.failed.Load())
-	counter("hydroserved_jobs_canceled_total", "Jobs canceled by clients or shutdown.", m.canceled.Load())
-	counter("hydroserved_jobs_deadline_exceeded_total", "Jobs stopped by their per-job timeout.", m.deadlined.Load())
-	counter("hydroserved_jobs_deduped_total", "Submissions coalesced onto identical in-flight jobs.", m.deduped.Load())
-	counter("hydroserved_jobs_rejected_total", "Submissions rejected (queue full, draining, or quarantined).", m.rejected.Load())
-	counter("hydroserved_jobs_replayed_total", "Jobs re-enqueued from the journal at startup.", m.replayed.Load())
-	counter("hydroserved_worker_panics_total", "Worker panics recovered into failed jobs.", m.panics.Load())
-	counter("hydroserved_jobs_quarantined_total", "Job IDs quarantined after repeated failures.", m.quarantined.Load())
-	counter("hydroserved_journal_appends_total", "Journal records made durable.", m.journalAppends.Load())
-	counter("hydroserved_journal_errors_total", "Journal append failures.", m.journalErrors.Load())
-	counter("hydroserved_cache_hits_total", "Submissions answered from the result cache.", m.cacheHits.Load())
-	counter("hydroserved_cache_misses_total", "Submissions that required a simulation.", m.cacheMisses.Load())
-	counter("hydroserved_cache_evictions_total", "Result-cache LRU evictions.", m.cacheEvictions.Load())
-	counter("hydroserved_cache_spills_total", "Evicted or drained results written to the spill directory.", m.cacheSpills.Load())
-	counter("hydroserved_cache_corrupt_total", "Corrupt spill files rejected and removed.", m.cacheCorrupt.Load())
-	gauge("hydroserved_cache_entries", "Results held in memory.", int64(cacheEntries))
-	gauge("hydroserved_jobs_queued", "Jobs waiting in the queue.", m.queued.Load())
-	gauge("hydroserved_jobs_running", "Jobs currently simulating.", m.running.Load())
-	counter("hydroserved_sim_cycles_total", "Simulated cycles completed.", m.simCycles.Load())
-	counter("hydroserved_sim_seconds_total", "Wall-clock seconds spent simulating.", m.simNanos.Load()/1e9)
-	counter("hydroserved_queue_wait_seconds_total", "Total seconds jobs spent queued before starting.", m.queueWaitNanos.Load()/1e9)
-	counter("hydroserved_epochs_streamed_total", "Per-epoch progress samples recorded.", m.epochsStreamed.Load())
-	// Derived throughput gauge: simulated cycles per wall second.
-	rate := int64(0)
-	if ns := m.simNanos.Load(); ns > 0 {
-		rate = int64(float64(m.simCycles.Load()) / (float64(ns) / 1e9))
-	}
-	gauge("hydroserved_sim_cycles_per_second", "Aggregate simulation throughput.", rate)
-	// Cache hit ratio in millionths, so scrapers need no float parsing.
-	total := m.cacheHits.Load() + m.cacheMisses.Load()
-	ratio := int64(0)
-	if total > 0 {
-		ratio = m.cacheHits.Load() * 1_000_000 / total
-	}
-	gauge("hydroserved_cache_hit_ratio_ppm", "Cache hit ratio in parts per million.", ratio)
-}
+func (m *metrics) write(w io.Writer) error { return m.reg.WritePrometheus(w) }

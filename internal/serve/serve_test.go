@@ -370,8 +370,8 @@ func TestWarmRestartFromSpillDir(t *testing.T) {
 func TestBadSubmissions(t *testing.T) {
 	_, ts := newTestServer(t, serve.Options{Workers: 1})
 	for _, body := range []string{
-		`{`,                                    // not JSON
-		`{"combo":"C1"}`,                       // missing design
+		`{`,              // not JSON
+		`{"combo":"C1"}`, // missing design
 		`{"design":"NoSuchDesign","combo":"C1"}`,
 		`{"design":"Baseline","combo":"C99"}`, // unknown combo
 	} {

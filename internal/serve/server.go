@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -15,6 +16,7 @@ import (
 
 	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
 	"github.com/hydrogen-sim/hydrogen/internal/journal"
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
 )
@@ -50,8 +52,20 @@ type Options struct {
 	// pathological config cannot crash-loop the daemon. Failures are
 	// counted across restarts via the journal. <=0 selects 3.
 	QuarantineAfter int
-	// Logf, when set, receives one line per job state change.
+	// Logf, when set, receives one formatted line per job state change
+	// — the legacy logging hook, kept for simple sinks like log.Printf.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives every lifecycle event as a structured
+	// record with the job ID attached as an attribute; nil discards.
+	// Logf and Logger are independent sinks and may both be set.
+	Logger *slog.Logger
+	// AccessLog enables one structured log record per HTTP request
+	// (method, path, status, bytes, duration, request ID) on Logger.
+	AccessLog bool
+	// TelemetryPoints bounds each job's in-memory telemetry ring; <=0
+	// selects obs.DefaultRingPoints. Older points are overwritten (and
+	// counted as dropped) once a run outgrows the ring.
+	TelemetryPoints int
 }
 
 // job is one submission's record. Its identity is its cache key, which
@@ -66,6 +80,12 @@ type job struct {
 	timeout  time.Duration // execution deadline, 0 = none
 	replayed bool          // re-enqueued from the journal after a restart
 
+	// telem and trace carry their own locks: handlers snapshot them
+	// without j.mu, and the worker records spans into trace while
+	// handlers hold j.mu in snapshot().
+	telem *obs.Ring
+	trace *obs.Trace
+
 	mu        sync.Mutex
 	state     string
 	err       string
@@ -74,6 +94,7 @@ type job struct {
 	finished  time.Time
 	epochs    []system.EpochSample
 	subs      map[chan system.EpochSample]struct{}
+	tsubs     map[chan obs.EpochPoint]struct{}
 	cancel    context.CancelFunc
 	result    []byte
 	done      chan struct{} // closed on any terminal state
@@ -81,10 +102,12 @@ type job struct {
 
 // Server implements the serving API over http.Handler.
 type Server struct {
-	opts  Options
-	mux   *http.ServeMux
-	cache *resultCache
-	m     metrics
+	opts    Options
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the request middleware
+	cache   *resultCache
+	m       *metrics
+	log     *slog.Logger
 
 	// jlMu guards the journal handle only; appends are serialized by
 	// the journal itself. Kept separate from mu so a crash-simulation
@@ -119,6 +142,9 @@ func New(opts Options) (*Server, error) {
 	if opts.QuarantineAfter <= 0 {
 		opts.QuarantineAfter = 3
 	}
+	if opts.TelemetryPoints <= 0 {
+		opts.TelemetryPoints = obs.DefaultRingPoints
+	}
 	s := &Server{
 		opts:      opts,
 		mux:       http.NewServeMux(),
@@ -126,6 +152,23 @@ func New(opts Options) (*Server, error) {
 		jobs:      make(map[string]*job),
 		failCount: make(map[string]int),
 	}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = obs.Discard()
+	}
+	s.m = newMetrics(
+		func() int64 { return int64(s.cache.Len()) },
+		s.cache.Bytes,
+		func() int64 {
+			s.jlMu.Lock()
+			jl := s.jl
+			s.jlMu.Unlock()
+			if jl == nil {
+				return 0
+			}
+			return jl.Size()
+		},
+	)
 	s.cache.onEvict = func(spilled bool) {
 		s.m.cacheEvictions.Add(1)
 		if spilled {
@@ -138,12 +181,19 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("GET /v1/designs", s.handleDesigns)
 	s.mux.HandleFunc("GET /v1/combos", s.handleCombos)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = &obs.Middleware{
+		Next:      s.mux,
+		Latency:   s.m.httpSeconds,
+		Logger:    s.log,
+		AccessLog: opts.AccessLog,
+	}
 
 	pending, err := s.recover()
 	if err != nil {
@@ -157,7 +207,7 @@ func New(opts Options) (*Server, error) {
 		s.m.enqueued.Add(1)
 		s.m.queued.Add(1)
 		s.m.replayed.Add(1)
-		s.logf("job %s re-enqueued from journal: design=%s combo=%s", short(j.id), j.design, j.spec.ID)
+		s.logj(j.id, "re-enqueued from journal", "design", j.design, "combo", j.spec.ID)
 	}
 
 	for i := 0; i < opts.Workers; i++ {
@@ -206,12 +256,12 @@ func (s *Server) recover() ([]*job, error) {
 			continue
 		}
 		if s.failCount[rec.ID] >= s.opts.QuarantineAfter {
-			s.logf("job %s not replayed: quarantined after %d failures", short(rec.ID), s.failCount[rec.ID])
+			s.logj(rec.ID, "not replayed: quarantined", "failures", s.failCount[rec.ID])
 			continue
 		}
 		combo, spec, err := rec.Combo.resolve()
 		if err != nil {
-			s.logf("job %s not replayed: %v", short(rec.ID), err)
+			s.logj(rec.ID, "not replayed", "err", err)
 			continue
 		}
 		j := s.newJobLocked(rec.ID, *rec.Config, rec.Design, combo, spec, time.Duration(rec.Timeout), true)
@@ -235,12 +285,32 @@ func (s *Server) recover() ([]*job, error) {
 	return pending, nil
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
+// logf feeds one formatted line to the legacy Options.Logf sink and
+// mirrors it to the structured logger — for daemon-level messages that
+// have no job to correlate with.
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
 		s.opts.Logf(format, args...)
 	}
+	s.log.Info(fmt.Sprintf(format, args...))
+}
+
+// logj records one job lifecycle event: a structured record carrying
+// the (short) job ID as an attribute, mirrored to the legacy Logf sink
+// as a "job <id> <event> k=v ..." line.
+func (s *Server) logj(id, event string, attrs ...any) {
+	s.log.Info(event, append([]any{"job", short(id)}, attrs...)...)
+	if s.opts.Logf == nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %s %s", short(id), event)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", attrs[i], attrs[i+1])
+	}
+	s.opts.Logf("%s", b.String())
 }
 
 // resolveRequest turns a JobRequest into a runnable (config, design,
@@ -382,7 +452,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.m.cacheMisses.Add(1)
 	s.m.enqueued.Add(1)
 	s.m.queued.Add(1)
-	s.logf("job %s queued: design=%s combo=%s", short(key), req.Design, spec.ID)
+	s.logj(key, "queued", "design", req.Design, "combo", spec.ID)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
@@ -397,9 +467,12 @@ func (s *Server) newJobLocked(key string, cfg system.Config, design string, comb
 		spec:      spec,
 		timeout:   timeout,
 		replayed:  replayed,
+		telem:     obs.NewRing(s.opts.TelemetryPoints),
+		trace:     obs.NewTrace(),
 		state:     StateQueued,
 		submitted: time.Now(),
 		subs:      make(map[chan system.EpochSample]struct{}),
+		tsubs:     make(map[chan obs.EpochPoint]struct{}),
 		done:      make(chan struct{}),
 	}
 	if _, existed := s.jobs[key]; !existed {
@@ -462,14 +535,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		s.m.queued.Add(-1)
 		s.m.canceled.Add(1)
 		if err := s.appendRecord(journalRecord{Type: StateCanceled, ID: j.id, Error: "canceled while queued"}); err != nil {
-			s.logf("job %s: journal cancel: %v", short(j.id), err)
+			s.logj(j.id, "journal cancel failed", "err", err)
 		}
-		s.logf("job %s canceled (queued)", short(j.id))
+		s.logj(j.id, "canceled while queued")
 	case StateRunning:
 		cancel := j.cancel
 		j.mu.Unlock()
 		cancel() // the worker observes ctx at the next epoch boundary
-		s.logf("job %s cancel requested", short(j.id))
+		s.logj(j.id, "cancel requested")
 	default:
 		st := j.state
 		j.mu.Unlock()
@@ -536,7 +609,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.write(w, s.cache.Len())
+	_ = s.m.write(w)
 }
 
 // worker pops jobs until the queue is closed by Drain. A second
@@ -549,7 +622,7 @@ func (s *Server) worker() {
 			defer func() {
 				if p := recover(); p != nil {
 					s.m.panics.Add(1)
-					s.logf("job %s: worker bookkeeping panic recovered: %v", short(j.id), p)
+					s.logj(j.id, "worker bookkeeping panic recovered", "panic", p)
 				}
 			}()
 			s.runJob(j)
@@ -558,16 +631,16 @@ func (s *Server) worker() {
 }
 
 // simulate runs the job behind a recover barrier: a panic anywhere in
-// the simulation (or in the progress callback) becomes a failed-job
+// the simulation (or in the observation callbacks) becomes a failed-job
 // error carrying the stack, instead of a dead daemon.
-func (s *Server) simulate(ctx context.Context, j *job, onEpoch func(system.EpochSample)) (res system.Results, err error, panicked bool) {
+func (s *Server) simulate(ctx context.Context, j *job, hooks system.Hooks) (res system.Results, err error, panicked bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("worker panic: %v\n%s", p, debug.Stack())
 			panicked = true
 		}
 	}()
-	res, err = system.RunDesignContext(ctx, j.cfg, j.design, j.combo, onEpoch)
+	res, err = system.RunDesignObserved(ctx, j.cfg, j.design, j.combo, hooks)
 	return res, err, false
 }
 
@@ -596,11 +669,16 @@ func (s *Server) runJob(j *job) {
 	s.m.queued.Add(-1)
 	s.m.running.Add(1)
 	s.m.queueWaitNanos.Add(wait.Nanoseconds())
-	s.logf("job %s running after %s queued", short(j.id), wait.Round(time.Millisecond))
-	if err := s.appendRecord(journalRecord{Type: recStart, ID: j.id}); err != nil {
+	s.m.queueWaitSeconds.Observe(wait.Seconds())
+	j.trace.AddInterval("queue", j.submitted, wait)
+	s.logj(j.id, "running", "queue_wait", wait.Round(time.Millisecond))
+	jspan := obs.StartSpan("journal.start")
+	err := s.appendRecord(journalRecord{Type: recStart, ID: j.id})
+	jspan.EndInto(j.trace)
+	if err != nil {
 		// Non-fatal: without the start record the job replays as
 		// still-queued, which recovers identically.
-		s.logf("job %s: journal start: %v", short(j.id), err)
+		s.logj(j.id, "journal start failed", "err", err)
 	}
 	if ms, fired := faultinject.Hit(faultinject.SlowWorker); fired {
 		if ms <= 0 {
@@ -609,17 +687,29 @@ func (s *Server) runJob(j *job) {
 		time.Sleep(time.Duration(ms) * time.Millisecond)
 	}
 
-	onEpoch := func(e system.EpochSample) {
-		if _, fired := faultinject.Hit(faultinject.PanicOnEpoch); fired {
-			panic("faultinject: panic-on-epoch")
-		}
-		s.m.epochsStreamed.Add(1)
-		j.publishEpoch(e)
+	lastEpoch := time.Now()
+	hooks := system.Hooks{
+		OnEpoch: func(e system.EpochSample) {
+			if _, fired := faultinject.Hit(faultinject.PanicOnEpoch); fired {
+				panic("faultinject: panic-on-epoch")
+			}
+			// Both hooks run on the simulation goroutine, so the
+			// epoch-duration bookkeeping needs no lock.
+			now := time.Now()
+			s.m.epochSeconds.Observe(now.Sub(lastEpoch).Seconds())
+			lastEpoch = now
+			s.m.epochsStreamed.Add(1)
+			j.publishEpoch(e)
+		},
+		OnTelemetry: j.publishTelemetry,
 	}
-	res, err, panicked := s.simulate(ctx, j, onEpoch)
+	runSpan := obs.StartSpan("run")
+	res, err, panicked := s.simulate(ctx, j, hooks)
+	runSpan.EndInto(j.trace)
 	elapsed := time.Since(j.started)
 	s.m.running.Add(-1)
 	s.m.simNanos.Add(elapsed.Nanoseconds())
+	s.m.jobSeconds.Observe(elapsed.Seconds())
 
 	var state, errMsg string
 	var result []byte
@@ -628,19 +718,21 @@ func (s *Server) runJob(j *job) {
 		state, errMsg = StateFailed, err.Error()
 		s.m.panics.Add(1)
 		s.m.failed.Add(1)
-		s.logf("job %s worker panic recovered: %s", short(j.id), firstLine(errMsg))
+		s.logj(j.id, "worker panic recovered", "err", firstLine(errMsg))
 	case err == nil:
 		data, merr := json.Marshal(res)
 		if merr != nil {
 			state, errMsg = StateFailed, "marshal results: "+merr.Error()
 			s.m.failed.Add(1)
-			s.logf("job %s failed: %s", short(j.id), errMsg)
+			s.logj(j.id, "failed", "err", errMsg)
 		} else {
 			// The cache write precedes the terminal journal record: if
 			// the process dies between the two, replay finds the result
 			// under the job's content address and synthesizes done
 			// instead of re-running.
+			cspan := obs.StartSpan("cache.put")
 			s.cache.Put(j.id, data)
+			cspan.EndInto(j.trace)
 			state, result = StateDone, data
 			s.m.completed.Add(1)
 			s.m.simCycles.Add(int64(res.Cycles))
@@ -649,29 +741,33 @@ func (s *Server) runJob(j *job) {
 		state = StateDeadline
 		errMsg = fmt.Sprintf("deadline exceeded: ran %s of a %s budget", elapsed.Round(time.Millisecond), j.timeout)
 		s.m.deadlined.Add(1)
-		s.logf("job %s exceeded its %s deadline", short(j.id), j.timeout)
+		s.logj(j.id, "deadline exceeded", "budget", j.timeout)
 	case ctx.Err() != nil:
 		state, errMsg = StateCanceled, "canceled"
 		s.m.canceled.Add(1)
-		s.logf("job %s canceled after %s", short(j.id), elapsed.Round(time.Millisecond))
+		s.logj(j.id, "canceled", "elapsed", elapsed.Round(time.Millisecond))
 	default:
 		state, errMsg = StateFailed, err.Error()
 		s.m.failed.Add(1)
-		s.logf("job %s failed: %v", short(j.id), err)
+		s.logj(j.id, "failed", "err", err)
 	}
+
+	tspan := obs.StartSpan("journal.terminal")
+	jerr := s.appendRecord(journalRecord{Type: state, ID: j.id, Error: errMsg})
+	tspan.EndInto(j.trace)
 
 	j.mu.Lock()
 	j.finish(state, errMsg, result)
 	epochs := len(j.epochs)
 	j.mu.Unlock()
 	if state == StateDone {
-		s.logf("job %s done in %s (%d epochs)", short(j.id), elapsed.Round(time.Millisecond), epochs)
+		s.logj(j.id, "done", "elapsed", elapsed.Round(time.Millisecond), "epochs", epochs)
 	}
 	if state == StateFailed {
 		s.noteFailure(j.id)
 	}
-	if jerr := s.appendRecord(journalRecord{Type: state, ID: j.id, Error: errMsg}); jerr != nil {
-		s.logf("job %s: journal %s: %v", short(j.id), state, jerr)
+	if jerr != nil {
+		s.logj(j.id, "journal append failed", "state", state, "err", jerr)
 	}
 }
 
@@ -685,7 +781,7 @@ func (s *Server) noteFailure(id string) {
 	s.failCount[id]++
 	if s.failCount[id] == s.opts.QuarantineAfter {
 		s.m.quarantined.Add(1)
-		s.logf("job %s quarantined after %d failed attempts", short(id), s.failCount[id])
+		s.logj(id, "quarantined", "failures", s.failCount[id])
 	}
 }
 
@@ -770,7 +866,7 @@ func (s *Server) cancelAll() {
 	// write their own terminal records as their contexts land.)
 	for _, id := range droppedQueued {
 		if err := s.appendRecord(journalRecord{Type: StateCanceled, ID: id, Error: "canceled: server shutting down"}); err != nil {
-			s.logf("job %s: journal shutdown cancel: %v", short(id), err)
+			s.logj(id, "journal shutdown cancel failed", "err", err)
 		}
 	}
 }
@@ -796,11 +892,54 @@ func (j *job) finish(state, errMsg string, result []byte) {
 		close(ch) // subscribers emit the final SSE event on close
 	}
 	j.subs = nil
+	for ch := range j.tsubs {
+		close(ch)
+	}
+	j.tsubs = nil
 	select {
 	case <-j.done:
 	default:
 		close(j.done)
 	}
+}
+
+// publishTelemetry appends a point to the job's telemetry ring and fans
+// it out to live telemetry subscribers (same contract as publishEpoch:
+// a full subscriber buffer drops that point for that subscriber; the
+// ring snapshot on subscribe keeps late joiners complete).
+func (j *job) publishTelemetry(p obs.EpochPoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Append under j.mu so a concurrent subscribe sees each point exactly
+	// once: either in its ring snapshot or on its live channel.
+	j.telem.Append(p)
+	for ch := range j.tsubs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+// subscribeTelemetry registers a live telemetry channel and returns the
+// ring's backlog; terminal reports whether the job already finished (in
+// which case ch is not registered).
+func (j *job) subscribeTelemetry(ch chan obs.EpochPoint) (backlog []obs.EpochPoint, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	backlog = j.telem.Snapshot()
+	switch j.state {
+	case StateQueued, StateRunning:
+		j.tsubs[ch] = struct{}{}
+		return backlog, false
+	}
+	return backlog, true
+}
+
+func (j *job) unsubscribeTelemetry(ch chan obs.EpochPoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.tsubs, ch)
 }
 
 // publishEpoch appends a sample to the backlog and fans it out to
@@ -854,6 +993,7 @@ func (j *job) snapshot() JobStatus {
 		FinishedAt:  j.finished,
 		Epochs:      len(j.epochs),
 		Error:       j.err,
+		Spans:       j.trace.Records(),
 	}
 	if j.state == StateDone {
 		st.Result = j.result
@@ -918,6 +1058,107 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if !writeEvent("epoch", e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// TelemetrySnapshot is the GET /v1/jobs/{id}/telemetry JSON payload: the
+// job's retained telemetry points plus how many older ones the bounded
+// ring overwrote.
+type TelemetrySnapshot struct {
+	ID      string           `json:"id"`
+	State   string           `json:"state"`
+	Dropped uint64           `json:"dropped"`
+	Points  []obs.EpochPoint `json:"points"`
+}
+
+// handleTelemetry serves a job's epoch telemetry. Default is a JSON
+// snapshot of the ring; ?format=csv renders the same points as the CSV
+// artifact hydrosim -telemetry writes; ?stream=1 (or an Accept header
+// asking for text/event-stream) streams SSE — ring backlog first, then
+// live points as epochs complete, then a single `done` event.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("stream") != "" || strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamTelemetry(w, r, j)
+		return
+	}
+	if q.Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_ = obs.WriteCSV(w, j.telem.Snapshot())
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, TelemetrySnapshot{
+		ID:      j.id,
+		State:   state,
+		Dropped: j.telem.Dropped(),
+		Points:  j.telem.Snapshot(),
+	})
+}
+
+// streamTelemetry is the SSE arm of handleTelemetry, mirroring
+// handleEvents: one `point` event per telemetry point (backlog first,
+// then live), then a single `done` event with the terminal status.
+func (s *Server) streamTelemetry(w http.ResponseWriter, r *http.Request, j *job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch := make(chan obs.EpochPoint, 256)
+	backlog, terminal := j.subscribeTelemetry(ch)
+	defer j.unsubscribeTelemetry(ch)
+
+	writeEvent := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	writeDone := func() {
+		st := j.snapshot()
+		st.Result = nil // results are fetched via GET, not pushed over SSE
+		writeEvent("done", st)
+	}
+
+	for _, p := range backlog {
+		if !writeEvent("point", p) {
+			return
+		}
+	}
+	if terminal {
+		writeDone()
+		return
+	}
+	for {
+		select {
+		case p, open := <-ch:
+			if !open {
+				writeDone()
+				return
+			}
+			if !writeEvent("point", p) {
 				return
 			}
 		case <-r.Context().Done():

@@ -6,6 +6,7 @@ import (
 
 	"github.com/hydrogen-sim/hydrogen/internal/core"
 	"github.com/hydrogen-sim/hydrogen/internal/memory/hybrid"
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/policy"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
 )
@@ -161,6 +162,24 @@ func RunDesign(cfg Config, design string, combo workloads.Combo) (Results, error
 // serving layer threads down to stream live progress and abandon
 // canceled jobs. Neither hook perturbs the simulation.
 func RunDesignContext(ctx context.Context, cfg Config, design string, combo workloads.Combo, onEpoch func(EpochSample)) (Results, error) {
+	return RunDesignObserved(ctx, cfg, design, combo, Hooks{OnEpoch: onEpoch})
+}
+
+// Hooks bundles the observation callbacks a run can install. All
+// fields are optional; every hook runs on the simulation goroutine
+// between epochs and observes without perturbing results.
+type Hooks struct {
+	// OnEpoch receives every epoch's IPC sample (progress streaming).
+	OnEpoch func(EpochSample)
+	// OnTelemetry receives every epoch's full telemetry point: the
+	// (cap, bw, tok) trajectory, token-faucet and migration activity,
+	// and tier utilization (obs ring buffers, CSV artifacts).
+	OnTelemetry func(obs.EpochPoint)
+}
+
+// RunDesignObserved is RunDesignContext with the full observation hook
+// set — the entry point of the observability layer.
+func RunDesignObserved(ctx context.Context, cfg Config, design string, combo workloads.Combo, hooks Hooks) (Results, error) {
 	cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
 	cfg.GPUProfile = combo.GPU
 	factory, err := ApplyDesign(&cfg, design)
@@ -171,8 +190,11 @@ func RunDesignContext(ctx context.Context, cfg Config, design string, combo work
 	if err != nil {
 		return Results{}, err
 	}
-	if onEpoch != nil {
-		sys.SetProgress(onEpoch)
+	if hooks.OnEpoch != nil {
+		sys.SetProgress(hooks.OnEpoch)
+	}
+	if hooks.OnTelemetry != nil {
+		sys.SetTelemetry(hooks.OnTelemetry)
 	}
 	return sys.RunContext(ctx)
 }

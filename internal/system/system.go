@@ -15,6 +15,7 @@ import (
 	"github.com/hydrogen-sim/hydrogen/internal/gpu"
 	"github.com/hydrogen-sim/hydrogen/internal/memory/dram"
 	"github.com/hydrogen-sim/hydrogen/internal/memory/hybrid"
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/sim"
 	"github.com/hydrogen-sim/hydrogen/internal/trace"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
@@ -221,6 +222,17 @@ type System struct {
 	// bit-identical whether or not they are installed.
 	progress func(EpochSample)
 	ctx      context.Context
+
+	// telem, when set, receives one obs.EpochPoint per epoch: the
+	// sample's IPCs plus the policy operating point, token-faucet and
+	// migration activity, and tier utilization as deltas over the
+	// epoch. Pure observation — installing it cannot perturb results.
+	telem        func(obs.EpochPoint)
+	telemEpoch   int
+	lastHybridSt hybrid.Stats
+	lastPolicySt core.Stats
+	lastFastBusy uint64
+	lastSlowBusy uint64
 }
 
 // New builds a system with the policy produced by factory, creating
@@ -345,6 +357,14 @@ func (s *System) Controller() *hybrid.Controller { return s.ctl }
 // must return promptly; install it before Run.
 func (s *System) SetProgress(fn func(EpochSample)) { s.progress = fn }
 
+// SetTelemetry registers fn to receive one telemetry point per epoch —
+// the knob trajectory and contention counters Figures 8-11 visualize.
+// Like SetProgress, fn runs on the simulation goroutine between epochs
+// and must return promptly (obs.Ring.Append qualifies); install it
+// before Run. When unset the per-epoch delta bookkeeping is skipped
+// entirely, so runs without telemetry pay nothing.
+func (s *System) SetTelemetry(fn func(obs.EpochPoint)) { s.telem = fn }
+
 // Run simulates cfg.Cycles cycles and returns the results.
 func (s *System) Run() Results {
 	for _, c := range s.cores {
@@ -405,9 +425,63 @@ func (s *System) epochTick() {
 			WeightedIPC: sample.WeightedIPC,
 		})
 	}
+	if s.telem != nil {
+		// Captured after OnEpoch so the point reflects the climber's
+		// decision for the next epoch; the final point therefore equals
+		// the run's converged configuration.
+		s.telem(s.telemetryPoint(sample))
+	}
 	if now < s.cfg.Cycles {
 		s.scheduleEpoch()
 	}
+}
+
+// telemetryPoint assembles the epoch's obs.EpochPoint from the deltas
+// of the controller, policy, and tier counters since the last epoch.
+func (s *System) telemetryPoint(sample EpochSample) obs.EpochPoint {
+	p := obs.EpochPoint{
+		Epoch:       s.telemEpoch,
+		EndCycle:    sample.EndCycle,
+		CPUIPC:      sample.CPUIPC,
+		GPUIPC:      sample.GPUIPC,
+		WeightedIPC: sample.WeightedIPC,
+		CapWays:     -1,
+		BwGroups:    -1,
+		TokIdx:      -1,
+	}
+	s.telemEpoch++
+
+	hs := s.ctl.Stats()
+	hd := hs.Delta(s.lastHybridSt)
+	s.lastHybridSt = hs
+	p.MigrationsCPU = hd.Migrations[0]
+	p.MigrationsGPU = hd.Migrations[1]
+	p.Bypassed = hd.Bypasses[0] + hd.Bypasses[1]
+	p.Swaps = hd.Swaps
+	p.DemandCPU = hd.Demand[0]
+	p.DemandGPU = hd.Demand[1]
+	p.FastHitsCPU = hd.FastHits[0]
+	p.FastHitsGPU = hd.FastHits[1]
+
+	if h, ok := s.ctl.Policy().(*core.Hydrogen); ok {
+		p.CapWays, p.BwGroups, p.TokIdx = h.Point()
+		ps := h.Stats()
+		p.TokensGranted = ps.TokensGranted - s.lastPolicySt.TokensGranted
+		p.TokensDenied = ps.TokensDenied - s.lastPolicySt.TokensDenied
+		s.lastPolicySt = ps
+	}
+
+	fastBusy := s.fast.Stats().BusBusyCycles
+	slowBusy := s.slow.Stats().BusBusyCycles
+	el := float64(s.cfg.EpochLen)
+	if n := float64(len(s.fast.Channels)); n > 0 && el > 0 {
+		p.FastUtil = float64(fastBusy-s.lastFastBusy) / (el * n)
+	}
+	if n := float64(len(s.slow.Channels)); n > 0 && el > 0 {
+		p.SlowUtil = float64(slowBusy-s.lastSlowBusy) / (el * n)
+	}
+	s.lastFastBusy, s.lastSlowBusy = fastBusy, slowBusy
+	return p
 }
 
 func (s *System) cpuInstrs() uint64 {

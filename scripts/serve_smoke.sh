@@ -1,8 +1,10 @@
 #!/bin/sh
 # End-to-end smoke test of the hydroserved daemon, as run in CI: boot it
 # on a random port, submit a QuickConfig C1 job over HTTP, poll it to
-# completion, resubmit and require a cache hit, and check /metrics.
-# Needs only curl and grep. Exits nonzero on any failed expectation.
+# completion, resubmit and require a cache hit, check /metrics (and its
+# exposition well-formedness via promcheck), and pull the job's epoch
+# telemetry through scripts/epoch_plot.sh. Needs only curl, grep, and
+# awk. Exits nonzero on any failed expectation.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -11,6 +13,7 @@ pid=""
 trap 'if [ -n "$pid" ]; then kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; fi; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/hydroserved" ./cmd/hydroserved
+go build -o "$workdir/promcheck" ./cmd/promcheck
 "$workdir/hydroserved" -addr 127.0.0.1:0 -cache-dir "$workdir/cache" >"$workdir/out" 2>"$workdir/log" &
 pid=$!
 
@@ -53,7 +56,17 @@ echo "resubmission served from cache"
 metrics=$(curl -sf "$base/metrics")
 printf '%s' "$metrics" | grep -q '^hydroserved_jobs_completed_total 1$' || { echo "bad metrics:"; printf '%s\n' "$metrics"; exit 1; }
 printf '%s' "$metrics" | grep -q '^hydroserved_cache_hits_total 1$' || { echo "bad metrics:"; printf '%s\n' "$metrics"; exit 1; }
+printf '%s\n' "$metrics" | "$workdir/promcheck" || { echo "metrics exposition is malformed"; exit 1; }
+printf '%s' "$metrics" | grep -q '^# TYPE hydroserved_job_seconds histogram$' || { echo "job_seconds histogram missing"; exit 1; }
+echo "metrics exposition valid"
 curl -sf "$base/healthz" | grep -q '"ok":true' || { echo "healthz failed"; exit 1; }
+
+# Epoch telemetry: the CSV endpoint must yield rows, and the plot script
+# must digest them into a knob-trajectory table with a convergence line.
+curl -sf "$base/v1/jobs/$id/telemetry?format=csv" >"$workdir/telem.csv"
+[ "$(wc -l <"$workdir/telem.csv")" -gt 1 ] || { echo "telemetry CSV is empty"; exit 1; }
+./scripts/epoch_plot.sh "$workdir/telem.csv" | grep -q 'converged at (cap=' || { echo "epoch_plot failed on served telemetry"; exit 1; }
+echo "telemetry + epoch_plot OK"
 
 # Graceful shutdown: SIGTERM must drain and exit 0, leaving the result
 # spilled in the cache directory.
