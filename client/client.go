@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	hydrogen "github.com/hydrogen-sim/hydrogen"
@@ -55,7 +56,33 @@ type Client struct {
 	// Logger, when set, receives one debug record per API call with the
 	// request ID the call carried, so client and server logs correlate.
 	Logger *slog.Logger
+
+	// Terminal job statuses the server tagged with an ETag, kept so
+	// later polls can revalidate with If-None-Match and reuse the parsed
+	// status on 304 instead of re-downloading and re-decoding the
+	// result. Bounded FIFO; guarded by mu.
+	mu       sync.Mutex
+	statuses map[string]cachedStatus
+	order    []string
 }
+
+// statusCacheMax bounds the client-side terminal-status cache; a sweep
+// polls far fewer jobs than this at once, and evicted entries merely
+// cost one full re-download.
+const statusCacheMax = 128
+
+// cachedStatus ties a terminal JobStatus to the ETag it was served
+// under.
+type cachedStatus struct {
+	etag string
+	st   JobStatus
+}
+
+// bufPool holds scratch read buffers reused across API calls and retry
+// attempts, so a polling loop does not allocate a fresh response
+// buffer per request. Decoding copies what it keeps (json.RawMessage
+// copies its bytes), so returning the buffer to the pool is safe.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // New returns a client for the daemon at baseURL (e.g.
 // "http://127.0.0.1:8077").
@@ -95,11 +122,29 @@ func IsQuarantined(err error) bool {
 // attaches to the original job instead of duplicating work — while
 // permanent rejections return immediately.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	_, err := c.doCond(ctx, method, path, "", body, out)
+	return err
+}
+
+// respMeta is what doCond reports about the response it settled on:
+// the status, the ETag the server attached (empty if none), and
+// whether the server answered 304 Not Modified — in which case out was
+// left untouched and the caller reuses its cached copy.
+type respMeta struct {
+	status      int
+	etag        string
+	notModified bool
+}
+
+// doCond is do with conditional-request support: when etag is
+// non-empty it is sent as If-None-Match, and a 304 response returns
+// immediately with notModified set instead of decoding a body.
+func (c *Client) doCond(ctx context.Context, method, path, etag string, body, out any) (respMeta, error) {
 	var data []byte
 	if body != nil {
 		var err error
 		if data, err = json.Marshal(body); err != nil {
-			return err
+			return respMeta{}, err
 		}
 	}
 	pol := c.Retry.withDefaults()
@@ -116,11 +161,14 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 		if err != nil {
-			return err
+			return respMeta{}, err
 		}
 		req.Header.Set(obs.HeaderRequestID, reqID)
 		if data != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
 		}
 		var retryAfter time.Duration
 		resp, err := c.hc.Do(req)
@@ -135,15 +183,27 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
-				return err // the caller gave up; not a server failure
+				return respMeta{}, err // the caller gave up; not a server failure
 			}
 			lastErr = err
+		case etag != "" && resp.StatusCode == http.StatusNotModified:
+			resp.Body.Close()
+			return respMeta{status: resp.StatusCode, etag: etag, notModified: true}, nil
 		case resp.StatusCode/100 == 2:
-			defer resp.Body.Close()
+			meta := respMeta{status: resp.StatusCode, etag: resp.Header.Get("ETag")}
 			if out == nil {
-				return nil
+				resp.Body.Close()
+				return meta, nil
 			}
-			return json.NewDecoder(resp.Body).Decode(out)
+			buf := bufPool.Get().(*bytes.Buffer)
+			buf.Reset()
+			_, rerr := buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				rerr = json.Unmarshal(buf.Bytes(), out)
+			}
+			bufPool.Put(buf)
+			return meta, rerr
 		default:
 			var e struct {
 				Error string `json:"error"`
@@ -159,27 +219,46 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			}
 			resp.Body.Close()
 			if !retryableStatus(resp.StatusCode) {
-				return ae
+				return respMeta{status: resp.StatusCode}, ae
 			}
 			lastErr = ae
 			retryAfter = ae.RetryAfter
 		}
 		if attempt >= pol.MaxAttempts {
-			return lastErr
+			return respMeta{}, lastErr
 		}
 		d := pol.delay(attempt, retryAfter)
 		if slept+d > pol.Budget {
-			return lastErr // the wait would blow the budget; give up now
+			return respMeta{}, lastErr // the wait would blow the budget; give up now
 		}
 		slept += d
 		timer := time.NewTimer(d)
 		select {
 		case <-ctx.Done():
 			timer.Stop()
-			return lastErr
+			return respMeta{}, lastErr
 		case <-timer.C:
 		}
 	}
+}
+
+// remember stores a terminal status under the ETag it arrived with,
+// evicting the oldest entry once the cache is full.
+func (c *Client) remember(id, etag string, st JobStatus) {
+	st.Cached = false // a fresh GET of a done job reports cached=false
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.statuses == nil {
+		c.statuses = make(map[string]cachedStatus, statusCacheMax)
+	}
+	if _, ok := c.statuses[id]; !ok {
+		if len(c.order) >= statusCacheMax {
+			delete(c.statuses, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, id)
+	}
+	c.statuses[id] = cachedStatus{etag: etag, st: st}
 }
 
 // Submit posts a job. The returned status may already be terminal: a
@@ -187,17 +266,40 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 // identical to an in-flight job attaches to it (Deduped).
 func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
 	var st JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st); err != nil {
+	meta, err := c.doCond(ctx, http.MethodPost, "/v1/jobs", "", req, &st)
+	if err != nil {
 		return nil, err
+	}
+	// A cache hit arrives already terminal and tagged; remember it so a
+	// later Job() for the same ID revalidates instead of re-downloading.
+	if meta.etag != "" && st.ID != "" {
+		c.remember(st.ID, meta.etag, st)
 	}
 	return &st, nil
 }
 
-// Job fetches a job's status (with result when done).
+// Job fetches a job's status (with result when done). Once a job's
+// terminal status has been seen, later calls revalidate with
+// If-None-Match and reuse the already-parsed status on 304.
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	c.mu.Lock()
+	cached, ok := c.statuses[id]
+	c.mu.Unlock()
+	etag := ""
+	if ok {
+		etag = cached.etag
+	}
 	var st JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+	meta, err := c.doCond(ctx, http.MethodGet, "/v1/jobs/"+id, etag, nil, &st)
+	if err != nil {
 		return nil, err
+	}
+	if meta.notModified {
+		st = cached.st // terminal statuses are immutable; copy suffices
+		return &st, nil
+	}
+	if meta.etag != "" {
+		c.remember(id, meta.etag, st)
 	}
 	return &st, nil
 }

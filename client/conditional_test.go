@@ -1,0 +1,188 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/client"
+	"github.com/hydrogen-sim/hydrogen/internal/serve"
+)
+
+// condServer stubs the daemon's job endpoints the way hydroserved
+// serves them: terminal jobs carry a strong ETag, and a matching
+// If-None-Match is answered 304 with no body. Counters expose how many
+// times the client actually downloaded the full status.
+type condServer struct {
+	id     string
+	body   []byte // full JSON status, including trailing newline
+	full   atomic.Int64
+	notMod atomic.Int64
+}
+
+func (s *condServer) etag() string { return `"` + s.id + `"` }
+
+func (s *condServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+		// Cache hit: terminal status, tagged.
+		w.Header().Set("ETag", s.etag())
+		w.WriteHeader(http.StatusOK)
+		w.Write(s.body)
+		s.full.Add(1)
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/jobs/"+s.id:
+		if r.Header.Get("If-None-Match") == s.etag() {
+			w.Header().Set("ETag", s.etag())
+			w.WriteHeader(http.StatusNotModified)
+			s.notMod.Add(1)
+			return
+		}
+		w.Header().Set("ETag", s.etag())
+		w.WriteHeader(http.StatusOK)
+		w.Write(s.body)
+		s.full.Add(1)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func newCondServer(t *testing.T) *condServer {
+	t.Helper()
+	id := "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"
+	st := serve.JobStatus{
+		ID:     id,
+		State:  serve.StateDone,
+		Result: json.RawMessage(`{"answer":42}`),
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &condServer{id: id, body: append(body, '\n')}
+}
+
+// TestJobRevalidatesWith304: after one full download of a done job the
+// client polls with If-None-Match, and a 304 hands back the cached
+// parsed status without transferring or re-decoding the body.
+func TestJobRevalidatesWith304(t *testing.T) {
+	srv := newCondServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	first, err := c.Job(ctx, srv.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State != serve.StateDone || string(first.Result) != `{"answer":42}` {
+		t.Fatalf("first fetch: %+v", first)
+	}
+	if srv.full.Load() != 1 || srv.notMod.Load() != 0 {
+		t.Fatalf("after first fetch: full=%d notMod=%d", srv.full.Load(), srv.notMod.Load())
+	}
+
+	for i := 0; i < 3; i++ {
+		st, err := c.Job(ctx, srv.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ID != first.ID || st.State != first.State || string(st.Result) != string(first.Result) {
+			t.Fatalf("revalidated poll %d diverged: %+v", i, st)
+		}
+		// The cached copy must be the client's own; mutating the returned
+		// status must not poison later polls.
+		st.State = serve.StateFailed
+	}
+	if srv.full.Load() != 1 {
+		t.Fatalf("full downloads = %d, want 1 (polls should be 304s)", srv.full.Load())
+	}
+	if srv.notMod.Load() != 3 {
+		t.Fatalf("not-modified responses = %d, want 3", srv.notMod.Load())
+	}
+}
+
+// TestSubmitPrimesConditionalPolls: a cache-hit submission (terminal
+// status + ETag) seeds the client's cache, so the very first Job() poll
+// already revalidates instead of downloading the result again.
+func TestSubmitPrimesConditionalPolls(t *testing.T) {
+	srv := newCondServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, client.JobRequest{Design: "Baseline", Combo: client.ComboSpec{ID: "C1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.StateDone {
+		t.Fatalf("submit state: %s", st.State)
+	}
+	got, err := c.Job(ctx, srv.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != serve.StateDone || string(got.Result) != `{"answer":42}` {
+		t.Fatalf("poll after submit: %+v", got)
+	}
+	if got.Cached {
+		t.Fatal("cached flag leaked from the submit response into a GET status")
+	}
+	if srv.full.Load() != 1 {
+		t.Fatalf("full downloads = %d, want 1 (submit only)", srv.full.Load())
+	}
+	if srv.notMod.Load() != 1 {
+		t.Fatalf("not-modified responses = %d, want 1", srv.notMod.Load())
+	}
+}
+
+// TestStatusCacheBounded: the terminal-status cache is FIFO-bounded;
+// overflowing it evicts the oldest entry, whose next poll is a full
+// download again rather than an error.
+func TestStatusCacheBounded(t *testing.T) {
+	// A server that tags every /v1/jobs/{id} GET and 304s on match.
+	var full atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Path[len("/v1/jobs/"):]
+		etag := `"` + id + `"`
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		st := serve.JobStatus{ID: id, State: serve.StateDone}
+		json.NewEncoder(w).Encode(st)
+		full.Add(1)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Fill past the cap; entry "job-0" gets evicted.
+	const overflow = 140 // > statusCacheMax (128)
+	for i := 0; i < overflow; i++ {
+		if _, err := c.Job(ctx, fmt.Sprintf("job-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := full.Load()
+	if _, err := c.Job(ctx, "job-0"); err != nil {
+		t.Fatal(err)
+	}
+	if full.Load() != before+1 {
+		t.Fatal("evicted entry should trigger a full re-download")
+	}
+	// A recent entry still revalidates.
+	if _, err := c.Job(ctx, fmt.Sprintf("job-%d", overflow-1)); err != nil {
+		t.Fatal(err)
+	}
+	if full.Load() != before+1 {
+		t.Fatal("recent entry should have been served 304")
+	}
+}

@@ -11,6 +11,7 @@
 //	hydrobench -pprof /tmp/prof        # also write cpu.pprof + heap.pprof
 //	hydrobench -compare                # diff last two entries per bench
 //	hydrobench -serve                  # serving-layer submit latency, BENCH_serve.json
+//	hydrobench -serve -quick -gate 2   # fail if hit p50 > 2x the BENCH_serve.json baseline
 //
 // The suite mirrors the simulation-heavy benchmarks of bench_test.go
 // (same reduced configuration, same single-worker pinning) so numbers
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"github.com/hydrogen-sim/hydrogen/experiments"
+	"github.com/hydrogen-sim/hydrogen/internal/journal"
 	"github.com/hydrogen-sim/hydrogen/internal/microbench"
 	"github.com/hydrogen-sim/hydrogen/internal/serve"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
@@ -106,6 +108,8 @@ func main() {
 		pprofDir = flag.String("pprof", "", "directory for cpu.pprof and heap.pprof; empty disables")
 		compare  = flag.Bool("compare", false, "diff the last two trajectory entries per benchmark and exit")
 		serveB   = flag.Bool("serve", false, "benchmark the hydroserved submit path (appends to BENCH_serve.json)")
+		gate     = flag.Float64("gate", 0, "with -serve: fail if hit p50 exceeds this multiple of the last baseline entry; 0 disables")
+		baseline = flag.String("baseline", "BENCH_serve.json", "trajectory the -gate factor is checked against")
 	)
 	flag.Parse()
 	debug.SetGCPercent(800)
@@ -124,7 +128,7 @@ func main() {
 	}
 
 	if *serveB {
-		if err := runServeBench(*out, *label); err != nil {
+		if err := runServeBench(*out, *label, *quick, *gate, *baseline); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -217,32 +221,108 @@ func main() {
 	}
 }
 
-// runServeBench measures the hydroserved submit path with the shared
-// serve.BenchSubmit harness — cold submit-to-done latency, then
-// cache-hit latency percentiles under 64 concurrent submitters — and
-// appends the three numbers to the serve trajectory.
-func runServeBench(out, label string) error {
-	const submitters, hitsPer = 64, 32
+// runServeBench measures the hydroserved serving layer with the shared
+// serve.BenchSubmit harness — cold submit-to-done latency, then the
+// three hot-path latency distributions (POST hit, GET hit, 304
+// revalidation) under concurrent submitters — plus the journal's
+// append throughput with and without group commit, and appends the
+// measurements to the serve trajectory. A nonzero gate compares the
+// measured hit p50 against the last ServeSubmitHitP50 entry in the
+// baseline trajectory and fails the run past gate× that value.
+func runServeBench(out, label string, quick bool, gate float64, baseline string) error {
+	// 16 concurrent clients saturate a small host without drowning the
+	// serving cost in pure queueing delay; 128 requests each keep the
+	// sample count at 2048 per hot path.
+	submitters, hitsPer := 16, 128
+	jWorkers, jPer := 16, 256
+	if quick {
+		submitters, hitsPer = 8, 16
+		jPer = 64
+	}
+	// Read the baseline before measuring, so a broken trajectory file
+	// fails fast instead of discarding minutes of benchmarking.
+	var gateNs int64
+	if gate > 0 {
+		prev, err := lastEntry(baseline, "ServeSubmitHitP50")
+		if err != nil {
+			return fmt.Errorf("-gate: %w", err)
+		}
+		gateNs = int64(gate * float64(prev.NsOp))
+	}
+
 	res, err := serve.BenchSubmit(submitters, hitsPer)
 	if err != nil {
 		return err
 	}
+	grouped, err := journal.BenchAppendThroughput(jWorkers, jPer, true)
+	if err != nil {
+		return fmt.Errorf("journal bench (group commit): %w", err)
+	}
+	serial, err := journal.BenchAppendThroughput(jWorkers, jPer, false)
+	if err != nil {
+		return fmt.Errorf("journal bench (serial): %w", err)
+	}
+
 	when := time.Now().UTC().Format(time.RFC3339)
 	entries := []entry{
 		{Label: label, Bench: "ServeSubmitCold", When: when, Iters: 1, NsOp: res.ColdNs},
 		{Label: label, Bench: "ServeSubmitHitP50", When: when, Iters: res.Samples, NsOp: res.HitP50Ns},
 		{Label: label, Bench: "ServeSubmitHitP99", When: when, Iters: res.Samples, NsOp: res.HitP99Ns},
+		{Label: label, Bench: "ServeGetHitP50", When: when, Iters: res.GetSamples, NsOp: res.GetHitP50Ns},
+		{Label: label, Bench: "ServeGetHitP99", When: when, Iters: res.GetSamples, NsOp: res.GetHitP99Ns},
+		{Label: label, Bench: "ServeNotModifiedP50", When: when, Iters: res.NotModSamples, NsOp: res.NotModP50Ns},
+		{Label: label, Bench: "ServeNotModifiedP99", When: when, Iters: res.NotModSamples, NsOp: res.NotModP99Ns},
+		{Label: label, Bench: "JournalAppendGroup", When: when, Iters: grouped.Appends, NsOp: grouped.NsPerAppend},
+		{Label: label, Bench: "JournalAppendSerial", When: when, Iters: serial.Appends, NsOp: serial.NsPerAppend},
 	}
-	fmt.Printf("%-18s %14d ns/op  (1 cold submission, simulation included)\n", "ServeSubmitCold", res.ColdNs)
-	fmt.Printf("%-18s %14d ns/op  (%d hits, %d submitters)\n", "ServeSubmitHitP50", res.HitP50Ns, res.Samples, submitters)
-	fmt.Printf("%-18s %14d ns/op\n", "ServeSubmitHitP99", res.HitP99Ns)
+	fmt.Printf("%-20s %14d ns/op  (1 cold submission, simulation included)\n", "ServeSubmitCold", res.ColdNs)
+	fmt.Printf("%-20s %14d ns/op  (%d hits, %d submitters)\n", "ServeSubmitHitP50", res.HitP50Ns, res.Samples, submitters)
+	fmt.Printf("%-20s %14d ns/op\n", "ServeSubmitHitP99", res.HitP99Ns)
+	fmt.Printf("%-20s %14d ns/op  (%d gets)\n", "ServeGetHitP50", res.GetHitP50Ns, res.GetSamples)
+	fmt.Printf("%-20s %14d ns/op\n", "ServeGetHitP99", res.GetHitP99Ns)
+	fmt.Printf("%-20s %14d ns/op  (%d revalidations)\n", "ServeNotModifiedP50", res.NotModP50Ns, res.NotModSamples)
+	fmt.Printf("%-20s %14d ns/op\n", "ServeNotModifiedP99", res.NotModP99Ns)
+	fmt.Printf("%-20s %14d ns/op  (%.0f appends/s, %d fsyncs for %d appends)\n",
+		"JournalAppendGroup", grouped.NsPerAppend, grouped.AppendsPerSec, grouped.Syncs, grouped.Appends)
+	fmt.Printf("%-20s %14d ns/op  (%.0f appends/s, one fsync each)\n",
+		"JournalAppendSerial", serial.NsPerAppend, serial.AppendsPerSec)
+	if serial.NsPerAppend > 0 {
+		fmt.Printf("group commit speedup: %.1fx\n",
+			float64(serial.NsPerAppend)/float64(grouped.NsPerAppend))
+	}
 	if out != "" {
 		if err := appendEntries(out, entries); err != nil {
 			return err
 		}
 		fmt.Printf("appended %d entries to %s\n", len(entries), out)
 	}
+	if gateNs > 0 {
+		if res.HitP50Ns > gateNs {
+			return fmt.Errorf("gate: hit p50 %d ns exceeds %.1fx baseline (%d ns)",
+				res.HitP50Ns, gate, gateNs)
+		}
+		fmt.Printf("gate: hit p50 %d ns within %.1fx baseline (%d ns)\n", res.HitP50Ns, gate, gateNs)
+	}
 	return nil
+}
+
+// lastEntry returns the most recent trajectory entry for the named
+// benchmark.
+func lastEntry(path, bench string) (entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return entry{}, err
+	}
+	var all []entry
+	if err := json.Unmarshal(data, &all); err != nil {
+		return entry{}, fmt.Errorf("%s: not a trajectory array: %w", path, err)
+	}
+	for i := len(all) - 1; i >= 0; i-- {
+		if all[i].Bench == bench {
+			return all[i], nil
+		}
+	}
+	return entry{}, fmt.Errorf("%s: no %s entry to gate against", path, bench)
 }
 
 // regressionTolerance is how much slower the newest entry may be before

@@ -29,7 +29,8 @@
 // -cache-dir, and exits 0. A second signal kills it the default way.
 //
 // With -journal set, every accepted job is fsynced to an append-only
-// CRC-framed log before the submitter sees 202: after a crash
+// CRC-framed log before the submitter sees 202 — concurrent
+// submissions share fsyncs via group commit: after a crash
 // (kill -9, OOM) the restarted daemon replays the log, re-enqueues the
 // jobs that were queued or running, and compacts it. Job IDs are
 // content addresses, so replayed work that already reached the result

@@ -5,13 +5,25 @@
 //
 //	[4-byte LE payload length][4-byte LE CRC32-IEEE of payload][payload]
 //
-// Appends are a single write(2) to an O_APPEND descriptor followed by
-// fsync, so a record is either fully durable or detectably torn.
-// Replay walks frames from the start and stops at the first frame that
-// does not check out — a crash mid-append leaves a torn tail, and
-// everything before it is intact by construction. Rewrite (the
-// compaction primitive) replaces the log atomically: temp file + fsync
-// + rename, the same discipline the result cache uses for spills.
+// Appends are group-committed: concurrent callers stage frames into a
+// shared batch, one of them (the leader) flushes the whole batch with a
+// single write(2) to an O_APPEND descriptor plus a single fsync, and
+// every waiter is released together once the batch is durable. The
+// commit window is exactly the duration of the previous flush, so an
+// uncontended append degenerates to the classic write+fsync and a
+// storm of submitters amortizes one fsync across the lot. On return
+// from Append the record is durable; on error the caller must assume
+// it is not (the file may hold a torn frame, which Replay tolerates).
+//
+// A flush failure is fail-stop: Replay stops at the first bad frame,
+// so any frame appended after a torn or failed write would be durable
+// yet unreachable. Rather than ack such ghosts, the journal marks
+// itself broken and every later Append fails. Replay walks frames from
+// the start and stops at the first frame that does not check out — a
+// crash mid-flush leaves a torn tail, and everything before it is
+// intact by construction. Rewrite (the compaction primitive) replaces
+// the log atomically: temp file + fsync + rename, the same discipline
+// the result cache uses for spills.
 package journal
 
 import (
@@ -21,7 +33,9 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
 )
@@ -32,15 +46,40 @@ const frameHeader = 8 // length + CRC
 // the frame is corrupt, not a 4 GB job description.
 const maxRecord = 16 << 20
 
-// Journal is an open log accepting appends. Safe for concurrent use.
-type Journal struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
+// batch is one group commit in the making: staged frames plus the
+// gate its waiters block on. err is written by the leader before done
+// is closed, so followers read it race-free.
+type batch struct {
 	buf  []byte
+	n    int // records staged
+	done chan struct{}
+	err  error
 }
 
-// Open opens (creating if needed) the journal at path for appending.
+// Journal is an open log accepting appends. Safe for concurrent use.
+type Journal struct {
+	path string
+
+	// mu guards batch formation (cur) and the broken latch; it is held
+	// only to stage bytes, never across I/O.
+	mu     sync.Mutex
+	cur    *batch
+	broken error
+
+	// flushMu serializes flushes; the leader of the next batch blocks
+	// here while the previous batch fsyncs, which is what gives later
+	// arrivals their window to join.
+	flushMu sync.Mutex
+	f       *os.File
+
+	appends atomic.Int64 // records made durable
+	syncs   atomic.Int64 // fsync batches issued
+
+	unbatched bool // every append flushes alone (baseline for benches)
+}
+
+// Open opens (creating if needed) the journal at path for appending
+// with group commit enabled.
 func Open(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -49,43 +88,127 @@ func Open(path string) (*Journal, error) {
 	return &Journal{path: path, f: f}, nil
 }
 
+// OpenUnbatched opens the journal with group commit disabled: every
+// Append performs its own write+fsync, the one-fsync-per-record
+// behavior group commit replaced. It exists as the baseline arm of
+// BenchAppendThroughput; production callers want Open.
+func OpenUnbatched(path string) (*Journal, error) {
+	j, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	j.unbatched = true
+	return j, nil
+}
+
 // Path returns the file the journal appends to.
 func (j *Journal) Path() string { return j.path }
 
-// Append frames payload, writes it in one call, and fsyncs. On return
-// the record is durable; on error the caller must assume it is not
-// (the file may hold a torn frame, which Replay tolerates).
+// Appends reports how many records have been made durable.
+func (j *Journal) Appends() int64 { return j.appends.Load() }
+
+// Syncs reports how many fsync batches (group commits) have been
+// issued; Appends()/Syncs() is the achieved batching factor.
+func (j *Journal) Syncs() int64 { return j.syncs.Load() }
+
+// Append frames payload, stages it into the current batch, and returns
+// once the batch is durable: the first stager becomes the leader and
+// flushes everything staged behind one write + one fsync; later
+// stagers just wait. On nil return the record is on disk.
 func (j *Journal) Append(payload []byte) error {
 	if _, fired := faultinject.Hit(faultinject.JournalAppendErr); fired {
 		return errors.New("journal: faultinject: append error")
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.buf = j.buf[:0]
-	j.buf = binary.LittleEndian.AppendUint32(j.buf, uint32(len(payload)))
-	j.buf = binary.LittleEndian.AppendUint32(j.buf, crc32.ChecksumIEEE(payload))
-	j.buf = append(j.buf, payload...)
-	if _, fired := faultinject.Hit(faultinject.JournalTornWrite); fired {
-		// Simulate a crash mid-write: half the frame lands on disk and
-		// the append reports failure.
-		j.f.Write(j.buf[:len(j.buf)/2])
-		j.f.Sync()
-		return errors.New("journal: faultinject: torn write")
+	if j.broken != nil {
+		err := j.broken
+		j.mu.Unlock()
+		return err
 	}
-	if _, err := j.f.Write(j.buf); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+	if j.unbatched {
+		j.mu.Unlock()
+		return j.appendUnbatched(payload)
+	}
+	leader := j.cur == nil
+	if leader {
+		j.cur = &batch{done: make(chan struct{})}
+	}
+	b := j.cur
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(payload)))
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, crc32.ChecksumIEEE(payload))
+	b.buf = append(b.buf, payload...)
+	b.n++
+	j.mu.Unlock()
+
+	if !leader {
+		<-b.done
+		return b.err
+	}
+	// Leader: wait out any in-flight flush — appends arriving meanwhile
+	// join this batch — then detach the batch and make it durable. The
+	// yield matters on small hosts: when flushMu is free (no flush in
+	// flight), the leader would otherwise detach its batch before any
+	// runnable peer gets scheduled to join it, collapsing the group to
+	// one record per fsync.
+	runtime.Gosched()
+	j.flushMu.Lock()
+	j.mu.Lock()
+	j.cur = nil
+	j.mu.Unlock()
+	b.err = j.flush(b)
+	j.flushMu.Unlock()
+	close(b.done)
+	return b.err
+}
+
+// flush writes and fsyncs one detached batch; flushMu must be held.
+// Any failure latches the journal broken (see the package comment for
+// why acking appends past a bad frame would be a durability lie).
+func (j *Journal) flush(b *batch) error {
+	if _, fired := faultinject.Hit(faultinject.JournalTornWrite); fired {
+		// Simulate a crash mid-flush: half the batch lands on disk and
+		// the whole batch reports failure.
+		j.f.Write(b.buf[:len(b.buf)/2])
+		j.f.Sync()
+		return j.breakWith(errors.New("journal: faultinject: torn write"))
+	}
+	if _, err := j.f.Write(b.buf); err != nil {
+		return j.breakWith(fmt.Errorf("journal: append: %w", err))
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync: %w", err)
+		return j.breakWith(fmt.Errorf("journal: fsync: %w", err))
 	}
+	j.appends.Add(int64(b.n))
+	j.syncs.Add(1)
 	return nil
+}
+
+// breakWith latches the journal into the broken state and returns err.
+func (j *Journal) breakWith(err error) error {
+	j.mu.Lock()
+	j.broken = fmt.Errorf("journal: closed to writes after flush failure: %w", err)
+	j.mu.Unlock()
+	return err
+}
+
+// appendUnbatched is the group-commit-free arm: frame, write, fsync,
+// all under flushMu — the pre-group-commit serialization.
+func (j *Journal) appendUnbatched(payload []byte) error {
+	b := &batch{}
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(payload)))
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, crc32.ChecksumIEEE(payload))
+	b.buf = append(b.buf, payload...)
+	b.n = 1
+	j.flushMu.Lock()
+	defer j.flushMu.Unlock()
+	return j.flush(b)
 }
 
 // Size reports the journal file's current length in bytes — the
 // hydroserved_journal_bytes gauge. A stat failure reads as zero.
 func (j *Journal) Size() int64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.flushMu.Lock()
+	defer j.flushMu.Unlock()
 	st, err := j.f.Stat()
 	if err != nil {
 		return 0
@@ -95,8 +218,8 @@ func (j *Journal) Size() int64 {
 
 // Close closes the underlying file. Appends after Close fail.
 func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.flushMu.Lock()
+	defer j.flushMu.Unlock()
 	return j.f.Close()
 }
 

@@ -16,7 +16,9 @@
 //
 //	POST   /v1/jobs                submit {config?, design, combo}; dedupes
 //	GET    /v1/jobs                list job records
-//	GET    /v1/jobs/{id}           status + result when done
+//	GET    /v1/jobs/{id}           status + result when done; a done
+//	                               job's ETag is its content-addressed
+//	                               ID, and If-None-Match yields 304
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	GET    /v1/jobs/{id}/events    SSE per-epoch progress stream
 //	GET    /v1/jobs/{id}/telemetry epoch telemetry: JSON snapshot,

@@ -13,14 +13,24 @@ import (
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 )
 
-// BenchResult is one measurement of the submit path: the cold
-// submit-to-done latency of an uncached job, and the cache-hit request
-// latency distribution under concurrent submitters.
+// BenchResult is one measurement of the serving layer: the cold
+// submit-to-done latency of an uncached job, then the latency
+// distributions of the three hot read paths under concurrent clients —
+// POST cache hits, GET of the completed job, and conditional GET
+// revalidations answered 304.
 type BenchResult struct {
 	ColdNs   int64 // uncached submit → job done, one simulation included
-	HitP50Ns int64 // cache-hit request latency, median
-	HitP99Ns int64 // cache-hit request latency, 99th percentile
-	Samples  int   // number of cache-hit requests measured
+	HitP50Ns int64 // POST cache-hit request latency, median
+	HitP99Ns int64 // POST cache-hit request latency, 99th percentile
+	Samples  int   // number of POST cache-hit requests measured
+
+	GetHitP50Ns int64 // GET done-job latency, median
+	GetHitP99Ns int64 // GET done-job latency, 99th percentile
+	GetSamples  int
+
+	NotModP50Ns   int64 // conditional GET (If-None-Match → 304), median
+	NotModP99Ns   int64 // conditional GET, 99th percentile
+	NotModSamples int
 }
 
 // benchConfig is the reduced instance the serve benchmarks submit —
@@ -38,9 +48,12 @@ func benchConfig() system.Config {
 
 // BenchSubmit boots an in-process daemon, measures one cold submission
 // (queue + simulation + result marshal), then has `submitters`
-// concurrent clients each issue `hitsPer` identical submissions — all
-// cache hits — and reports the hit latency distribution. It is the
-// engine behind BenchmarkServeSubmit and `hydrobench -serve`.
+// concurrent clients each issue `hitsPer` requests against each hot
+// path — identical POST resubmissions (all cache hits), GETs of the
+// done job, and If-None-Match revalidations — and reports the latency
+// distributions. The client transport keeps one idle connection per
+// submitter, so the numbers measure the server, not connection churn.
+// It is the engine behind BenchmarkServeSubmit and `hydrobench -serve`.
 func BenchSubmit(submitters, hitsPer int) (BenchResult, error) {
 	srv, err := New(Options{})
 	if err != nil {
@@ -50,34 +63,42 @@ func BenchSubmit(submitters, hitsPer int) (BenchResult, error) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * submitters,
+		MaxIdleConnsPerHost: 2 * submitters,
+	}}
+
 	cfg := benchConfig()
 	body, err := json.Marshal(JobRequest{Config: &cfg, Design: "Baseline", Combo: ComboSpec{ID: "C1"}})
 	if err != nil {
 		return BenchResult{}, err
 	}
-	post := func() (JobStatus, int, error) {
-		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return JobStatus{}, 0, err
-		}
-		defer resp.Body.Close()
-		var st JobStatus
-		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-			return JobStatus{}, resp.StatusCode, err
-		}
-		return st, resp.StatusCode, nil
+	// Each goroutine drains responses into its own scratch buffer so
+	// connections are reusable and the loop does minimal parsing.
+	drain := func(buf *bytes.Buffer, resp *http.Response) ([]byte, error) {
+		buf.Reset()
+		_, err := buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return buf.Bytes(), err
 	}
 
 	cold := time.Now()
-	st, code, err := post()
+	resp, err := hc.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return BenchResult{}, err
 	}
-	if code != http.StatusAccepted {
-		return BenchResult{}, fmt.Errorf("cold submit: status %d", code)
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		resp.Body.Close()
+		return BenchResult{}, err
 	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return BenchResult{}, fmt.Errorf("cold submit: status %d", resp.StatusCode)
+	}
+	jobURL := ts.URL + "/v1/jobs/" + st.ID
 	for {
-		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		resp, err := hc.Get(jobURL)
 		if err != nil {
 			return BenchResult{}, err
 		}
@@ -97,45 +118,120 @@ func BenchSubmit(submitters, hitsPer int) (BenchResult, error) {
 	}
 	res := BenchResult{ColdNs: time.Since(cold).Nanoseconds()}
 
-	lat := make([][]int64, submitters)
-	errs := make(chan error, submitters)
-	var wg sync.WaitGroup
-	for i := 0; i < submitters; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			mine := make([]int64, 0, hitsPer)
-			for k := 0; k < hitsPer; k++ {
-				t0 := time.Now()
-				st, code, err := post()
-				switch {
-				case err != nil:
+	// storm fans out submitters×hitsPer timed requests and returns the
+	// sorted latencies; fn performs one request on the worker's buffer.
+	// Each worker issues one untimed warmup request first, so connection
+	// establishment does not masquerade as serving latency in the tail.
+	storm := func(fn func(buf *bytes.Buffer, worker, k int) error) ([]int64, error) {
+		lat := make([][]int64, submitters)
+		errs := make(chan error, submitters)
+		var wg sync.WaitGroup
+		for i := 0; i < submitters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var buf bytes.Buffer
+				if err := fn(&buf, i, -1); err != nil {
 					errs <- err
 					return
-				case code != http.StatusOK || !st.Cached:
-					errs <- fmt.Errorf("hit %d/%d: status %d cached=%v", i, k, code, st.Cached)
-					return
 				}
-				mine = append(mine, time.Since(t0).Nanoseconds())
-			}
-			lat[i] = mine
-		}(i)
-	}
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return BenchResult{}, err
-	default:
+				mine := make([]int64, 0, hitsPer)
+				for k := 0; k < hitsPer; k++ {
+					t0 := time.Now()
+					if err := fn(&buf, i, k); err != nil {
+						errs <- err
+						return
+					}
+					mine = append(mine, time.Since(t0).Nanoseconds())
+				}
+				lat[i] = mine
+			}(i)
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
+		var all []int64
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		return all, nil
 	}
 
-	var all []int64
-	for _, l := range lat {
-		all = append(all, l...)
+	// Phase 1: POST cache hits (the resubmission path of a sweep).
+	hits, err := storm(func(buf *bytes.Buffer, i, k int) error {
+		resp, err := hc.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, err := drain(buf, resp)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(`"cached":true`)) {
+			return fmt.Errorf("hit %d/%d: status %d, body %.80s", i, k, resp.StatusCode, data)
+		}
+		return nil
+	})
+	if err != nil {
+		return BenchResult{}, err
 	}
-	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
-	res.Samples = len(all)
-	res.HitP50Ns = percentile(all, 50)
-	res.HitP99Ns = percentile(all, 99)
+	res.Samples = len(hits)
+	res.HitP50Ns = percentile(hits, 50)
+	res.HitP99Ns = percentile(hits, 99)
+
+	// Phase 2: GET of the completed job (the poll-for-result path).
+	gets, err := storm(func(buf *bytes.Buffer, i, k int) error {
+		resp, err := hc.Get(jobURL)
+		if err != nil {
+			return err
+		}
+		data, err := drain(buf, resp)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(`"state":"done"`)) {
+			return fmt.Errorf("get %d/%d: status %d", i, k, resp.StatusCode)
+		}
+		return nil
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	res.GetSamples = len(gets)
+	res.GetHitP50Ns = percentile(gets, 50)
+	res.GetHitP99Ns = percentile(gets, 99)
+
+	// Phase 3: conditional GET — a client that already holds the result
+	// revalidates with If-None-Match and gets a body-less 304.
+	etag := etagFor(st.ID)
+	notmod, err := storm(func(buf *bytes.Buffer, i, k int) error {
+		req, err := http.NewRequest(http.MethodGet, jobURL, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("If-None-Match", etag)
+		resp, err := hc.Do(req)
+		if err != nil {
+			return err
+		}
+		if _, err := drain(buf, resp); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusNotModified {
+			return fmt.Errorf("conditional get %d/%d: status %d, want 304", i, k, resp.StatusCode)
+		}
+		return nil
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	res.NotModSamples = len(notmod)
+	res.NotModP50Ns = percentile(notmod, 50)
+	res.NotModP99Ns = percentile(notmod, 99)
 	return res, nil
 }
 

@@ -7,13 +7,13 @@ import (
 )
 
 // BenchmarkServeSubmit measures the serving layer's submit path via the
-// shared harness: each iteration is one full cold-run + 64-submitter
-// cache-hit storm, and the hit percentiles are attached as custom
-// metrics. `hydrobench -serve` records the same numbers in
+// shared harness: each iteration is one full cold-run + 16-submitter
+// storm over the three hot paths, and the percentiles are attached as
+// custom metrics. `hydrobench -serve` records the same numbers in
 // BENCH_serve.json.
 func BenchmarkServeSubmit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := serve.BenchSubmit(64, 8)
+		res, err := serve.BenchSubmit(16, 8)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -21,6 +21,8 @@ func BenchmarkServeSubmit(b *testing.B) {
 			b.ReportMetric(float64(res.ColdNs), "cold-ns")
 			b.ReportMetric(float64(res.HitP50Ns), "hit-p50-ns")
 			b.ReportMetric(float64(res.HitP99Ns), "hit-p99-ns")
+			b.ReportMetric(float64(res.GetHitP50Ns), "get-p50-ns")
+			b.ReportMetric(float64(res.NotModP50Ns), "304-p50-ns")
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -356,6 +357,178 @@ func TestJournalAppendFailureRejectsSubmit(t *testing.T) {
 		t.Fatalf("retry after journal recovery: %d", code)
 	}
 	waitState(t, ts.URL, st.ID, serve.StateDone)
+}
+
+// rawSubmit posts a prepared request without failing the test on
+// non-2xx statuses, so chaos storms can count rejections.
+func rawSubmit(url string, req serve.JobRequest) (id string, code int, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		var st serve.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return "", resp.StatusCode, err
+		}
+		id = st.ID
+	}
+	return id, resp.StatusCode, nil
+}
+
+// TestGroupCommitAckIsDurable is the group-commit durability proof: a
+// storm of concurrent submissions shares fsync batches, some appends
+// fail mid-window, and the crash that follows must recover exactly the
+// acked set — every 202 replays, no 503 leaves a ghost record.
+func TestGroupCommitAckIsDurable(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "jobs.wal")
+
+	srv1, ts1 := chaosServer(t, serve.Options{Workers: 1, JournalPath: jpath})
+	blocker := tinyConfig()
+	blocker.Cycles = 40_000_000 // keeps the lone worker busy past the crash
+	bst, code := submit(t, ts1.URL, serve.JobRequest{Config: &blocker, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}})
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker submit: %d", code)
+	}
+	waitState(t, ts1.URL, bst.ID, serve.StateRunning)
+
+	// Three of the sixteen concurrent submissions draw an append
+	// failure; each charge rejects exactly one caller, not a whole
+	// batch.
+	faultinject.Set(faultinject.JournalAppendErr, 3, 0)
+	const n = 16
+	type outcome struct {
+		id   string
+		code int
+		err  error
+	}
+	outs := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := tinyConfig()
+			req := serve.JobRequest{Config: &cfg, Design: "Baseline", Combo: serve.ComboSpec{ID: "C2"}, Seed: int64(i + 1)}
+			outs[i].id, outs[i].code, outs[i].err = rawSubmit(ts1.URL, req)
+		}(i)
+	}
+	wg.Wait()
+	var acked []string
+	rejected := 0
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("submit %d: %v", i, o.err)
+		}
+		switch o.code {
+		case http.StatusAccepted:
+			acked = append(acked, o.id)
+		case http.StatusServiceUnavailable:
+			rejected++
+		default:
+			t.Fatalf("submit %d: status %d, want 202 or 503", i, o.code)
+		}
+	}
+	if rejected != 3 || len(acked) != n-3 {
+		t.Fatalf("%d acked / %d rejected, want %d/3", len(acked), rejected, n-3)
+	}
+
+	ts1.Close()
+	srv1.Crash() // kill -9: whatever was acked must already be on disk
+
+	srv2, ts2 := chaosServer(t, serve.Options{Workers: 1, JournalPath: jpath})
+	t.Cleanup(func() { ts2.Close(); srv2.Close() })
+	if got, want := srv2.ReplayedJobs(), int64(1+len(acked)); got != want {
+		t.Fatalf("replayed %d jobs, want %d (blocker + every acked submit, nothing else)", got, want)
+	}
+	for _, id := range acked {
+		st := getJob(t, ts2.URL, id)
+		if !st.Replayed {
+			t.Fatalf("acked job %s came back unreplayed (state %q)", id[:12], st.State)
+		}
+	}
+}
+
+// TestGroupCommitFailStopAfterTornBatch: a torn batch write fails every
+// waiter in that window AND all later appends (fail-stop) — because
+// replay stops at the torn frame, acking anything behind it would ack
+// a record recovery cannot see. Everything acked before the tear still
+// replays.
+func TestGroupCommitFailStopAfterTornBatch(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "jobs.wal")
+
+	srv1, ts1 := chaosServer(t, serve.Options{Workers: 1, JournalPath: jpath})
+	blocker := tinyConfig()
+	blocker.Cycles = 40_000_000
+	bst, code := submit(t, ts1.URL, serve.JobRequest{Config: &blocker, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}})
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker submit: %d", code)
+	}
+	waitState(t, ts1.URL, bst.ID, serve.StateRunning)
+
+	// Wave 1: cleanly acked submissions.
+	var wave1 []string
+	for i := 0; i < 8; i++ {
+		cfg := tinyConfig()
+		req := serve.JobRequest{Config: &cfg, Design: "Baseline", Combo: serve.ComboSpec{ID: "C3"}, Seed: int64(100 + i)}
+		id, code, err := rawSubmit(ts1.URL, req)
+		if err != nil || code != http.StatusAccepted {
+			t.Fatalf("wave1 submit %d: code=%d err=%v", i, code, err)
+		}
+		wave1 = append(wave1, id)
+	}
+
+	// Wave 2: the next flush tears mid-frame; every submission in that
+	// batch and every one after it must be refused.
+	faultinject.Set(faultinject.JournalTornWrite, 1, 0)
+	var wg sync.WaitGroup
+	codes := make([]int, 8)
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := tinyConfig()
+			req := serve.JobRequest{Config: &cfg, Design: "Baseline", Combo: serve.ComboSpec{ID: "C2"}, Seed: int64(200 + i)}
+			_, codes[i], errs[i] = rawSubmit(ts1.URL, req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		if errs[i] != nil {
+			t.Fatalf("wave2 submit %d: %v", i, errs[i])
+		}
+		if codes[i] != http.StatusServiceUnavailable {
+			t.Fatalf("wave2 submit %d: status %d, want 503 after the journal tore", i, codes[i])
+		}
+	}
+	cfg := tinyConfig()
+	if _, code, err := rawSubmit(ts1.URL, serve.JobRequest{Config: &cfg, Design: "Baseline", Combo: serve.ComboSpec{ID: "C1"}, Seed: 999}); err != nil || code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after fail-stop: code=%d err=%v, want 503", code, err)
+	}
+
+	ts1.Close()
+	srv1.Crash()
+
+	srv2, ts2 := chaosServer(t, serve.Options{Workers: 1, JournalPath: jpath})
+	t.Cleanup(func() { ts2.Close(); srv2.Close() })
+	if got, want := srv2.ReplayedJobs(), int64(1+len(wave1)); got != want {
+		t.Fatalf("replayed %d jobs, want %d (blocker + wave 1)", got, want)
+	}
+	for _, id := range wave1 {
+		if st := getJob(t, ts2.URL, id); !st.Replayed {
+			t.Fatalf("wave1 job %s came back unreplayed", id[:12])
+		}
+	}
 }
 
 // TestReadyzLifecycle: readiness goes 503 (with Retry-After) when the

@@ -37,6 +37,9 @@ type metrics struct {
 	cacheSpills    *obs.Counter
 	cacheCorrupt   *obs.Counter // corrupt spill files rejected (and removed)
 
+	notModified *obs.Counter // conditional GETs answered 304 Not Modified
+	fastPath    *obs.Counter // submits served via the body-hash fast path
+
 	queued  *obs.Gauge
 	running *obs.Gauge
 
@@ -52,9 +55,10 @@ type metrics struct {
 }
 
 // newMetrics builds the daemon's registry. The function arguments feed
-// scrape-time gauges for state owned elsewhere (cache entry count and
-// bytes, journal file length); a nil callback reads as zero.
-func newMetrics(cacheEntries, cacheBytes, journalBytes func() int64) *metrics {
+// scrape-time series for state owned elsewhere (cache entry count and
+// bytes, journal file length and fsync-batch count); a nil callback
+// reads as zero.
+func newMetrics(cacheEntries, cacheBytes, journalBytes, journalSyncs func() int64) *metrics {
 	zero := func() int64 { return 0 }
 	if cacheEntries == nil {
 		cacheEntries = zero
@@ -64,6 +68,9 @@ func newMetrics(cacheEntries, cacheBytes, journalBytes func() int64) *metrics {
 	}
 	if journalBytes == nil {
 		journalBytes = zero
+	}
+	if journalSyncs == nil {
+		journalSyncs = zero
 	}
 	r := obs.NewRegistry()
 	m := &metrics{reg: r}
@@ -85,9 +92,12 @@ func newMetrics(cacheEntries, cacheBytes, journalBytes func() int64) *metrics {
 	m.cacheEvictions = r.Counter("hydroserved_cache_evictions_total", "Result-cache LRU evictions.")
 	m.cacheSpills = r.Counter("hydroserved_cache_spills_total", "Evicted or drained results written to the spill directory.")
 	m.cacheCorrupt = r.Counter("hydroserved_cache_corrupt_total", "Corrupt spill files rejected and removed.")
+	m.notModified = r.Counter("hydroserved_http_not_modified_total", "Conditional requests answered 304 Not Modified.")
+	m.fastPath = r.Counter("hydroserved_submit_fastpath_total", "Submissions served from the body-hash fast path without JSON decode.")
 	r.GaugeFunc("hydroserved_cache_entries", "Results held in memory.", cacheEntries)
 	r.GaugeFunc("hydroserved_cache_bytes", "Bytes of results held in memory.", cacheBytes)
 	r.GaugeFunc("hydroserved_journal_bytes", "Length of the job journal file.", journalBytes)
+	r.CounterFunc("hydroserved_journal_syncs_total", "Journal fsync batches (group commits).", journalSyncs)
 	m.queued = r.Gauge("hydroserved_jobs_queued", "Jobs waiting in the queue.")
 	m.running = r.Gauge("hydroserved_jobs_running", "Jobs currently simulating.")
 	m.simCycles = r.Counter("hydroserved_sim_cycles_total", "Simulated cycles completed.")

@@ -53,6 +53,14 @@ resubmit=$(curl -sf "$base/v1/jobs" -d '{"design":"Hydrogen","combo":"C1"}')
 printf '%s' "$resubmit" | grep -q '"cached":true' || { echo "resubmission was not a cache hit: $resubmit"; exit 1; }
 echo "resubmission served from cache"
 
+# Conditional GET: a done job's content-addressed ID is its strong
+# ETag, and a matching If-None-Match revalidates body-free as 304.
+etag=$(curl -sfi "$base/v1/jobs/$id" -o /dev/null -D - | sed -n 's/^[Ee][Tt][Aa][Gg]: //p' | tr -d '\r')
+[ "$etag" = "\"$id\"" ] || { echo "missing or wrong ETag: $etag"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag" "$base/v1/jobs/$id")
+[ "$code" = "304" ] || { echo "conditional GET returned $code, want 304"; exit 1; }
+echo "ETag revalidation OK"
+
 metrics=$(curl -sf "$base/metrics")
 printf '%s' "$metrics" | grep -q '^hydroserved_jobs_completed_total 1$' || { echo "bad metrics:"; printf '%s\n' "$metrics"; exit 1; }
 printf '%s' "$metrics" | grep -q '^hydroserved_cache_hits_total 1$' || { echo "bad metrics:"; printf '%s\n' "$metrics"; exit 1; }
@@ -74,4 +82,9 @@ kill -TERM "$pid"
 wait "$pid" || { echo "daemon exited nonzero on SIGTERM"; exit 1; }
 pid="" # already reaped; disarm the trap's kill
 [ -f "$workdir/cache/$id.json" ] || { echo "no spilled result after drain"; exit 1; }
+
+# Hit-path regression gate: a quick serve bench must keep the cache-hit
+# p50 within 2x of the last recorded BENCH_serve.json operating point.
+go run ./cmd/hydrobench -serve -quick -out "" -gate 2 || { echo "serve bench regression gate failed"; exit 1; }
+echo "serve bench gate OK"
 echo "serve smoke OK"
