@@ -242,9 +242,22 @@ func (c *Client) doCond(ctx context.Context, method, path, etag string, body, ou
 	}
 }
 
+// cloneStatus deep-copies a JobStatus's reference fields, so the
+// status cache and callers never alias mutable state: a caller that
+// rewrites the Result bytes (or the spans) of a returned status must
+// not corrupt what later Job() calls are served.
+func cloneStatus(st JobStatus) JobStatus {
+	st.Result = append(json.RawMessage(nil), st.Result...)
+	st.Spans = append([]obs.SpanRecord(nil), st.Spans...)
+	st.Combo.CPU = append([]string(nil), st.Combo.CPU...)
+	return st
+}
+
 // remember stores a terminal status under the ETag it arrived with,
-// evicting the oldest entry once the cache is full.
+// evicting the oldest entry once the cache is full. The stored copy is
+// detached from the caller's (see cloneStatus).
 func (c *Client) remember(id, etag string, st JobStatus) {
+	st = cloneStatus(st)
 	st.Cached = false // a fresh GET of a done job reports cached=false
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -295,7 +308,7 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 		return nil, err
 	}
 	if meta.notModified {
-		st = cached.st // terminal statuses are immutable; copy suffices
+		st = cloneStatus(cached.st) // detach: callers may mutate the result
 		return &st, nil
 	}
 	if meta.etag != "" {

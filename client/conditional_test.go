@@ -106,6 +106,39 @@ func TestJobRevalidatesWith304(t *testing.T) {
 	}
 }
 
+// TestRevalidatedResultNotAliased: the status a 304 hands back must not
+// share its Result backing bytes with the cache — a caller that mutates
+// the returned result in place would otherwise corrupt every later
+// Job() call for that ID.
+func TestRevalidatedResultNotAliased(t *testing.T) {
+	srv := newCondServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.Job(ctx, srv.id); err != nil { // prime the cache
+		t.Fatal(err)
+	}
+	st, err := c.Job(ctx, srv.id) // served from the cache via 304
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Result {
+		st.Result[i] = 'X' // caller scribbles on its copy
+	}
+	again, err := c.Job(ctx, srv.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again.Result) != `{"answer":42}` {
+		t.Fatalf("cache corrupted by caller mutation: %q", again.Result)
+	}
+	if srv.full.Load() != 1 {
+		t.Fatalf("full downloads = %d, want 1", srv.full.Load())
+	}
+}
+
 // TestSubmitPrimesConditionalPolls: a cache-hit submission (terminal
 // status + ETag) seeds the client's cache, so the very first Job() poll
 // already revalidates instead of downloading the result again.

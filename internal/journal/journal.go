@@ -165,10 +165,27 @@ func (j *Journal) Append(payload []byte) error {
 // Any failure latches the journal broken (see the package comment for
 // why acking appends past a bad frame would be a durability lie).
 func (j *Journal) flush(b *batch) error {
+	// Recheck the fail-stop latch: a leader that passed Append's broken
+	// check and then blocked on flushMu may only acquire it AFTER the
+	// previous batch's flush failed and latched. Writing now would put
+	// frames beyond the torn one — durable yet unreachable, since Replay
+	// stops at the first bad frame — so return the latched error instead.
+	j.mu.Lock()
+	if err := j.broken; err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	j.mu.Unlock()
 	if _, fired := faultinject.Hit(faultinject.JournalTornWrite); fired {
-		// Simulate a crash mid-flush: half the batch lands on disk and
-		// the whole batch reports failure.
-		j.f.Write(b.buf[:len(b.buf)/2])
+		// Simulate a crash mid-flush: the write tears inside the batch's
+		// FIRST frame, so no record in the batch survives replay and the
+		// whole batch reports failure. Tearing at the head (rather than
+		// halfway through the buffer) keeps chaos tests deterministic no
+		// matter how many submits happened to share the batch — a midway
+		// tear would leave a valid prefix of complete frames that replays
+		// records whose submitters were refused.
+		first := frameHeader + int(binary.LittleEndian.Uint32(b.buf))
+		j.f.Write(b.buf[:first/2])
 		j.f.Sync()
 		return j.breakWith(errors.New("journal: faultinject: torn write"))
 	}

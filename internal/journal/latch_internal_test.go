@@ -1,0 +1,66 @@
+package journal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestQueuedLeaderSeesLatch reproduces the fail-stop latch race: a
+// leader passes Append's broken check, stages its batch, and blocks on
+// flushMu behind an in-flight flush that then fails and latches the
+// journal broken. When the queued leader finally acquires flushMu it
+// must NOT write — its frames would land after the torn frame, durable
+// yet unreachable by Replay, and the nil return from Append would be a
+// ghost ack. The external chaos tests only cover appends that begin
+// after the latch is set; this pins the staged-before-latch window.
+func TestQueuedLeaderSeesLatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Play the failing in-flight flush by hand: hold flushMu so the next
+	// leader queues behind it, let it stage, then latch broken — exactly
+	// what breakWith does mid-flush — and only then release the lock.
+	j.flushMu.Lock()
+	done := make(chan error, 1)
+	go func() { done <- j.Append([]byte("ghost")) }()
+	// The goroutine can only detach j.cur after acquiring flushMu, which
+	// we hold — so a non-nil cur means it staged and is (or will be)
+	// queued on flushMu with its broken check already behind it.
+	for {
+		j.mu.Lock()
+		staged := j.cur != nil
+		j.mu.Unlock()
+		if staged {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j.breakWith(errors.New("simulated flush failure"))
+	j.flushMu.Unlock()
+
+	if err := <-done; err == nil {
+		t.Fatal("append staged before the latch returned nil after the flush failure (ghost ack)")
+	}
+	if got := j.Appends(); got != 1 {
+		t.Fatalf("Appends() = %d after latched flush, want 1", got)
+	}
+	var records []string
+	if _, _, err := Replay(path, func(p []byte) error {
+		records = append(records, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0] != "before" {
+		t.Fatalf("replay after latched flush: %q, want only %q", records, "before")
+	}
+}

@@ -75,7 +75,9 @@ func getJob(t *testing.T, base, id string) serve.JobStatus {
 
 func waitState(t *testing.T, base, id string, want ...string) serve.JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
+	// Generous: a ~2s simulation can take far longer when the whole
+	// suite runs under -race on a loaded host.
+	deadline := time.Now().Add(120 * time.Second)
 	for time.Now().Before(deadline) {
 		st := getJob(t, base, id)
 		for _, w := range want {

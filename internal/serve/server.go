@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
@@ -110,13 +111,43 @@ type job struct {
 	durable chan struct{}
 	durErr  error
 
-	// encMu guards the memoized wire encodings of the terminal status:
-	// encGet is the GET /v1/jobs/{id} body, encHit the POST cache-hit
-	// body (Cached=true). Built once after the job completes, then served
-	// as raw bytes with Content-Length — the pre-encoded hit path.
-	encMu  sync.Mutex
-	encGet []byte
-	encHit []byte
+	// encMu guards the memoized wire encoding of the terminal status,
+	// built once after the job completes and then served as raw bytes
+	// with Content-Length — the pre-encoded hit path. One shared buffer
+	// backs both the GET /v1/jobs/{id} body and the POST cache-hit body
+	// (Cached=true); see jobEnc.
+	encMu sync.Mutex
+	enc   *jobEnc
+}
+
+// jobEnc is a done job's memoized terminal wire encoding. The GET body
+// and the POST cache-hit body differ only by the "cached":true field,
+// so both variants are spans over one shared buffer — get = pre+post,
+// hit = pre+ins+post — rather than two full result-sized copies pinned
+// in the unbounded jobs table.
+type jobEnc struct {
+	get [][]byte
+	hit [][]byte
+}
+
+// buildJobEnc derives the shared-span form from the two fully encoded
+// variants: only get's buffer plus the few insertion bytes stay
+// resident. Should the bodies ever differ by anything other than a
+// single insertion (they cannot — encoding/json emits fields in
+// declaration order), it memoizes both outright: correct, just twice
+// the bytes.
+func buildJobEnc(get, hit []byte) *jobEnc {
+	d := len(hit) - len(get)
+	i := 0
+	for i < len(get) && get[i] == hit[i] {
+		i++
+	}
+	if d <= 0 || !bytes.Equal(hit[i+d:], get[i:]) {
+		return &jobEnc{get: [][]byte{get}, hit: [][]byte{hit}}
+	}
+	ins := append([]byte(nil), hit[i:i+d]...) // copy: don't pin hit's buffer
+	pre, post := get[:i:i], get[i:]
+	return &jobEnc{get: [][]byte{pre, post}, hit: [][]byte{pre, ins, post}}
 }
 
 // Server implements the serving API over http.Handler.
@@ -458,7 +489,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			if enc := s.encodedDone(j, true); enc != nil {
 				s.mu.Unlock()
 				s.m.cacheHits.Add(1)
-				writeRaw(w, http.StatusOK, etagFor(key), enc)
+				writeRaw(w, http.StatusOK, etagFor(key), enc...)
 				return
 			}
 			// Result evicted with no spill copy: fall through and rerun.
@@ -477,7 +508,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		enc := s.encodedDone(j, true)
 		s.mu.Unlock()
 		s.m.cacheHits.Add(1)
-		writeRaw(w, http.StatusOK, etagFor(key), enc)
+		writeRaw(w, http.StatusOK, etagFor(key), enc...)
 		return
 	}
 
@@ -521,7 +552,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// the record.
 		s.mu.Unlock()
 		s.abandonJob(j, msgShutdown)
-		s.appendRecord(journalRecord{Type: StateCanceled, ID: key, Error: msgShutdown})
+		if err := s.appendRecord(journalRecord{Type: StateCanceled, ID: key, Error: msgShutdown}); err != nil {
+			// The submit record stays live, so a restart will resurrect a
+			// job whose submitter was told 503; make that observable.
+			s.logj(key, "journal cancel failed", "err", err)
+		}
 		s.m.rejected.Add(1)
 		w.Header().Set("Retry-After", "5")
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
@@ -535,7 +570,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.abandonJob(j, msgQueueFull)
 		// Neutralize the submit record so a restart does not resurrect
 		// a job whose submitter was told to back off and retry.
-		s.appendRecord(journalRecord{Type: StateCanceled, ID: key, Error: msgQueueFull})
+		if err := s.appendRecord(journalRecord{Type: StateCanceled, ID: key, Error: msgQueueFull}); err != nil {
+			s.logj(key, "journal cancel failed", "err", err)
+		}
 		s.m.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "job queue full (%d deep)", s.opts.QueueDepth)
@@ -570,7 +607,7 @@ func (s *Server) fastHit(w http.ResponseWriter, body []byte) bool {
 	s.m.submitted.Add(1)
 	s.m.cacheHits.Add(1)
 	s.m.fastPath.Add(1)
-	writeRaw(w, http.StatusOK, etagFor(id), enc)
+	writeRaw(w, http.StatusOK, etagFor(id), enc...)
 	return true
 }
 
@@ -693,7 +730,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		writeRaw(w, http.StatusOK, etag, enc)
+		writeRaw(w, http.StatusOK, etag, enc...)
 		return
 	}
 	// Non-terminal (or done with the result evicted beyond recovery):
@@ -707,42 +744,43 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// encodedDone returns the job's memoized terminal wire encoding — the
-// exact bytes the marshal-per-request path produced (json.Marshal of
-// the status plus the encoder's trailing newline) — building it on
-// first use. hit selects the POST cache-hit variant (Cached=true).
-// Nil when the job is not done, or its result bytes are gone from both
-// cache and spill (the caller falls back to the slow path).
-func (s *Server) encodedDone(j *job, hit bool) []byte {
+// encodedDone returns the job's memoized terminal wire encoding as
+// spans to write in order — concatenated, the exact bytes the
+// marshal-per-request path produced (json.Marshal of the status plus
+// the encoder's trailing newline) — building it on first use. hit
+// selects the POST cache-hit variant (Cached=true). Nil when the job
+// is not done, or its result bytes are gone from both cache and spill
+// (the caller falls back to the slow path).
+func (s *Server) encodedDone(j *job, hit bool) [][]byte {
 	j.encMu.Lock()
 	defer j.encMu.Unlock()
-	p := &j.encGet
-	if hit {
-		p = &j.encHit
-	}
-	if *p != nil {
-		return *p
-	}
-	st := j.snapshot()
-	if st.State != StateDone {
-		return nil
-	}
-	if st.Result == nil {
-		data, ok := s.cache.Get(j.id)
-		if !ok {
+	if j.enc == nil {
+		st := j.snapshot()
+		if st.State != StateDone {
 			return nil
 		}
-		st.Result = data
+		if st.Result == nil {
+			data, ok := s.cache.Get(j.id)
+			if !ok {
+				return nil
+			}
+			st.Result = data
+		}
+		get, err := encodeJSON(st)
+		if err != nil {
+			return nil
+		}
+		st.Cached = true
+		hitEnc, err := encodeJSON(st)
+		if err != nil {
+			return nil
+		}
+		j.enc = buildJobEnc(get, hitEnc)
 	}
 	if hit {
-		st.Cached = true
+		return j.enc.hit
 	}
-	enc, err := encodeJSON(st)
-	if err != nil {
-		return nil
-	}
-	*p = enc
-	return enc
+	return j.enc.get
 }
 
 // markDurable publishes the fate of the job's durability barrier (a
@@ -1436,17 +1474,26 @@ func encodeJSON(v any) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// writeRaw serves a pre-encoded JSON body in a single buffered write
-// with Content-Length (and a strong ETag when one applies) — no
-// per-request marshaling.
-func writeRaw(w http.ResponseWriter, code int, etag string, body []byte) {
+// writeRaw serves a pre-encoded JSON body — given as one or more spans
+// written in order through the server's buffered writer — with
+// Content-Length (and a strong ETag when one applies); no per-request
+// marshaling or reassembly.
+func writeRaw(w http.ResponseWriter, code int, etag string, body ...[]byte) {
+	n := 0
+	for _, b := range body {
+		n += len(b)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Header().Set("Content-Length", strconv.Itoa(n))
 	if etag != "" {
 		w.Header().Set("ETag", etag)
 	}
 	w.WriteHeader(code)
-	_, _ = w.Write(body)
+	for _, b := range body {
+		if _, err := w.Write(b); err != nil {
+			return
+		}
+	}
 }
 
 // etagFor is a job's strong entity tag: the content-addressed ID is the
