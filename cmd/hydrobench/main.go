@@ -72,12 +72,28 @@ func benchOptions(quick bool) experiments.Options {
 	return experiments.Options{Base: base, Combos: []string{"C1"}, Parallel: 1}
 }
 
+// withSimParallel returns o with per-simulation PDES parallelism set —
+// the Figure5Par* variants, directly comparable against Figure5 since
+// results are bit-identical.
+func withSimParallel(o experiments.Options, n int) experiments.Options {
+	o.Base.SimParallel = n
+	return o
+}
+
 var benches = []struct {
 	name string
 	run  func(o experiments.Options) error
 }{
 	{"Figure2a", func(o experiments.Options) error { _, err := experiments.Fig2a(o); return err }},
 	{"Figure5", func(o experiments.Options) error { _, err := experiments.Fig5(o, false); return err }},
+	{"Figure5Par2", func(o experiments.Options) error {
+		_, err := experiments.Fig5(withSimParallel(o, 2), false)
+		return err
+	}},
+	{"Figure5Par4", func(o experiments.Options) error {
+		_, err := experiments.Fig5(withSimParallel(o, 4), false)
+		return err
+	}},
 	{"Figure5HBM3", func(o experiments.Options) error { _, err := experiments.Fig5(o, true); return err }},
 	{"Figure8", func(o experiments.Options) error {
 		_, err := experiments.Fig8(o, "C1", experiments.Coarse)

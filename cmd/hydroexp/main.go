@@ -42,6 +42,8 @@ func main() {
 		combos   = flag.String("combos", "", "comma-separated combo subset (e.g. C1,C5)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		parallel = flag.Int("parallel", 0, "concurrent simulations; 0 = all CPUs, 1 = serial")
+		simPar   = flag.Int("sim-parallel", 1, "channel-shard parallelism inside each simulation (bit-identical; distinct from -parallel, which fans out whole runs)")
+		approx   = flag.Float64("approx", 0, "epoch fast-forward sampling fraction in (0,1); approximate, labeled results (0 = exact)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		server   = flag.String("server", "", "hydroserved base URL; named-design runs are submitted there")
@@ -62,6 +64,8 @@ func main() {
 		base.Cycles = *cycles
 	}
 	base.Seed = *seed
+	base.SimParallel = *simPar
+	base.ApproxFrac = *approx
 
 	opts := experiments.Options{Base: base, Parallel: *parallel}
 	if !*quiet {

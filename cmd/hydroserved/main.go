@@ -88,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		accessLog    = fs.Bool("access-log", false, "log one structured line per HTTP request")
 		debugAddr    = fs.String("debug-addr", "", "separate listener for /debug/pprof and /debug/runtimez (e.g. 127.0.0.1:6060); empty disables")
 		telemPoints  = fs.Int("telemetry-points", 0, "per-job telemetry ring size; 0 = default")
+		simParallel  = fs.Int("sim-parallel", 1, "per-simulation channel-shard parallelism; budgeted against the worker pool (workers x sim-parallel <= GOMAXPROCS), 1 = serial")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -116,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		QuarantineAfter: *quarantine,
 		AccessLog:       *accessLog,
 		TelemetryPoints: *telemPoints,
+		SimParallel:     *simParallel,
 	}
 	if *paper {
 		cfg := system.Paper()

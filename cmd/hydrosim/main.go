@@ -52,6 +52,8 @@ func main() {
 		wCPU    = flag.Float64("wcpu", 12, "CPU IPC weight")
 		wGPU    = flag.Float64("wgpu", 1, "GPU IPC weight")
 		telem   = flag.String("telemetry", "", "write per-epoch telemetry to this file (.json for JSON, else CSV)")
+		simPar  = flag.Int("sim-parallel", 1, "channel-shard parallelism inside the simulation (bit-identical results; 1 = serial)")
+		approx  = flag.Float64("approx", 0, "epoch fast-forward sampling fraction in (0,1); results are approximate and labeled \"approx\": true (0 = exact)")
 	)
 	flag.Parse()
 	debug.SetGCPercent(800)
@@ -71,6 +73,8 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.WeightCPU, cfg.WeightGPU = *wCPU, *wGPU
+	cfg.SimParallel = *simPar
+	cfg.ApproxFrac = *approx
 
 	var points []hydrogen.TelemetryPoint
 	var collect func(hydrogen.TelemetryPoint)

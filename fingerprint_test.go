@@ -38,12 +38,27 @@ func TestResultFingerprint(t *testing.T) {
 			system.DesignBaseline, system.DesignWayPart,
 			system.DesignHydrogen, system.DesignProfess,
 		} {
-			r, err := system.RunDesign(cfg, design, combo)
-			if err != nil {
-				t.Fatalf("%s %s: %v", comboID, design, err)
+			// Every profile runs at simulation parallelism 1, 2, and 4.
+			// Unlike the hashes themselves, equality ACROSS parallelism
+			// is asserted: the conservative PDES mode guarantees
+			// bit-identical results at any shard count.
+			var serial [32]byte
+			for _, par := range []int{1, 2, 4} {
+				pcfg := cfg
+				pcfg.SimParallel = par
+				r, err := system.RunDesign(pcfg, design, combo)
+				if err != nil {
+					t.Fatalf("%s %s par=%d: %v", comboID, design, par, err)
+				}
+				sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", r)))
+				if par == 1 {
+					serial = sum
+					t.Logf("%s %s %x", comboID, design, sum[:8])
+				} else if sum != serial {
+					t.Errorf("%s %s: parallelism %d fingerprint %x != serial %x",
+						comboID, design, par, sum[:8], serial[:8])
+				}
 			}
-			sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", r)))
-			t.Logf("%s %s %x", comboID, design, sum[:8])
 		}
 	}
 }

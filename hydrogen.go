@@ -14,6 +14,12 @@
 //
 // The experiments package regenerates every table and figure of the
 // paper; the cmd/hydroexp tool is its CLI.
+//
+// Simulations are deterministic for their seed. Config.SimParallel
+// enables conservative parallel execution inside one run (DRAM-channel
+// shards in lockstep windows, DESIGN.md §14) with bit-identical
+// results at any shard count; Config.ApproxFrac opts into epoch
+// sampling, which does change results and labels them Approx.
 package hydrogen
 
 import (

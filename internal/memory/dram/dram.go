@@ -8,6 +8,13 @@
 // RCD+CAS on an empty row, RP+RCD+CAS on a conflict) plus data-bus burst
 // occupancy. Bandwidth contention emerges from bus serialization and
 // queueing, which is the effect the paper's partitioning schemes target.
+//
+// A channel schedules all of its work through the engine's late lane
+// under a key fixed at construction, and receives requests through a
+// timestamped inbox rather than acting at call time. Both choices make
+// same-tick ordering a pure function of simulated state, which is what
+// lets internal/sim/par run channels on shard engines and merge their
+// completions back bit-identically (see the Port interface).
 package dram
 
 import (
@@ -212,19 +219,43 @@ func (s *Stats) Add(other *Stats) {
 	}
 }
 
-// Channel is one physical DRAM channel: a request queue, banks, and a
-// data bus. It must only be used from the engine's event context.
-type Channel struct {
-	eng *sim.Engine
-	cfg *Config
-	id  int
+// Port is where a channel reads time and delivers completions. The
+// serial build uses the engine itself; the parallel build binds
+// channels to a par.Shard, whose port stages completions for the
+// window-barrier merge while Now still reads the issuing (hub) clock.
+type Port interface {
+	Now() uint64
+	Complete(at, key uint64, fn func(now uint64))
+	CompleteCtx(at, key uint64, fn func(ctx, now uint64), ctx uint64)
+}
 
+// issueClassKey is OR-ed into the late-lane key of issue events so that
+// at any tick every completion (keyed by bare channel key) sorts before
+// every issue event. That matches the parallel phase split — merged
+// completions run on the hub before the next window's issues — so the
+// serial engine replays the same order.
+const issueClassKey = 1 << 32
+
+// Channel is one physical DRAM channel: a request queue, banks, and a
+// data bus. It must only be used from the owning engine's event context.
+type Channel struct {
+	eng  *sim.Engine // engine the channel's issue events run on
+	port Port        // clock + completion delivery (the engine, serially)
+	cfg  *Config
+	id   int
+
+	// inbox stages enqueued requests with their submission timestamp;
+	// the issue event moves entries whose stamp has been reached into
+	// queue. Stamps are monotone (the submitting clock only moves
+	// forward), so the inbox stays sorted.
+	inbox        []Request
 	queue        []Request
 	banks        []bank
 	busBusyUntil uint64
 	issueAt      uint64 // earliest already-scheduled issue event, or 0
 	issueArmed   bool
-	issueFn      func() // issueEvent bound once, so arming never allocates
+	issueFn      func(now uint64) // issueEvent bound once, so arming never allocates
+	key          uint64           // engine-unique late-lane key, fixed at construction
 
 	rowShift uint8       // log2(RowBytes); row size is validated pow2
 	bankDiv  bitmath.Div // strength-reduced division by BanksPerChannel
@@ -242,10 +273,14 @@ func (c *Channel) lookahead() uint64 {
 	return c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
 }
 
-// NewChannel creates channel id of the given device kind on eng.
+// NewChannel creates channel id of the given device kind on eng. The
+// channel draws its late-lane key from eng, so every channel built on
+// the same engine gets a distinct key even across tiers.
 func NewChannel(eng *sim.Engine, cfg *Config, id int) *Channel {
 	c := &Channel{
-		eng: eng, cfg: cfg, id: id, banks: make([]bank, cfg.BanksPerChannel),
+		eng: eng, port: eng, cfg: cfg, id: id,
+		banks:    make([]bank, cfg.BanksPerChannel),
+		key:      eng.NextLateKey(),
 		rowShift: uint8(bits.TrailingZeros64(cfg.RowBytes)),
 		bankDiv:  bitmath.NewInt(cfg.BanksPerChannel),
 		bpcDiv:   bitmath.New(cfg.BytesPerCycle),
@@ -255,6 +290,16 @@ func NewChannel(eng *sim.Engine, cfg *Config, id int) *Channel {
 		c.banks[i].openRow = -1
 	}
 	return c
+}
+
+// Bind moves the channel's event scheduling to eng and its completion
+// delivery to port. The parallel build calls it once, before the first
+// enqueue, to hand the channel to a shard; the late-lane key assigned
+// at construction moves with the channel, keeping (time, key) pairs
+// unique when completions merge back on the hub.
+func (c *Channel) Bind(eng *sim.Engine, port Port) {
+	c.eng = eng
+	c.port = port
 }
 
 // ID returns the channel index within its tier.
@@ -267,17 +312,21 @@ func (c *Channel) Config() *Config { return c.cfg }
 func (c *Channel) Stats() Stats { return c.stats }
 
 // QueueLen returns the number of requests waiting to issue.
-func (c *Channel) QueueLen() int { return len(c.queue) }
+func (c *Channel) QueueLen() int { return len(c.queue) + len(c.inbox) }
 
-// Enqueue submits a request to the channel.
+// Enqueue submits a request to the channel. The request is stamped with
+// the submitting clock and staged in the inbox; the issue event at that
+// stamp (same tick — no latency is added) moves it into the scheduler
+// queue. Decoupling submission from scheduling is what allows the
+// caller and the channel to live on different engines.
 func (c *Channel) Enqueue(r Request) {
 	if r.Bytes == 0 {
 		r.Bytes = 64
 	}
-	r.arrive = c.eng.Now()
+	r.arrive = c.port.Now()
 	r.bank, r.row = c.decode(r.Addr)
-	c.queue = append(c.queue, r)
-	c.tryIssue()
+	c.inbox = append(c.inbox, r)
+	c.armIssue(r.arrive)
 }
 
 // decode splits an address into its bank and row. It runs once per
@@ -295,12 +344,45 @@ func (c *Channel) armIssue(at uint64) {
 	}
 	c.issueArmed = true
 	c.issueAt = at
-	c.eng.Schedule(at, c.issueFn)
+	c.eng.ScheduleLateCall(at, issueClassKey|c.key, c.issueFn)
 }
 
-func (c *Channel) issueEvent() {
+func (c *Channel) issueEvent(now uint64) {
+	// armIssue may arm an earlier event over a pending later one; the
+	// later event is then stale — exactly one live event (the one at
+	// issueAt) does work, so duplicates cost O(1) and never re-arm.
+	if !c.issueArmed || c.issueAt != now {
+		return
+	}
 	c.issueArmed = false
-	c.tryIssue()
+	c.drainInbox(now)
+	c.tryIssue(now)
+	// In a parallel run an issue event can fire before the stamp of a
+	// request enqueued from the hub's (later) clock. Re-arm at the
+	// earliest remaining stamp — exactly the event the serial build
+	// would have created at enqueue time.
+	if len(c.inbox) > 0 {
+		c.armIssue(c.inbox[0].arrive)
+	}
+}
+
+// drainInbox moves staged requests whose stamp has been reached into
+// the scheduler queue. The inbox is stamp-sorted, so this is a prefix
+// split.
+func (c *Channel) drainInbox(now uint64) {
+	n := 0
+	for n < len(c.inbox) && c.inbox[n].arrive <= now {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	c.queue = append(c.queue, c.inbox[:n]...)
+	rest := copy(c.inbox, c.inbox[n:])
+	for i := rest; i < len(c.inbox); i++ {
+		c.inbox[i] = Request{} // release Done refs
+	}
+	c.inbox = c.inbox[:rest]
 }
 
 // schedWindow bounds how many queued requests the scheduler considers,
@@ -312,10 +394,10 @@ const schedWindow = 16
 // row-hitting request within the scheduling window; if none hits, the
 // oldest request. With CPUPriority, CPU requests are considered strictly
 // before GPU ones.
-func (c *Channel) pick() int {
+func (c *Channel) pick(now uint64) int {
 	// Starvation bound: the oldest request wins outright once it has
 	// waited too long, so streaming row hits cannot lock out row misses.
-	if len(c.queue) > 0 && c.eng.Now()-c.queue[0].arrive >= c.cfg.maxStarve() {
+	if len(c.queue) > 0 && now-c.queue[0].arrive >= c.cfg.maxStarve() {
 		return 0
 	}
 	best := -1
@@ -345,14 +427,13 @@ func (c *Channel) pick() int {
 	return best
 }
 
-func (c *Channel) tryIssue() {
-	now := c.eng.Now()
+func (c *Channel) tryIssue(now uint64) {
 	for len(c.queue) > 0 {
 		if la := c.lookahead(); c.busBusyUntil > now+la {
 			c.armIssue(c.busBusyUntil - la)
 			return
 		}
-		i := c.pick()
+		i := c.pick(now)
 		r := c.queue[i]
 		c.queue = append(c.queue[:i], c.queue[i+1:]...)
 		c.queue[:len(c.queue)+1][len(c.queue)] = Request{} // release Done refs
@@ -419,9 +500,9 @@ func (c *Channel) service(r *Request, now uint64) {
 	c.stats.DelayBySource[r.Source] += done - r.arrive
 
 	if r.Done != nil {
-		c.eng.ScheduleCall(done, r.Done)
+		c.port.Complete(done, c.key, r.Done)
 	} else if r.DoneCtx != nil {
-		c.eng.ScheduleCtx(done, r.DoneCtx, r.Ctx)
+		c.port.CompleteCtx(done, c.key, r.DoneCtx, r.Ctx)
 	}
 }
 

@@ -1,0 +1,25 @@
+package serve
+
+import "testing"
+
+// TestBudgetSimParallel pins the oversubscription rule: workers ×
+// sim-parallel <= GOMAXPROCS, saturated pools force serial.
+func TestBudgetSimParallel(t *testing.T) {
+	for _, tc := range []struct {
+		requested, workers, maxprocs, want int
+	}{
+		{0, 4, 8, 1},  // unset → serial
+		{4, 8, 8, 1},  // pool saturates the machine → serial
+		{4, 16, 8, 1}, // oversized pool → serial
+		{4, 2, 8, 4},  // fits exactly
+		{8, 2, 8, 4},  // clamped to GOMAXPROCS/workers
+		{2, 1, 8, 2},  // single worker, plenty of room
+		{4, 1, 1, 1},  // one-CPU host → serial
+	} {
+		got := budgetSimParallel(tc.requested, tc.workers, tc.maxprocs)
+		if got != tc.want {
+			t.Errorf("budgetSimParallel(%d, %d, %d) = %d, want %d",
+				tc.requested, tc.workers, tc.maxprocs, got, tc.want)
+		}
+	}
+}

@@ -10,6 +10,15 @@
 // backoffs) wait in a small overflow heap and are promoted into the
 // wheel as time approaches them. Buckets are value slices whose capacity
 // is reused across ticks, so steady-state scheduling allocates nothing.
+//
+// Alongside the wheel ("lane 0", FIFO within a tick) the engine has a
+// late lane: events ordered by (time, key, seq) that run after every
+// lane-0 event of their tick. Components whose work must merge
+// deterministically across serial and partitioned (sim/par) execution
+// schedule through the late lane — the explicit key replaces insertion
+// order as the same-tick tiebreak, so the order is independent of which
+// engine the events were staged on. DRAM issue events and completion
+// deliveries live here; see DESIGN.md §14.
 package sim
 
 import "math/bits"
@@ -109,6 +118,65 @@ func (h eventHeap) down(i int) {
 	}
 }
 
+// lateEvent is one late-lane entry. Within a tick, late events run
+// after all lane-0 events, ordered by (key, seq). The key is assigned
+// by the scheduling component (see NextLateKey) and makes same-tick
+// order a property of the simulated system rather than of scheduling
+// order, which is what lets sim/par replay the exact serial order after
+// a parallel window merge. seq only breaks ties between events that
+// share (at, key) — the components using the lane guarantee that does
+// not happen across engines (DESIGN.md §14).
+type lateEvent struct {
+	event
+	key uint64
+	seq uint64
+}
+
+// lateHeap is a min-heap over (at, key, seq), hand-rolled like eventHeap
+// so pushes never box.
+type lateHeap []lateEvent
+
+func (h lateHeap) less(i, j int) bool {
+	a, b := &h[i], &h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+func (h lateHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h lateHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
 // bucket holds the events of a single tick in FIFO (insertion) order. head
 // tracks how many have already executed; capacity is reused once the
 // bucket drains.
@@ -129,6 +197,9 @@ type Engine struct {
 	wheelCount int      // events currently in the wheel
 
 	overflow eventHeap // events at now+wheelSpan or later
+
+	late     lateHeap // late lane: (at, key, seq)-ordered events
+	lateKeys uint64   // NextLateKey allocator
 }
 
 // New returns a fresh engine at time zero.
@@ -142,7 +213,7 @@ func (e *Engine) Now() uint64 { return e.now }
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return e.wheelCount + len(e.overflow) }
+func (e *Engine) Pending() int { return e.wheelCount + len(e.overflow) + len(e.late) }
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics:
 // it always indicates a component bug that would silently corrupt timing.
@@ -177,6 +248,58 @@ func (e *Engine) AfterCall(delay uint64, fn func(now uint64)) {
 // AfterCtx runs fn(ctx, firingTime) delay cycles from now.
 func (e *Engine) AfterCtx(delay uint64, fn func(ctx, now uint64), ctx uint64) {
 	e.ScheduleCtx(e.now+delay, fn, ctx)
+}
+
+// NextLateKey allocates an engine-unique late-lane key. Components that
+// schedule late events (DRAM channels) take one key each at build time;
+// a system built on one engine therefore has globally distinct keys even
+// if the components are later rebound to partition engines.
+func (e *Engine) NextLateKey() uint64 {
+	k := e.lateKeys
+	e.lateKeys++
+	return k
+}
+
+// ScheduleLate runs fn at time at on the late lane: after every lane-0
+// event of that tick, ordered among late events by (key, seq).
+// Scheduling in the past panics, as in Schedule.
+func (e *Engine) ScheduleLate(at, key uint64, fn func()) {
+	e.scheduleLate(event{at: at, fn: fn}, key)
+}
+
+// ScheduleLateCall is ScheduleLate for callbacks that want the firing
+// time (fn(at), like ScheduleCall).
+func (e *Engine) ScheduleLateCall(at, key uint64, fn func(now uint64)) {
+	e.scheduleLate(event{at: at, fnAt: fn}, key)
+}
+
+// ScheduleLateCtx is ScheduleLate for callbacks that carry a context
+// word (fn(ctx, at), like ScheduleCtx).
+func (e *Engine) ScheduleLateCtx(at, key uint64, fn func(ctx, now uint64), ctx uint64) {
+	e.scheduleLate(event{at: at, fnCtx: fn, ctx: ctx}, key)
+}
+
+func (e *Engine) scheduleLate(ev event, key uint64) {
+	if ev.at < e.now {
+		panic("sim: scheduling late event in the past")
+	}
+	e.late = append(e.late, lateEvent{event: ev, key: key, seq: e.seq})
+	e.seq++
+	e.late.up(len(e.late) - 1)
+}
+
+// Complete delivers a completion callback at the given time and key on
+// the late lane. Together with CompleteCtx and Now it makes the engine
+// itself the serial completion port of the DRAM channels; the parallel
+// coordinator's shards implement the same shape by staging into outboxes
+// that merge here at window barriers.
+func (e *Engine) Complete(at, key uint64, fn func(now uint64)) {
+	e.ScheduleLateCall(at, key, fn)
+}
+
+// CompleteCtx is Complete for the allocation-free bound-function form.
+func (e *Engine) CompleteCtx(at, key uint64, fn func(ctx, now uint64), ctx uint64) {
+	e.ScheduleLateCtx(at, key, fn, ctx)
 }
 
 func (e *Engine) schedule(ev event) {
@@ -248,43 +371,112 @@ func (e *Engine) nextTick() uint64 {
 	panic("sim: nextTick on empty wheel")
 }
 
-// advance promotes due overflow events and moves now to the earliest
-// pending event's time, reporting whether one exists.
-func (e *Engine) advance() bool {
-	e.promote()
-	if e.wheelCount == 0 {
-		if len(e.overflow) == 0 {
-			return false
+// nextWork returns the earliest time holding a pending event in either
+// lane. promote must be current for e.now.
+func (e *Engine) nextWork() (uint64, bool) {
+	var n uint64
+	ok := false
+	if e.wheelCount > 0 {
+		if b := &e.buckets[e.now&wheelMask]; b.head < len(b.events) {
+			n, ok = e.now, true
+		} else {
+			n, ok = e.nextTick(), true
 		}
-		// The wheel is drained: jump straight to the overflow minimum
-		// (nothing can be pending in between) and pull it in.
-		e.now = e.overflow[0].at
-		e.promote()
+	} else if len(e.overflow) > 0 {
+		n, ok = e.overflow[0].at, true
 	}
-	if b := &e.buckets[e.now&wheelMask]; b.head < len(b.events) {
-		return true // common case: more events at the current tick
+	if len(e.late) > 0 && (!ok || e.late[0].at < n) {
+		n, ok = e.late[0].at, true
 	}
-	e.now = e.nextTick()
-	return true
+	return n, ok
+}
+
+// latePop removes and returns the late-lane minimum.
+func (e *Engine) latePop() event {
+	ev := e.late[0].event
+	last := len(e.late) - 1
+	e.late[0] = e.late[last]
+	e.late[last] = lateEvent{}
+	e.late = e.late[:last]
+	if last > 0 {
+		e.late.down(0)
+	}
+	return ev
+}
+
+// drainBucket runs the current tick's lane-0 bucket to empty. Callbacks
+// may append to the bucket (zero-delay schedules), so len is re-checked
+// every iteration. The bucket cannot hold events of an aliased future
+// tick: an insert for now+wheelSpan lands in the overflow heap.
+func (e *Engine) drainBucket() {
+	i := e.now & wheelMask
+	b := &e.buckets[i]
+	for b.head < len(b.events) {
+		ev := b.events[b.head]
+		b.events[b.head] = event{} // release callback references for the GC
+		b.head++
+		e.wheelCount--
+		e.nsteps++
+		ev.call()
+	}
+	b.events = b.events[:0]
+	b.head = 0
+	e.occupied[i>>6] &^= 1 << (i & 63)
+}
+
+// runTick executes every event at the current tick in lane order: all
+// lane-0 events first (FIFO), then late events in (key, seq) order. A
+// late event may schedule lane-0 work at the same tick (a completion
+// continuing inline), so lane 0 is re-drained after every late event —
+// lane-0 priority is what keeps the tick's order independent of how the
+// late events were distributed across engines. Late events never insert
+// late work that would sort before the current heap minimum at the same
+// tick (issue events only produce strictly-future completions), so the
+// heap scan stays monotone.
+func (e *Engine) runTick() {
+	if e.wheelCount > 0 {
+		e.drainBucket()
+	}
+	for len(e.late) > 0 && e.late[0].at == e.now {
+		ev := e.latePop()
+		e.nsteps++
+		ev.call()
+		if e.wheelCount > 0 {
+			e.drainBucket()
+		}
+	}
 }
 
 // Step executes the next event, if any, advancing time to it.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if !e.advance() {
+	e.promote()
+	next, ok := e.nextWork()
+	if !ok {
 		return false
 	}
-	i := e.now & wheelMask
-	b := &e.buckets[i]
-	ev := b.events[b.head]
-	b.events[b.head] = event{} // release callback references for the GC
-	b.head++
-	if b.head == len(b.events) {
-		b.events = b.events[:0]
-		b.head = 0
-		e.occupied[i>>6] &^= 1 << (i & 63)
+	if next != e.now {
+		e.now = next
+		e.promote()
 	}
-	e.wheelCount--
+	if e.wheelCount > 0 {
+		i := e.now & wheelMask
+		if b := &e.buckets[i]; b.head < len(b.events) {
+			ev := b.events[b.head]
+			b.events[b.head] = event{} // release callback references for the GC
+			b.head++
+			if b.head == len(b.events) {
+				b.events = b.events[:0]
+				b.head = 0
+				e.occupied[i>>6] &^= 1 << (i & 63)
+			}
+			e.wheelCount--
+			e.nsteps++
+			ev.call()
+			return true
+		}
+	}
+	ev := e.latePop()
 	e.nsteps++
 	ev.call()
 	return true
@@ -293,66 +485,30 @@ func (e *Engine) Step() bool {
 // peek returns the time of the next pending event without executing it.
 func (e *Engine) peek() (uint64, bool) {
 	e.promote()
-	if e.wheelCount > 0 {
-		if b := &e.buckets[e.now&wheelMask]; b.head < len(b.events) {
-			return e.now, true
-		}
-		return e.nextTick(), true
-	}
-	if len(e.overflow) > 0 {
-		return e.overflow[0].at, true
-	}
-	return 0, false
+	return e.nextWork()
 }
 
 // RunUntil executes events until the queue is empty or the next event is
 // at or beyond t; time is then advanced to exactly t.
 //
-// The loop body fuses peek and Step: a peek-then-Step pair would promote
-// the overflow heap and scan for the next occupied tick twice per event,
-// and RunUntil is the simulation's main driver. The pop sequence mirrors
-// Step's exactly. promote runs only when now advances: promotion
-// eligibility (at-now < wheelSpan) cannot change while now stands still —
-// a callback's direct schedule lands in the wheel precisely when it
-// would be promotable, and its overflow pushes are not — so the inner
-// loop drains the current tick without re-checking the heap.
+// The loop works tick-at-a-time (nextWork, then runTick) rather than
+// event-at-a-time: promote runs only when now advances, because
+// promotion eligibility (at-now < wheelSpan) cannot change while now
+// stands still — a callback's direct schedule lands in the wheel
+// precisely when it would be promotable, and its overflow pushes are
+// not.
 func (e *Engine) RunUntil(t uint64) {
 	e.promote()
 	for {
-		if e.wheelCount == 0 {
-			if len(e.overflow) == 0 || e.overflow[0].at >= t {
-				break
-			}
-			// The wheel is drained: jump straight to the overflow minimum
-			// (nothing can be pending in between) and pull it in.
-			e.now = e.overflow[0].at
+		next, ok := e.nextWork()
+		if !ok || next >= t {
+			break
+		}
+		if next != e.now {
+			e.now = next
 			e.promote()
 		}
-		i := e.now & wheelMask
-		b := &e.buckets[i]
-		if b.head >= len(b.events) {
-			nt := e.nextTick()
-			if nt >= t {
-				break
-			}
-			e.now = nt
-			e.promote()
-			i = e.now & wheelMask
-			b = &e.buckets[i]
-		}
-		// Drain the current tick. Callbacks may append to this bucket
-		// (zero-delay schedules), so re-check len every iteration.
-		for b.head < len(b.events) {
-			ev := b.events[b.head]
-			b.events[b.head] = event{} // release callback references for the GC
-			b.head++
-			e.wheelCount--
-			e.nsteps++
-			ev.call()
-		}
-		b.events = b.events[:0]
-		b.head = 0
-		e.occupied[i>>6] &^= 1 << (i & 63)
+		e.runTick()
 	}
 	if e.now < t {
 		e.now = t
@@ -387,4 +543,8 @@ func (e *Engine) Stop() {
 		e.overflow[i] = overflowEvent{}
 	}
 	e.overflow = e.overflow[:0]
+	for i := range e.late {
+		e.late[i] = lateEvent{}
+	}
+	e.late = e.late[:0]
 }

@@ -1,0 +1,224 @@
+// Package par runs one simulation across multiple engines: a
+// conservative parallel discrete-event coordinator (classic
+// null-message-free windowed PDES) that keeps results bit-identical to
+// the serial engine.
+//
+// The model is split into a hub engine — cores, caches, the hybrid
+// controller, telemetry — and N shard engines, each owning a disjoint
+// set of DRAM channels. Execution proceeds in lockstep windows of Δ
+// cycles, where Δ is the minimum cross-partition latency (one DRAM CAS
+// plus one burst cycle — no channel can answer sooner than that):
+//
+//	phase A  hub.RunUntil(W+Δ): cores/caches run; requests are staged
+//	         into channel inboxes with hub timestamps; completions
+//	         merged at earlier barriers are delivered in late-lane
+//	         (time, key) order.
+//	phase B  every shard runs its issue events in [W, W+Δ) in parallel;
+//	         completions (which land at ≥ W+Δ by construction) are
+//	         appended to a per-shard outbox.
+//	barrier  outboxes drain into the hub's late lane; W advances.
+//
+// Determinism does not come from replaying the serial engine's
+// insertion order (that order is itself a global serialization) but
+// from making same-tick order a function of simulated state: both the
+// serial and the parallel build schedule channel work through the
+// engine's late lane, keyed so that all completions at a tick run
+// before all issue events, each class ordered by a channel key fixed at
+// build time. The merge inserts at unique (time, key) pairs — a channel
+// completes at most one request per cycle — so the heap replays the
+// identical order regardless of arrival path. fingerprint_test.go
+// asserts equal result hashes at parallelism 1, 2, and 4.
+//
+// Windows additionally cut at every multiple of align (the sampling
+// epoch length) so the hub's epoch ticks — which read tier statistics —
+// always observe fully-merged channel state.
+package par
+
+import (
+	"sync"
+
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+)
+
+// completion is one cross-partition event staged in a shard outbox:
+// exactly the arguments of sim.Engine.Complete/CompleteCtx, replayed at
+// the window barrier.
+type completion struct {
+	at, key uint64
+	fn      func(now uint64)
+	fnCtx   func(ctx, now uint64)
+	ctx     uint64
+}
+
+// Shard owns one partition: its engine (where the partition's issue
+// events and device state live) and the outbox its completions are
+// staged into. Shard implements the same completion-port shape as
+// sim.Engine (Now/Complete/CompleteCtx — structurally dram.Port), so a
+// channel is parallelized by rebinding it from the hub engine to a
+// shard.
+type Shard struct {
+	hub *sim.Engine
+	eng *sim.Engine
+
+	// outbox is written by the shard goroutine in phase B and drained
+	// by the coordinator at the barrier; the phases are ordered by the
+	// work/done channel handshake, so no lock is needed. Capacity is
+	// retained across windows.
+	outbox []completion
+
+	work chan uint64
+	done chan struct{}
+}
+
+// Engine returns the shard's event engine.
+func (s *Shard) Engine() *sim.Engine { return s.eng }
+
+// Now returns the hub clock. Components stamp staged requests with it
+// during phase A, when the shard engine still stands at the window
+// start.
+func (s *Shard) Now() uint64 { return s.hub.Now() }
+
+// Complete stages a completion for delivery on the hub at time at.
+func (s *Shard) Complete(at, key uint64, fn func(now uint64)) {
+	s.outbox = append(s.outbox, completion{at: at, key: key, fn: fn})
+}
+
+// CompleteCtx is Complete for the allocation-free bound-function form.
+func (s *Shard) CompleteCtx(at, key uint64, fn func(ctx, now uint64), ctx uint64) {
+	s.outbox = append(s.outbox, completion{at: at, key: key, fnCtx: fn, ctx: ctx})
+}
+
+func (s *Shard) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for end := range s.work {
+		s.eng.RunUntil(end)
+		s.done <- struct{}{}
+	}
+}
+
+// Coordinator drives a hub engine and its shards through lockstep time
+// windows. It is not safe for concurrent use; Stop may only be called
+// from hub event context (phase A), which is where cancellation
+// naturally originates.
+type Coordinator struct {
+	hub     *sim.Engine
+	shards  []*Shard
+	window  uint64
+	align   uint64
+	stopped bool
+}
+
+// New builds a coordinator with nshards empty shards. window is the
+// lookahead Δ in cycles (clamped to ≥1); align, when nonzero, forces
+// window boundaries at every multiple of it.
+func New(hub *sim.Engine, nshards int, window, align uint64) *Coordinator {
+	if window == 0 {
+		window = 1
+	}
+	c := &Coordinator{hub: hub, window: window, align: align}
+	for i := 0; i < nshards; i++ {
+		c.shards = append(c.shards, &Shard{hub: hub, eng: sim.New()})
+	}
+	return c
+}
+
+// Shard returns partition i, for binding components at build time.
+func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+
+// NumShards returns the partition count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Window returns the lookahead Δ in cycles.
+func (c *Coordinator) Window() uint64 { return c.window }
+
+// Pending returns the number of events queued across the hub and every
+// shard (plus any unmerged outbox completions, which only exist while a
+// window is in flight).
+func (c *Coordinator) Pending() int {
+	n := c.hub.Pending()
+	for _, s := range c.shards {
+		n += s.eng.Pending() + len(s.outbox)
+	}
+	return n
+}
+
+// Stop abandons the run: the hub engine stops immediately and the
+// window loop discards shard state before returning. Like
+// sim.Engine.Stop it may be called from hub event context mid-run —
+// the coordinator finishes nothing further.
+func (c *Coordinator) Stop() {
+	c.stopped = true
+	c.hub.Stop()
+}
+
+// RunUntil drives the partitioned simulation to time t. Shard worker
+// goroutines live only for the duration of the call; they block between
+// phase-B signals, so a 1-core host interleaves them at channel-handoff
+// cost without oversubscription.
+func (c *Coordinator) RunUntil(t uint64) {
+	if c.stopped {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, s := range c.shards {
+		s.work = make(chan uint64, 1)
+		s.done = make(chan struct{}, 1)
+		wg.Add(1)
+		go s.loop(&wg)
+	}
+	for !c.stopped {
+		w := c.hub.Now()
+		if w >= t {
+			break
+		}
+		end := w + c.window
+		if c.align > 0 {
+			if cut := w - w%c.align + c.align; cut < end {
+				end = cut
+			}
+		}
+		if end > t {
+			end = t
+		}
+		c.hub.RunUntil(end) // phase A
+		if c.stopped {
+			break
+		}
+		for _, s := range c.shards { // phase B
+			s.work <- end
+		}
+		for _, s := range c.shards {
+			<-s.done
+		}
+		for _, s := range c.shards { // barrier merge
+			c.merge(s)
+		}
+	}
+	for _, s := range c.shards {
+		close(s.work)
+	}
+	wg.Wait()
+	if c.stopped {
+		for _, s := range c.shards {
+			s.eng.Stop()
+			s.outbox = s.outbox[:0]
+		}
+	}
+}
+
+// merge replays a shard's outbox into the hub's late lane. Every entry
+// lands at ≥ the hub's current time (the window lookahead guarantees
+// it), and (at, key) pairs are unique across shards, so insertion order
+// here cannot influence execution order.
+func (c *Coordinator) merge(s *Shard) {
+	for i := range s.outbox {
+		cp := &s.outbox[i]
+		if cp.fn != nil {
+			c.hub.ScheduleLateCall(cp.at, cp.key, cp.fn)
+		} else {
+			c.hub.ScheduleLateCtx(cp.at, cp.key, cp.fnCtx, cp.ctx)
+		}
+		s.outbox[i] = completion{}
+	}
+	s.outbox = s.outbox[:0]
+}

@@ -1,0 +1,148 @@
+package par
+
+import (
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/sim"
+)
+
+// TestWindowedExecution drives two shards that each tick every cycle
+// and report completions one window ahead, checking the lockstep
+// advance and the deterministic merge order on the hub.
+func TestWindowedExecution(t *testing.T) {
+	hub := sim.New()
+	c := New(hub, 2, 8, 0)
+
+	var order []int
+	for i := 0; i < 2; i++ {
+		i := i
+		sh := c.Shard(i)
+		key := hub.NextLateKey()
+		var tick func()
+		tick = func() {
+			now := sh.Engine().Now()
+			// Completion lands exactly one window ahead, like a DRAM
+			// response bounded below by the lookahead.
+			sh.Complete(now+8, key, func(uint64) { order = append(order, i) })
+			sh.Engine().After(4, tick)
+		}
+		sh.Engine().Schedule(0, tick)
+	}
+	c.RunUntil(32)
+
+	if hub.Now() != 32 {
+		t.Fatalf("hub at %d, want 32", hub.Now())
+	}
+	// Each shard ticks at 0,4,8,...,28 → 8 completions each; those at
+	// time < 32 run (the final window's land at 32+ and stay queued).
+	ran := 0
+	for _, id := range order {
+		if id != ran%2 {
+			t.Fatalf("merge order broke key ordering: %v", order)
+		}
+		ran++
+	}
+	if ran != 12 { // completions at 8..28 step 4, two shards → 6 ticks × 2
+		t.Fatalf("%d completions ran, want 12 (order %v)", ran, order)
+	}
+}
+
+// TestAlignCutsWindows checks that align forces extra barriers: with
+// window 1000 and align 10, the hub may never advance past an
+// un-merged multiple of 10.
+func TestAlignCutsWindows(t *testing.T) {
+	hub := sim.New()
+	c := New(hub, 1, 1000, 10)
+	sh := c.Shard(0)
+	key := hub.NextLateKey()
+
+	var seen []uint64
+	var tick func()
+	tick = func() {
+		now := sh.Engine().Now()
+		sh.Complete(now+10, key, func(at uint64) { seen = append(seen, at) })
+		sh.Engine().After(10, tick)
+	}
+	sh.Engine().Schedule(0, tick)
+	c.RunUntil(55)
+
+	// Ticks at 0,10,20,30,40,50 complete at 10..60; those < 55 run.
+	want := []uint64{10, 20, 30, 40, 50}
+	if len(seen) != len(want) {
+		t.Fatalf("completions at %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("completions at %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestPendingAcrossPartitions checks Pending sums hub and shard queues.
+func TestPendingAcrossPartitions(t *testing.T) {
+	hub := sim.New()
+	c := New(hub, 3, 4, 0)
+	if c.Pending() != 0 {
+		t.Fatalf("fresh coordinator Pending = %d", c.Pending())
+	}
+	hub.Schedule(100, func() {})
+	for i := 0; i < 3; i++ {
+		c.Shard(i).Engine().Schedule(uint64(100+i), func() {})
+	}
+	if got := c.Pending(); got != 4 {
+		t.Fatalf("Pending = %d, want 4", got)
+	}
+	c.RunUntil(101)
+	if got := c.Pending(); got != 2 { // shard events at 101, 102 remain
+		t.Fatalf("after run: Pending = %d, want 2", got)
+	}
+}
+
+// TestStopMidWindow cancels from hub event context mid-run: the
+// coordinator must stop promptly, leave engines halted, and not
+// deadlock the shard goroutines.
+func TestStopMidWindow(t *testing.T) {
+	hub := sim.New()
+	c := New(hub, 2, 4, 0)
+	for i := 0; i < 2; i++ {
+		sh := c.Shard(i)
+		var tick func()
+		tick = func() { sh.Engine().After(1, tick) }
+		sh.Engine().Schedule(0, tick)
+	}
+	hub.Schedule(10, func() { c.Stop() })
+	hub.Schedule(20, func() { t.Error("hub event ran after Stop") })
+	c.RunUntil(1000)
+
+	if hub.Now() >= 20 {
+		t.Fatalf("hub advanced to %d after Stop at 10", hub.Now())
+	}
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after Stop, want 0 (engines drained)", got)
+	}
+	// A stopped coordinator stays stopped: RunUntil returns immediately.
+	c.RunUntil(2000)
+	if hub.Now() >= 20 {
+		t.Fatalf("hub advanced after second RunUntil on stopped coordinator")
+	}
+}
+
+// TestMergeUnblocksHubWork checks a merged completion can schedule new
+// hub work (the MSHR-fill pattern) that runs in later windows.
+func TestMergeUnblocksHubWork(t *testing.T) {
+	hub := sim.New()
+	c := New(hub, 1, 4, 0)
+	sh := c.Shard(0)
+	key := hub.NextLateKey()
+
+	var got []uint64
+	sh.Engine().Schedule(0, func() {
+		sh.CompleteCtx(4, key, func(ctx, now uint64) {
+			hub.After(ctx, func() { got = append(got, hub.Now()) })
+		}, 3)
+	})
+	c.RunUntil(16)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("follow-up hub work ran at %v, want [7]", got)
+	}
+}

@@ -1,0 +1,233 @@
+package system
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+func runPar(t *testing.T, cfg Config, parallel int, design, combo string) Results {
+	t.Helper()
+	cfg.SimParallel = parallel
+	return run(t, cfg, design, combo)
+}
+
+// newSys wires a System the way RunDesignObserved does, without
+// running it, so tests can poke at the machine itself.
+func newSys(t *testing.T, cfg Config, design, comboID string) *System {
+	t.Helper()
+	combo, err := workloads.ComboByID(comboID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CPUProfiles = combo.CPUAssignment(cfg.Cores)
+	cfg.GPUProfile = combo.GPU
+	factory, err := ApplyDesign(&cfg, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestParallelBitIdentical is the core contract of the PDES mode: the
+// full Results struct — every counter, energy figure, and epoch sample
+// — must match the serial run exactly, not approximately.
+func TestParallelBitIdentical(t *testing.T) {
+	for _, design := range []string{DesignBaseline, DesignHydrogen} {
+		serial := run(t, tiny(), design, "C3")
+		for _, n := range []int{2, 4} {
+			par := runPar(t, tiny(), n, design, "C3")
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("%s: parallel=%d diverged from serial:\nserial: %+v\npar:    %+v",
+					design, n, serial, par)
+			}
+		}
+	}
+}
+
+// TestParallelFallback checks the serial fallback and the clamp against
+// the channel geometry.
+func TestParallelFallback(t *testing.T) {
+	for _, tc := range []struct {
+		parallel, want int
+	}{
+		{0, 1},    // unset → serial
+		{1, 1},    // explicit serial
+		{-3, 1},   // nonsense → serial
+		{4, 4},    // normal
+		{100, 20}, // clamped to 16 fast + 4 slow channels
+	} {
+		cfg := tiny()
+		cfg.SimParallel = tc.parallel
+		sys := newSys(t, cfg, DesignBaseline, "C1")
+		if got := sys.NumShards(); got != tc.want {
+			t.Errorf("SimParallel=%d: NumShards=%d, want %d", tc.parallel, got, tc.want)
+		}
+	}
+}
+
+// TestParallelCancel exercises Coordinator.Stop via context cancellation
+// from an epoch tick mid-run.
+func TestParallelCancel(t *testing.T) {
+	cfg := tiny()
+	cfg.SimParallel = 4
+	sys := newSys(t, cfg, DesignBaseline, "C1")
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	sys.SetProgress(func(EpochSample) {
+		if n++; n == 3 {
+			cancel()
+		}
+	})
+	res, err := sys.RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("ran %d epochs after cancel at 3", len(res.Epochs))
+	}
+}
+
+// TestApproxLabeled verifies the sampling mode shortens the run and
+// labels its results, and that exact runs carry no approx fields.
+func TestApproxLabeled(t *testing.T) {
+	exact := run(t, tiny(), DesignBaseline, "C1")
+	if exact.Approx || exact.ApproxFrac != 0 || exact.SimCycles != 0 {
+		t.Fatalf("exact run carries approx labels: %+v", exact)
+	}
+
+	cfg := tiny()
+	cfg.ApproxFrac = 0.25
+	approx := run(t, cfg, DesignBaseline, "C1")
+	if !approx.Approx || approx.ApproxFrac != 0.25 {
+		t.Fatalf("approx run not labeled: approx=%v frac=%v", approx.Approx, approx.ApproxFrac)
+	}
+	if approx.SimCycles != cfg.Cycles/4 {
+		t.Fatalf("SimCycles = %d, want %d", approx.SimCycles, cfg.Cycles/4)
+	}
+	if approx.Cycles != cfg.Cycles {
+		t.Fatalf("Cycles = %d, want the full budget %d", approx.Cycles, cfg.Cycles)
+	}
+	if got, want := len(approx.Epochs), len(exact.Epochs); got != want {
+		t.Fatalf("approx sampled %d epochs, want %d (same count, shorter epochs)", got, want)
+	}
+	if approx.CPUIPC <= 0 || approx.GPUIPC <= 0 {
+		t.Fatalf("approx run made no progress: %+v", approx)
+	}
+	// Static energy covers the full budget; a sane approx run's total
+	// energy is within 4x of exact (dynamic is extrapolated).
+	if approx.FastStaticPJ != exact.FastStaticPJ {
+		t.Fatalf("static energy changed under approx: %v vs %v", approx.FastStaticPJ, exact.FastStaticPJ)
+	}
+
+	var m map[string]any
+	b, err := json.Marshal(approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["approx"] != true {
+		t.Fatalf(`result JSON missing "approx": true: %v`, m["approx"])
+	}
+}
+
+func TestApproxFracValidated(t *testing.T) {
+	combo, err := workloads.ComboByID("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 1.5} {
+		cfg := tiny()
+		cfg.ApproxFrac = bad
+		if _, err := RunDesign(cfg, DesignBaseline, combo); err == nil {
+			t.Errorf("ApproxFrac=%v accepted, want error", bad)
+		}
+	}
+}
+
+// TestCacheKeyKnobs pins the serve-layer contract: ApproxFrac changes
+// the canonical (cache-key) JSON because it changes results;
+// SimParallel must NOT, because results are bit-identical.
+func TestCacheKeyKnobs(t *testing.T) {
+	base, err := json.Marshal(Canonical(tiny()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withPar := tiny()
+	withPar.SimParallel = 4
+	b, err := json.Marshal(Canonical(withPar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(base) {
+		t.Fatal("SimParallel leaked into the canonical JSON; it would split the result cache")
+	}
+
+	withApprox := tiny()
+	withApprox.ApproxFrac = 0.25
+	b, err = json.Marshal(Canonical(withApprox))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) == string(base) {
+		t.Fatal("ApproxFrac absent from canonical JSON; approx results would poison exact cache entries")
+	}
+}
+
+func TestPlanPartition(t *testing.T) {
+	p := PlanPartition(16, 4, 4, 4)
+	if len(p.Fast) != 16 || len(p.Slow) != 4 {
+		t.Fatalf("plan sizes: %d fast, %d slow", len(p.Fast), len(p.Slow))
+	}
+	counts := make([]int, 4)
+	for i, sh := range p.Fast {
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("fast[%d] -> shard %d out of range", i, sh)
+		}
+		if sh != p.Fast[i-i%4] {
+			t.Fatalf("fast channel %d split from its superchannel group: shard %d vs %d",
+				i, sh, p.Fast[i-i%4])
+		}
+		counts[sh]++
+	}
+	for j, sh := range p.Slow {
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("slow[%d] -> shard %d out of range", j, sh)
+		}
+		counts[sh]++
+	}
+	for sh, n := range counts {
+		if n != 5 { // 16 fast + 4 slow over 4 shards
+			t.Errorf("shard %d owns %d channels, want 5", sh, n)
+		}
+	}
+
+	// Degenerate geometries must not panic and must stay in range.
+	p = PlanPartition(3, 0, 1, 2)
+	for _, sh := range append(p.Fast, p.Slow...) {
+		if sh < 0 || sh >= 2 {
+			t.Fatalf("degenerate plan out of range: %+v", p)
+		}
+	}
+}
+
+func TestSimShards(t *testing.T) {
+	for _, tc := range []struct{ par, ch, want int }{
+		{0, 20, 0}, {1, 20, 0}, {2, 20, 2}, {4, 20, 4},
+		{100, 20, 20}, {4, 1, 0}, {-1, 20, 0},
+	} {
+		if got := simShards(tc.par, tc.ch); got != tc.want {
+			t.Errorf("simShards(%d, %d) = %d, want %d", tc.par, tc.ch, got, tc.want)
+		}
+	}
+}

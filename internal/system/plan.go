@@ -1,0 +1,44 @@
+package system
+
+// Partition assigns every DRAM channel of both tiers to a shard for
+// parallel execution. It is derived purely from the address-decode
+// geometry: fast channels are grouped into the same superchannel groups
+// the hybrid controller interleaves across (GroupSize consecutive
+// channels), so a group's correlated traffic stays on one shard; slow
+// channels round-robin across shards starting after the fast groups to
+// even out load.
+type Partition struct {
+	Fast []int // Fast[i] = shard owning fast channel i
+	Slow []int // Slow[j] = shard owning slow channel j
+}
+
+// PlanPartition maps fastCh fast channels (grouped by groupSize) and
+// slowCh slow channels onto shards partitions.
+func PlanPartition(fastCh, groupSize, slowCh, shards int) Partition {
+	if groupSize <= 0 {
+		groupSize = 1
+	}
+	p := Partition{Fast: make([]int, fastCh), Slow: make([]int, slowCh)}
+	fastGroups := (fastCh + groupSize - 1) / groupSize
+	for i := 0; i < fastCh; i++ {
+		p.Fast[i] = (i / groupSize) % shards
+	}
+	for j := 0; j < slowCh; j++ {
+		p.Slow[j] = (fastGroups + j) % shards
+	}
+	return p
+}
+
+// simShards resolves the SimParallel knob against the machine: the
+// shard count is capped by the total channel count (a shard with no
+// channels is pure overhead), and anything below 2 means serial.
+func simShards(parallel, totalChannels int) int {
+	n := parallel
+	if n > totalChannels {
+		n = totalChannels
+	}
+	if n < 2 {
+		return 0
+	}
+	return n
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/hydrogen-sim/hydrogen/internal/memory/hybrid"
 	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/sim"
+	"github.com/hydrogen-sim/hydrogen/internal/sim/par"
 	"github.com/hydrogen-sim/hydrogen/internal/trace"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
 )
@@ -67,6 +68,23 @@ type Config struct {
 	// sets it to the unshrunk capacity so the workloads stay fixed while
 	// the fast tier shrinks.
 	ProfileScaleBytes uint64
+
+	// SimParallel partitions the DRAM channels across this many shard
+	// engines run by a conservative PDES coordinator (internal/sim/par).
+	// Results are bit-identical at any value — fingerprint_test.go
+	// enforces it — which is why the field is excluded from the JSON
+	// form: it must not split the serve layer's content-addressed cache.
+	// Values below 2 (and shard counts the channel geometry cannot
+	// fill) fall back to the serial engine.
+	SimParallel int `json:"-"`
+
+	// ApproxFrac, when in (0,1), enables epoch fast-forward sampling:
+	// only that fraction of every epoch (and of the total cycle budget)
+	// is simulated, and rate-like results are scaled back to the full
+	// budget. Results are approximate and labeled as such ("approx":
+	// true). Unlike SimParallel this changes results, so it IS part of
+	// the canonical config and the serve cache key. 0 and 1 mean exact.
+	ApproxFrac float64 `json:"approx_frac,omitempty"`
 }
 
 // Quick returns the scaled-down default configuration (DESIGN.md):
@@ -146,6 +164,16 @@ func scaleOr1(s float64) float64 {
 	return s
 }
 
+// scaleCycles shrinks a cycle budget by frac, rounding to nearest and
+// never below one cycle.
+func scaleCycles(n uint64, frac float64) uint64 {
+	v := uint64(float64(n)*frac + 0.5)
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
 // Canonical returns cfg with the runtime defaults build() applies
 // filled in explicitly (the 12:1 IPC weights and the 250k-cycle
 // sampling epoch). Two configs with equal canonical forms simulate
@@ -173,6 +201,14 @@ type EpochSample struct {
 type Results struct {
 	PolicyName string
 	Cycles     uint64
+
+	// Approx marks results produced under ApproxFrac sampling: only
+	// SimCycles of the Cycles budget were simulated and rate-like
+	// numbers are scaled estimates. All three fields are absent from
+	// exact runs' JSON.
+	Approx     bool    `json:"approx,omitempty"`
+	ApproxFrac float64 `json:"approx_frac,omitempty"`
+	SimCycles  uint64  `json:"sim_cycles,omitempty"`
 
 	CPUInstrs uint64
 	GPUInstrs uint64
@@ -203,8 +239,16 @@ func (r *Results) WeightedIPC(wCPU, wGPU float64) float64 {
 
 // System is a fully wired machine.
 type System struct {
-	cfg Config
-	eng *sim.Engine
+	cfg   Config
+	eng   *sim.Engine
+	coord *par.Coordinator // nil when running serially
+
+	// Effective budgets: equal to cfg.EpochLen/cfg.Cycles on exact
+	// runs, scaled down by frac under ApproxFrac sampling.
+	simEpochLen uint64
+	simCycles   uint64
+	approx      bool
+	frac        float64
 
 	fast, slow *dram.Tier
 	ctl        *hybrid.Controller
@@ -263,6 +307,16 @@ func NewWithGenerators(cfg Config, factory PolicyFactory, cpuGens, gpuGens []tra
 func build(cfg Config, factory PolicyFactory, cpuGens, gpuGens []trace.Generator) (*System, error) {
 	cfg = Canonical(cfg)
 
+	if cfg.ApproxFrac < 0 || cfg.ApproxFrac > 1 {
+		return nil, fmt.Errorf("system: ApproxFrac = %v, must be in [0, 1]", cfg.ApproxFrac)
+	}
+	approx := cfg.ApproxFrac > 0 && cfg.ApproxFrac < 1
+	simEpochLen, simCycles := cfg.EpochLen, cfg.Cycles
+	if approx {
+		simEpochLen = scaleCycles(cfg.EpochLen, cfg.ApproxFrac)
+		simCycles = scaleCycles(cfg.Cycles, cfg.ApproxFrac)
+	}
+
 	eng := sim.New()
 	fcfg, scfg := cfg.Fast, cfg.Slow
 	fcfg.BytesPerCycle = uint64(float64(fcfg.BytesPerCycle) * scaleOr1(cfg.FastBWScale))
@@ -282,7 +336,9 @@ func build(cfg Config, factory PolicyFactory, cpuGens, gpuGens []trace.Generator
 		return nil, err
 	}
 
-	pol, err := factory(cfg.Env())
+	env := cfg.Env()
+	env.EpochLen = simEpochLen // adaptive policies pace to simulated time
+	pol, err := factory(env)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +348,38 @@ func build(cfg Config, factory PolicyFactory, cpuGens, gpuGens []trace.Generator
 	}
 
 	llc := caches.New(cfg.LLC)
-	s := &System{cfg: cfg, eng: eng, fast: fast, slow: slow, ctl: ctl, llc: llc}
+	s := &System{
+		cfg: cfg, eng: eng, fast: fast, slow: slow, ctl: ctl, llc: llc,
+		simEpochLen: simEpochLen, simCycles: simCycles,
+		approx: approx, frac: cfg.ApproxFrac,
+	}
+
+	// Parallel mode: hand the DRAM channels to shard engines behind a
+	// windowed coordinator. The lookahead is the floor on any channel's
+	// response (minimum CAS plus one bus cycle), and windows cut at
+	// epoch boundaries so epoch ticks always read fully-merged state.
+	if n := simShards(cfg.SimParallel, fcfg.Channels+scfg.Channels); n > 0 {
+		win := fcfg.TCAS
+		if scfg.TCAS < win {
+			win = scfg.TCAS
+		}
+		win++
+		co := par.New(eng, n, win, simEpochLen)
+		gs := cfg.Hybrid.GroupSize
+		if gs == 0 {
+			gs = 4
+		}
+		plan := PlanPartition(fcfg.Channels, gs, scfg.Channels, n)
+		for i, ch := range fast.Channels {
+			sh := co.Shard(plan.Fast[i])
+			ch.Bind(sh.Engine(), sh)
+		}
+		for j, ch := range slow.Channels {
+			sh := co.Shard(plan.Slow[j])
+			ch.Bind(sh.Engine(), sh)
+		}
+		s.coord = co
+	}
 
 	// Lay out disjoint address regions for every trace instance.
 	var next uint64
@@ -365,7 +452,7 @@ func (s *System) SetProgress(fn func(EpochSample)) { s.progress = fn }
 // entirely, so runs without telemetry pay nothing.
 func (s *System) SetTelemetry(fn func(obs.EpochPoint)) { s.telem = fn }
 
-// Run simulates cfg.Cycles cycles and returns the results.
+// Run simulates the configured cycle budget and returns the results.
 func (s *System) Run() Results {
 	for _, c := range s.cores {
 		c.Start()
@@ -374,8 +461,32 @@ func (s *System) Run() Results {
 		s.gpu.Start()
 	}
 	s.scheduleEpoch()
-	s.eng.RunUntil(s.cfg.Cycles)
+	if s.coord != nil {
+		s.coord.RunUntil(s.simCycles)
+	} else {
+		s.eng.RunUntil(s.simCycles)
+	}
 	return s.results()
+}
+
+// NumShards reports the effective simulation parallelism: 1 when the
+// run is serial, otherwise the shard count the coordinator was built
+// with (SimParallel clamped to the channel geometry).
+func (s *System) NumShards() int {
+	if s.coord == nil {
+		return 1
+	}
+	return s.coord.NumShards()
+}
+
+// stopEngine abandons the run from epoch-tick context, routing through
+// the coordinator in parallel mode so shard engines stop too.
+func (s *System) stopEngine() {
+	if s.coord != nil {
+		s.coord.Stop()
+	} else {
+		s.eng.Stop()
+	}
 }
 
 // RunContext is Run with cooperative cancellation: ctx is polled at
@@ -392,14 +503,14 @@ func (s *System) RunContext(ctx context.Context) (Results, error) {
 }
 
 func (s *System) scheduleEpoch() {
-	s.eng.After(s.cfg.EpochLen, s.epochTick)
+	s.eng.After(s.simEpochLen, s.epochTick)
 }
 
 func (s *System) epochTick() {
 	now := s.eng.Now()
 	cpuIns := s.cpuInstrs()
 	gpuIns := s.gpuInstrs()
-	el := float64(s.cfg.EpochLen)
+	el := float64(s.simEpochLen)
 	sample := EpochSample{
 		EndCycle: now,
 		CPUIPC:   float64(cpuIns-s.lastCPUIns) / el,
@@ -412,7 +523,7 @@ func (s *System) epochTick() {
 		s.progress(sample)
 	}
 	if s.ctx != nil && s.ctx.Err() != nil {
-		s.eng.Stop() // abandon the run; RunUntil drains immediately
+		s.stopEngine() // abandon the run; RunUntil drains immediately
 		return
 	}
 
@@ -431,7 +542,7 @@ func (s *System) epochTick() {
 		// the run's converged configuration.
 		s.telem(s.telemetryPoint(sample))
 	}
-	if now < s.cfg.Cycles {
+	if now < s.simCycles {
 		s.scheduleEpoch()
 	}
 }
@@ -473,7 +584,7 @@ func (s *System) telemetryPoint(sample EpochSample) obs.EpochPoint {
 
 	fastBusy := s.fast.Stats().BusBusyCycles
 	slowBusy := s.slow.Stats().BusBusyCycles
-	el := float64(s.cfg.EpochLen)
+	el := float64(s.simEpochLen)
 	if n := float64(len(s.fast.Channels)); n > 0 && el > 0 {
 		p.FastUtil = float64(fastBusy-s.lastFastBusy) / (el * n)
 	}
@@ -512,12 +623,23 @@ func (s *System) results() Results {
 		LLC:        s.llc.Stats(),
 		Epochs:     s.epochs,
 	}
-	r.CPUIPC = float64(r.CPUInstrs) / float64(cycles)
-	r.GPUIPC = float64(r.GPUInstrs) / float64(cycles)
+	// IPC is measured over simulated time; static energy always covers
+	// the full budget (background power burns whether sampled or not).
+	r.CPUIPC = float64(r.CPUInstrs) / float64(s.simCycles)
+	r.GPUIPC = float64(r.GPUInstrs) / float64(s.simCycles)
 	r.FastDynamicPJ = r.Fast.DynamicPJ
 	r.SlowDynamicPJ = r.Slow.DynamicPJ
 	r.FastStaticPJ = s.fast.StaticPJ(cycles)
 	r.SlowStaticPJ = s.slow.StaticPJ(cycles)
+	if s.approx {
+		r.Approx = true
+		r.ApproxFrac = s.frac
+		r.SimCycles = s.simCycles
+		// Dynamic energy scales with simulated traffic: extrapolate the
+		// sampled fraction back to the full budget.
+		r.FastDynamicPJ /= s.frac
+		r.SlowDynamicPJ /= s.frac
+	}
 	return r
 }
 

@@ -5,6 +5,7 @@
 #
 #   scripts/bench.sh                        # full set
 #   scripts/bench.sh -bench 'Figure5$'      # one benchmark
+#   scripts/bench.sh -bench 'Figure5(Par4)?$'  # serial + 4-shard PDES pair
 #   scripts/bench.sh -quick -label quick    # faster, noisier
 #   scripts/bench.sh -pprof /tmp/prof       # capture cpu/heap profiles
 #   scripts/bench.sh -serve                 # hydroserved submit latency
