@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 lint chaos bench bench-quick
+.PHONY: all tier1 lint chaos cluster bench bench-quick
 
 all: tier1
 
@@ -23,6 +23,11 @@ lint:
 # Crash-safety smoke: SIGKILL mid-job + journal replay + quarantine.
 chaos:
 	./scripts/chaos_smoke.sh
+
+# Cluster smoke: 3-member peer tier under -race — dedup, failover on
+# owner kill -9, metrics well-formedness.
+cluster:
+	./scripts/cluster_smoke.sh
 
 # Benchmark suite; appends measurements to BENCH_sim.json.
 bench:

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	hydrogen "github.com/hydrogen-sim/hydrogen"
+	"github.com/hydrogen-sim/hydrogen/internal/cluster"
 	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/serve"
 )
@@ -41,10 +42,16 @@ type (
 	TelemetrySnapshot = serve.TelemetrySnapshot
 )
 
-// Client talks to one hydroserved instance. Safe for concurrent use.
+// Client talks to a hydroserved instance — or to a cluster of them,
+// when New is given peer base URLs. Requests go to the first base not
+// currently marked down; a transport error marks the attempted base
+// down, and a relayed peer failure (tagged with X-Hydro-Peer-Url by
+// the responding daemon) marks the failed PEER down, so retries skip
+// the dead member instead of re-timing-out through it. Safe for
+// concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	bases []string // primary first; later entries are failover peers
+	hc    *http.Client
 	// PollInterval is the status poll cadence for Wait; zero selects an
 	// adaptive 25ms..500ms backoff.
 	PollInterval time.Duration
@@ -64,6 +71,10 @@ type Client struct {
 	mu       sync.Mutex
 	statuses map[string]cachedStatus
 	order    []string
+
+	// deadUntil marks base URLs to skip until the deadline passes
+	// (RetryPolicy.PeerDownTTL); guarded by mu.
+	deadUntil map[string]time.Time
 }
 
 // statusCacheMax bounds the client-side terminal-status cache; a sweep
@@ -85,9 +96,64 @@ type cachedStatus struct {
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // New returns a client for the daemon at baseURL (e.g.
-// "http://127.0.0.1:8077").
-func New(baseURL string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+// "http://127.0.0.1:8077"). Additional peer base URLs make the client
+// cluster-aware: any member can answer any request (job IDs are
+// content-addressed and peers proxy to the owner), so when one base is
+// down the client fails over to the next instead of erroring out.
+func New(baseURL string, peers ...string) *Client {
+	bases := make([]string, 0, 1+len(peers))
+	bases = append(bases, strings.TrimRight(baseURL, "/"))
+	for _, p := range peers {
+		if p = strings.TrimRight(p, "/"); p != "" && p != bases[0] {
+			bases = append(bases, p)
+		}
+	}
+	return &Client{bases: bases, hc: &http.Client{}}
+}
+
+// pickBase returns the first base URL not currently marked down; when
+// everything is marked down the primary is used anyway (a TTL entry
+// must never render the client unable to try at all).
+func (c *Client) pickBase() string {
+	if len(c.bases) == 1 {
+		return c.bases[0]
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range c.bases {
+		if until, down := c.deadUntil[b]; !down || now.After(until) {
+			return b
+		}
+	}
+	return c.bases[0]
+}
+
+// markDown records that base (one of the client's configured bases)
+// failed, so pickBase skips it for PeerDownTTL. Unknown URLs — a peer
+// the client was not configured with — are ignored.
+func (c *Client) markDown(base string) {
+	base = strings.TrimRight(base, "/")
+	if len(c.bases) == 1 {
+		return // nowhere else to go; keep trying the only base
+	}
+	known := false
+	for _, b := range c.bases {
+		if b == base {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return
+	}
+	ttl := c.Retry.withDefaults().PeerDownTTL
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.deadUntil == nil {
+		c.deadUntil = make(map[string]time.Time, len(c.bases))
+	}
+	c.deadUntil[base] = time.Now().Add(ttl)
 }
 
 // apiError is a non-2xx response decoded from the server's error body.
@@ -159,7 +225,8 @@ func (c *Client) doCond(ctx context.Context, method, path, etag string, body, ou
 		if data != nil {
 			rd = bytes.NewReader(data) // fresh body every attempt
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		base := c.pickBase()
+		req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 		if err != nil {
 			return respMeta{}, err
 		}
@@ -177,7 +244,7 @@ func (c *Client) doCond(ctx context.Context, method, path, etag string, body, ou
 			if resp != nil {
 				status = resp.StatusCode
 			}
-			c.Logger.Debug("api request", "method", method, "path", path,
+			c.Logger.Debug("api request", "method", method, "path", path, "base", base,
 				"status", status, "attempt", attempt, "request_id", reqID, "err", err)
 		}
 		switch {
@@ -185,6 +252,7 @@ func (c *Client) doCond(ctx context.Context, method, path, etag string, body, ou
 			if ctx.Err() != nil {
 				return respMeta{}, err // the caller gave up; not a server failure
 			}
+			c.markDown(base) // unreachable: fail over to the next base
 			lastErr = err
 		case etag != "" && resp.StatusCode == http.StatusNotModified:
 			resp.Body.Close()
@@ -220,6 +288,18 @@ func (c *Client) doCond(ctx context.Context, method, path, etag string, body, ou
 			resp.Body.Close()
 			if !retryableStatus(resp.StatusCode) {
 				return respMeta{status: resp.StatusCode}, ae
+			}
+			// A 5xx relayed from a dead or struggling peer carries
+			// X-Hydro-Peer-Url: mark THAT member down so the retry does
+			// not route back through it. An untagged 502/503/504 is the
+			// contacted base's own trouble. 429 is back-pressure from a
+			// healthy daemon — no markdown, just the backoff.
+			if resp.StatusCode != http.StatusTooManyRequests {
+				if peer := resp.Header.Get(cluster.HeaderPeerURL); peer != "" {
+					c.markDown(peer)
+				} else {
+					c.markDown(base)
+				}
 			}
 			lastErr = ae
 			retryAfter = ae.RetryAfter
@@ -423,7 +503,7 @@ func (e Event) Epoch() (hydrogen.EpochSample, error) {
 // event until the stream ends (after the "done" event), fn returns an
 // error, or ctx expires. A nil return from fn continues the stream.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.pickBase()+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,199 @@
+package client
+
+// Multi-base failover: the client walks its configured bases, marks
+// unreachable ones down for PeerDownTTL, and honors the X-Hydro-Peer-Url
+// tag a clustered daemon puts on relayed peer failures.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/cluster"
+)
+
+// countingServer wraps a handler with a request counter.
+func countingServer(h http.HandlerFunc) (*httptest.Server, *atomic.Int32) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		h(w, r)
+	}))
+	return ts, &calls
+}
+
+// TestFailoverDeadPrimary: with the primary unreachable, the retry loop
+// fails over to the peer base and succeeds; the dead base is attempted
+// exactly once because the markdown TTL keeps it out of later picks.
+func TestFailoverDeadPrimary(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // reserve then release: connections now refuse fast
+	alive, calls := countingServer(serveDesigns)
+	defer alive.Close()
+
+	c := New(dead.URL, alive.URL)
+	c.Retry = fastRetry()
+
+	for i := 0; i < 3; i++ {
+		designs, err := c.Designs(context.Background())
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if len(designs) != 2 {
+			t.Fatalf("call %d designs: %v", i, designs)
+		}
+	}
+	// Three successful calls, but only the first touched the dead
+	// primary; the next two went straight to the live peer.
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("live peer saw %d requests, want 3", got)
+	}
+}
+
+// TestFailoverTTLExpiry: once PeerDownTTL passes, the primary is
+// eligible again and a recovered daemon takes the traffic back.
+func TestFailoverTTLExpiry(t *testing.T) {
+	primary, pcalls := countingServer(serveDesigns)
+	defer primary.Close()
+	backup, bcalls := countingServer(serveDesigns)
+	defer backup.Close()
+
+	c := New(primary.URL, backup.URL)
+	c.Retry = fastRetry()
+	c.Retry.PeerDownTTL = 50 * time.Millisecond
+	c.markDown(primary.URL)
+
+	if _, err := c.Designs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if pcalls.Load() != 0 || bcalls.Load() != 1 {
+		t.Fatalf("during TTL: primary=%d backup=%d, want 0/1", pcalls.Load(), bcalls.Load())
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Designs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if pcalls.Load() != 1 {
+		t.Fatalf("after TTL expiry the primary saw %d requests, want 1", pcalls.Load())
+	}
+}
+
+// TestFailoverPeerTag: a 502 tagged with X-Hydro-Peer-Url marks the
+// TAGGED member down, not the daemon that relayed the failure — the
+// retry keeps talking to the (healthy) front and skips the dead peer.
+func TestFailoverPeerTag(t *testing.T) {
+	peerDown, peerCalls := countingServer(serveDesigns)
+	defer peerDown.Close()
+
+	var frontCalls atomic.Int32
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// First response: "my peer failed"; afterwards: success.
+		if frontCalls.Add(1) == 1 {
+			w.Header().Set(cluster.HeaderPeer, "n1")
+			w.Header().Set(cluster.HeaderPeerURL, peerDown.URL)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadGateway)
+			json.NewEncoder(w).Encode(map[string]string{"error": "peer n1: connection refused"})
+			return
+		}
+		serveDesigns(w, r)
+	}))
+	defer front.Close()
+
+	c := New(front.URL, peerDown.URL)
+	c.Retry = fastRetry()
+
+	designs, err := c.Designs(context.Background())
+	if err != nil {
+		t.Fatalf("Designs after tagged 502: %v", err)
+	}
+	if len(designs) != 2 {
+		t.Fatalf("designs: %v", designs)
+	}
+	// The retry stayed on the front (2 attempts) and never failed over
+	// to the dead-tagged peer.
+	if got := frontCalls.Load(); got != 2 {
+		t.Fatalf("front saw %d requests, want 2", got)
+	}
+	if got := peerCalls.Load(); got != 0 {
+		t.Fatalf("dead-tagged peer saw %d requests, want 0", got)
+	}
+}
+
+// TestFailoverUntagged503MarksBase: an untagged retryable failure is the
+// contacted base's own trouble — the retry moves to the next base.
+func TestFailoverUntagged503MarksBase(t *testing.T) {
+	sick, sickCalls := countingServer(status(http.StatusServiceUnavailable))
+	defer sick.Close()
+	healthy, okCalls := countingServer(serveDesigns)
+	defer healthy.Close()
+
+	c := New(sick.URL, healthy.URL)
+	c.Retry = fastRetry()
+
+	if _, err := c.Designs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sickCalls.Load() != 1 || okCalls.Load() != 1 {
+		t.Fatalf("sick=%d healthy=%d, want 1/1", sickCalls.Load(), okCalls.Load())
+	}
+}
+
+// TestFailover429StaysPut: queue-full back-pressure is not a liveness
+// signal; the retry backs off against the SAME base instead of
+// abandoning a healthy daemon.
+func TestFailover429StaysPut(t *testing.T) {
+	h, calls := flaky(1, status(http.StatusTooManyRequests), serveDesigns)
+	busy := httptest.NewServer(h)
+	defer busy.Close()
+	other, otherCalls := countingServer(serveDesigns)
+	defer other.Close()
+
+	c := New(busy.URL, other.URL)
+	c.Retry = fastRetry()
+
+	if _, err := c.Designs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("busy base saw %d requests, want 2 (429 then success)", got)
+	}
+	if got := otherCalls.Load(); got != 0 {
+		t.Fatalf("peer saw %d requests, want 0", got)
+	}
+}
+
+// TestNewDedupesPeers: the primary repeated in the peer list collapses,
+// and trailing slashes normalize.
+func TestNewDedupesPeers(t *testing.T) {
+	c := New("http://a:1/", "http://a:1", "http://b:2/", "")
+	want := []string{"http://a:1", "http://b:2"}
+	if len(c.bases) != len(want) {
+		t.Fatalf("bases %v, want %v", c.bases, want)
+	}
+	for i := range want {
+		if c.bases[i] != want[i] {
+			t.Fatalf("bases %v, want %v", c.bases, want)
+		}
+	}
+}
+
+// TestMarkDownUnknownURLIgnored: a tag naming a URL outside the
+// configured set must not poison the deadUntil map.
+func TestMarkDownUnknownURLIgnored(t *testing.T) {
+	c := New("http://a:1", "http://b:2")
+	c.markDown("http://evil:9")
+	if len(c.deadUntil) != 0 {
+		t.Fatalf("unknown URL recorded: %v", c.deadUntil)
+	}
+	// Single-base clients never mark down at all.
+	s := New("http://a:1")
+	s.markDown("http://a:1")
+	if len(s.deadUntil) != 0 {
+		t.Fatalf("single-base client recorded markdown: %v", s.deadUntil)
+	}
+}

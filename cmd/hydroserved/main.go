@@ -16,6 +16,9 @@
 //	            -cache-dir /var/tmp/hydro     # crash-safe job queue
 //	hydroserved -access-log -log-json         # structured request logs
 //	hydroserved -debug-addr 127.0.0.1:6060    # pprof + runtime metrics
+//	hydroserved -self a -journal a.wal \
+//	            -peers a=http://h1:8077,b=http://h2:8077,c=http://h3:8077
+//	                                          # one member of a 3-node cluster
 //
 //	curl -s localhost:8077/v1/jobs -d '{"design":"Hydrogen","combo":"C1"}'
 //	curl -s localhost:8077/v1/jobs/<id>
@@ -38,6 +41,16 @@
 // panics the simulator) is quarantined after -quarantine failures
 // instead of crash-looping the daemon.
 //
+// With -peers set (a static "id=url,..." member list including this
+// daemon, named by -self), N daemons form one deduplicating simulation
+// tier: content-addressed job IDs route to a rendezvous-hash owner,
+// non-owners proxy submissions and polls to it and fill their local
+// caches from peer responses (a hit anywhere is a hit everywhere, with
+// identical result bytes and ETag), idle members steal queued work from
+// saturated peers, and when a member dies mid-job the daemon that
+// forwarded the submission promotes it into its own journal-backed
+// queue. Any member can answer any request.
+//
 // Exit codes: 0 clean drain, 1 runtime error (bind failure, journal
 // replay failure), 2 flag error.
 package main
@@ -59,6 +72,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/hydrogen-sim/hydrogen/internal/cluster"
 	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/serve"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
@@ -89,6 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		debugAddr    = fs.String("debug-addr", "", "separate listener for /debug/pprof and /debug/runtimez (e.g. 127.0.0.1:6060); empty disables")
 		telemPoints  = fs.Int("telemetry-points", 0, "per-job telemetry ring size; 0 = default")
 		simParallel  = fs.Int("sim-parallel", 1, "per-simulation channel-shard parallelism; budgeted against the worker pool (workers x sim-parallel <= GOMAXPROCS), 1 = serial")
+		peers        = fs.String("peers", "", `static cluster member list as "id=url,id=url,..." including this daemon; empty runs standalone`)
+		self         = fs.String("self", "", "this daemon's member ID within -peers (required with -peers)")
+		peerProbe    = fs.Duration("peer-probe", 2*time.Second, "peer health probe interval")
+		stealInt     = fs.Duration("steal-interval", time.Second, "how often an idle member tries to steal queued work from a saturated peer; <0 disables stealing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -122,6 +140,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *paper {
 		cfg := system.Paper()
 		opts.DefaultConfig = &cfg
+	}
+	if *peers != "" {
+		ccfg, err := cluster.ParsePeers(*peers, *self)
+		if err != nil {
+			fmt.Fprintf(stderr, "hydroserved: %v\n", err)
+			return 2
+		}
+		ccfg.ProbeInterval = *peerProbe
+		ccfg.StealInterval = *stealInt
+		opts.Cluster = ccfg
+	} else if *self != "" {
+		fmt.Fprintf(stderr, "hydroserved: -self requires -peers\n")
+		return 2
 	}
 	if !*quiet {
 		// Lifecycle events go out as structured records (text or JSON);

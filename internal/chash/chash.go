@@ -47,3 +47,73 @@ func Select(key uint64, buckets []int, k int) []int {
 	}
 	return r[:k]
 }
+
+// --- string-keyed rendezvous ---
+//
+// The cluster layer reuses the paper's way-placement trick one level
+// up: content-addressed job IDs are placed onto named peers. Keys and
+// members are strings there (hex SHA-256 job IDs, operator-chosen peer
+// IDs), so the same highest-random-weight scheme is exposed over
+// string pairs: adding or removing one member relocates each key to at
+// most one new owner, and a key whose owner survives never moves.
+
+// fnv1a is the 64-bit FNV-1a hash of s folded over h, so a (key,
+// member) pair can be hashed incrementally with a domain separator
+// between the two strings.
+func fnv1a(h uint64, s string) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime
+	}
+	return h
+}
+
+// ScoreString returns a deterministic 64-bit weight for the (key,
+// member) string pair: FNV-1a over both strings (with a separator so
+// ("ab","c") and ("a","bc") differ) finalized by the same
+// splitmix64-style mixer as Score.
+func ScoreString(key, member string) uint64 {
+	const offset = 14695981039346656037
+	h := fnv1a(offset, key)
+	h = (h ^ 0xff) * 1099511628211 // separator byte outside both alphabets
+	h = fnv1a(h, member)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// RankStrings returns the members ordered by descending score for key.
+// Ties break by member value, so the order is total and deterministic
+// across processes — every peer computes the same ranking.
+func RankStrings(key string, members []string) []string {
+	out := make([]string, len(members))
+	copy(out, members)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := ScoreString(key, out[i]), ScoreString(key, out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// OwnerString returns the highest-ranked member for key; ok is false
+// when members is empty.
+func OwnerString(key string, members []string) (owner string, ok bool) {
+	if len(members) == 0 {
+		return "", false
+	}
+	best := members[0]
+	bestScore := ScoreString(key, best)
+	for _, m := range members[1:] {
+		s := ScoreString(key, m)
+		if s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best, true
+}

@@ -1,6 +1,9 @@
 package chash
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -97,6 +100,125 @@ func TestSelectKTooLarge(t *testing.T) {
 	got := Select(1, []int{5, 6}, 10)
 	if len(got) != 2 {
 		t.Fatalf("Select with k>len returned %v", got)
+	}
+}
+
+// --- string-keyed rendezvous (cluster placement) ---
+
+// jobIDCorpus builds n realistic job keys: hex SHA-256 digests, the
+// exact shape of hydroserved's content-addressed job IDs.
+func jobIDCorpus(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("job-%d", i)))
+		out[i] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+func TestScoreStringDeterministicAndOrdered(t *testing.T) {
+	if ScoreString("k", "m") != ScoreString("k", "m") {
+		t.Fatal("ScoreString is not deterministic")
+	}
+	if ScoreString("ab", "c") == ScoreString("a", "bc") {
+		t.Fatal("ScoreString has no domain separation between key and member")
+	}
+	members := []string{"a", "b", "c", "d"}
+	r := RankStrings("somekey", members)
+	if len(r) != len(members) {
+		t.Fatalf("rank has %d entries, want %d", len(r), len(members))
+	}
+	seen := map[string]bool{}
+	for _, m := range r {
+		if seen[m] {
+			t.Fatalf("member %q appears twice in %v", m, r)
+		}
+		seen[m] = true
+	}
+	owner, ok := OwnerString("somekey", members)
+	if !ok || owner != r[0] {
+		t.Fatalf("OwnerString=%q ok=%v, want head of RankStrings %q", owner, ok, r[0])
+	}
+	if _, ok := OwnerString("somekey", nil); ok {
+		t.Fatal("OwnerString over no members reported ok")
+	}
+}
+
+// The cluster's minimal-disruption property, as a property test over a
+// corpus of real job IDs: removing one member from an N-peer ring
+// reassigns only ~1/N of the keys, and NEVER changes the owner of a
+// key whose owner survived.
+func TestMemberRemovalMinimalDisruption(t *testing.T) {
+	members := []string{"peer-a", "peer-b", "peer-c", "peer-d", "peer-e"}
+	corpus := jobIDCorpus(4000)
+	for _, gone := range members {
+		survivors := make([]string, 0, len(members)-1)
+		for _, m := range members {
+			if m != gone {
+				survivors = append(survivors, m)
+			}
+		}
+		moved, hadGone := 0, 0
+		for _, key := range corpus {
+			before, _ := OwnerString(key, members)
+			after, _ := OwnerString(key, survivors)
+			if before == gone {
+				hadGone++
+				continue
+			}
+			if after != before {
+				t.Fatalf("key %.12s moved %s -> %s though its owner survived the removal of %s",
+					key, before, after, gone)
+			}
+		}
+		moved = hadGone
+		// Every relocated key must have been owned by the removed member,
+		// and the removed member's share should be ~1/N of the corpus.
+		frac := float64(moved) / float64(len(corpus))
+		if frac < 0.12 || frac > 0.30 {
+			t.Fatalf("removing %s relocated %.3f of keys, want ~%.2f",
+				gone, frac, 1.0/float64(len(members)))
+		}
+	}
+}
+
+// Adding a member back is the inverse move: each key either keeps its
+// owner or relocates to exactly the new member.
+func TestMemberAdditionOnlyCapturesKeys(t *testing.T) {
+	base := []string{"peer-a", "peer-b", "peer-c"}
+	grown := append(append([]string(nil), base...), "peer-d")
+	captured := 0
+	corpus := jobIDCorpus(3000)
+	for _, key := range corpus {
+		before, _ := OwnerString(key, base)
+		after, _ := OwnerString(key, grown)
+		if after != before {
+			if after != "peer-d" {
+				t.Fatalf("key %.12s moved %s -> %s on the ADDITION of peer-d", key, before, after)
+			}
+			captured++
+		}
+	}
+	frac := float64(captured) / float64(len(corpus))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("new member captured %.3f of keys, want ~0.25", frac)
+	}
+}
+
+// Placement should spread job IDs roughly evenly across members — the
+// load-balance half of the routing story.
+func TestStringPlacementBalance(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	counts := map[string]int{}
+	for _, key := range jobIDCorpus(40000) {
+		owner, _ := OwnerString(key, members)
+		counts[owner]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / 40000
+		if frac < 0.22 || frac > 0.28 {
+			t.Fatalf("member %s owns %.3f of keys, want ~0.25", m, frac)
+		}
 	}
 }
 

@@ -1,0 +1,48 @@
+package cluster
+
+import "github.com/hydrogen-sim/hydrogen/internal/obs"
+
+// Metrics is the hydro_cluster_* family. The obs registry is
+// label-free by design, so these are cluster-wide aggregates; per-peer
+// detail lives in the /readyz and /v1/peerz JSON bodies instead.
+type Metrics struct {
+	ProxiedSubmits *obs.Counter
+	ProxiedGets    *obs.Counter
+	PeerFills      *obs.Counter
+	Failovers      *obs.Counter
+	PromotedJobs   *obs.Counter
+	StealsIn       *obs.Counter
+	StealsOut      *obs.Counter
+	StealReturns   *obs.Counter
+	ProbeErrors    *obs.Counter
+}
+
+// NewMetrics registers the cluster family on r. peers and alive feed
+// the membership gauges at scrape time.
+func NewMetrics(r *obs.Registry, peers, alive func() int64) *Metrics {
+	m := &Metrics{
+		ProxiedSubmits: r.Counter("hydro_cluster_proxied_submits_total",
+			"Job submissions proxied to their rendezvous owner on another peer."),
+		ProxiedGets: r.Counter("hydro_cluster_proxied_gets_total",
+			"Job status GETs proxied to a peer."),
+		PeerFills: r.Counter("hydro_cluster_peer_fills_total",
+			"Local result-cache fills from proxied peer responses."),
+		Failovers: r.Counter("hydro_cluster_failovers_total",
+			"Requests re-routed past a dead owner to the next peer in rendezvous order."),
+		PromotedJobs: r.Counter("hydro_cluster_promoted_jobs_total",
+			"Forwarded jobs adopted locally after their owner died."),
+		StealsIn: r.Counter("hydro_cluster_steals_total",
+			"Queued jobs this peer stole from saturated owners."),
+		StealsOut: r.Counter("hydro_cluster_stolen_total",
+			"Queued jobs handed to idle peers via /v1/steal."),
+		StealReturns: r.Counter("hydro_cluster_steal_returns_total",
+			"Stolen jobs reclaimed after the thief died or rejected the handoff."),
+		ProbeErrors: r.Counter("hydro_cluster_probe_errors_total",
+			"Failed peer health probes."),
+	}
+	r.GaugeFunc("hydro_cluster_peers",
+		"Configured cluster members, self included.", peers)
+	r.GaugeFunc("hydro_cluster_peers_alive",
+		"Configured peers currently reachable, self included.", alive)
+	return m
+}

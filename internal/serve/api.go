@@ -27,8 +27,26 @@
 //	GET    /v1/combos              Table II combo IDs
 //	GET    /healthz                liveness + drain state (legacy combined)
 //	GET    /livez                  liveness: 200 while the process serves
-//	GET    /readyz                 readiness: 503 while draining or replaying
+//	GET    /readyz                 readiness: 503 while draining or replaying;
+//	                               clustered daemons stay 200 with
+//	                               degraded:true + per-peer state when a
+//	                               peer is unreachable
 //	GET    /metrics                Prometheus text format
+//	GET    /v1/peerz               cluster only: self status + the view
+//	                               of every peer (gossip surface)
+//	POST   /v1/steal               cluster only: hand one queued job to
+//	                               the idle peer named by X-Hydro-Forwarded
+//
+// Clustering (Options.Cluster): N daemons with a static member list
+// form one deduplicating tier. Content-addressed job IDs route to a
+// rendezvous-hash owner (internal/chash); non-owners proxy submissions
+// and polls to it (loop-guarded by X-Hydro-Forwarded) and fill their
+// local caches from peer responses, so a hit anywhere is a hit
+// everywhere with identical result bytes and ETag. Relayed responses
+// carry X-Hydro-Peer/X-Hydro-Peer-Url; every clustered response carries
+// X-Hydro-Self. When the owner dies mid-job, the daemon that forwarded
+// the submission promotes the job into its own journal-backed queue —
+// the 202-implies-replayable contract survives owner loss.
 //
 // Crash safety: with Options.JournalPath set, every accepted job is
 // recorded in an append-only CRC-framed journal (internal/journal)

@@ -1,0 +1,688 @@
+package serve
+
+// Cluster integration: what turns N standalone daemons into one
+// deduplicating simulation tier. internal/cluster owns the mechanics
+// (membership, rendezvous routing, the peer HTTP client, health
+// probing, metrics); this file wires them into the job lifecycle:
+//
+//   - Submit routing: a non-owner proxies unknown submissions to the
+//     job's rendezvous owner and relays the response verbatim, so the
+//     202-implies-journaled contract is the OWNER's journal. The front
+//     keeps a forwarded-job ledger (the fully resolved request) so it
+//     can adopt the job if the owner later dies.
+//   - GET routing: unknown IDs are chased down the rendezvous ranking;
+//     done responses fill the local cache (hit anywhere = hit
+//     everywhere — result bytes and ETag are identical across peers
+//     because results are deterministic and content-addressed).
+//   - Failover: when every live peer ranked above this daemon is gone,
+//     submissions are accepted locally, and forwarded jobs whose owner
+//     died are promoted into the local journal-backed queue.
+//   - Work stealing: /v1/peerz gossips queue depth; an idle peer calls
+//     a saturated owner's /v1/steal, adopts one queued job, and the
+//     owner watches the thief, mirroring the terminal state (or
+//     reclaiming the job if the thief dies too).
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/cluster"
+	"github.com/hydrogen-sim/hydrogen/internal/system"
+	"github.com/hydrogen-sim/hydrogen/internal/workloads"
+)
+
+// maxRelayBody bounds a relayed peer response; results are a few KB,
+// so 32 MiB is generous headroom, not a real ceiling.
+const maxRelayBody = 32 << 20
+
+// stolenMissLimit is how many consecutive failed polls of a thief the
+// owner tolerates before reclaiming a stolen job.
+const stolenMissLimit = 3
+
+// clusterState is the serve-side composition of the cluster package.
+type clusterState struct {
+	cfg    *cluster.Config
+	router *cluster.Router
+	pc     *cluster.PeerClient
+	prober *cluster.Prober
+	cm     *cluster.Metrics
+
+	// forwarded remembers every submission this daemon proxied out: the
+	// fully resolved job, so a dead owner's jobs can be promoted into
+	// the local queue without re-deriving anything from the client.
+	mu        sync.Mutex
+	forwarded map[string]*forwardedJob
+
+	stopOnce  sync.Once
+	stealStop chan struct{}
+	stealDone chan struct{}
+}
+
+// forwardedJob is the promoted-on-failover payload: everything
+// acceptLocal needs, captured at proxy time.
+type forwardedJob struct {
+	cfg     system.Config
+	design  string
+	combo   workloads.Combo
+	spec    ComboSpec
+	timeout time.Duration
+}
+
+// initCluster validates the peer config and starts the cluster loops.
+// Called at the end of New, after the queue exists — the stealer pushes
+// into it.
+func (s *Server) initCluster(cfg *cluster.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cl := &clusterState{
+		cfg:       cfg,
+		router:    cluster.NewRouter(cfg.Members),
+		pc:        cluster.NewPeerClient(cfg.Self, cfg.ProxyTimeout, cfg.ProbeTimeout),
+		forwarded: make(map[string]*forwardedJob),
+		stealStop: make(chan struct{}),
+		stealDone: make(chan struct{}),
+	}
+	cl.prober = cluster.NewProber(cfg.Peers(), cl.pc, cfg.ProbeInterval,
+		func() { cl.cm.ProbeErrors.Add(1) })
+	cl.cm = cluster.NewMetrics(s.m.reg,
+		func() int64 { return int64(len(cfg.Members)) },
+		func() int64 { return cl.prober.AliveCount() + 1 }, // self counts
+	)
+	s.cl = cl
+	s.mux.HandleFunc("GET /v1/peerz", s.handlePeerz)
+	s.mux.HandleFunc("POST /v1/steal", s.handleSteal)
+	// Every response names the daemon that produced it, so clients and
+	// smoke tests can tell which member of the tier they reached.
+	inner := s.handler
+	s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(cluster.HeaderSelf, cfg.Self)
+		inner.ServeHTTP(w, r)
+	})
+	cl.prober.Start()
+	if cfg.StealInterval > 0 {
+		go s.stealLoop()
+	} else {
+		close(cl.stealDone)
+	}
+	s.logf("cluster: joined as %s (%d members)", cfg.Self, len(cfg.Members))
+	return nil
+}
+
+// stopCluster halts the prober and stealer; idempotent, no-op when the
+// daemon is standalone. Watcher goroutines for stolen jobs observe the
+// same stop channel.
+func (s *Server) stopCluster() {
+	cl := s.cl
+	if cl == nil {
+		return
+	}
+	cl.stopOnce.Do(func() {
+		close(cl.stealStop)
+		cl.prober.Stop()
+	})
+	<-cl.stealDone
+}
+
+// proxyContext bounds a proxied request to peer id: a peer the prober
+// considers alive gets the caller's full deadline, a dead-marked one
+// gets only the probe timeout — we still try it (the verdict may be a
+// flap), but we will not hang a client request on it.
+func proxyContext(parent context.Context, cl *clusterState, id string) (context.Context, context.CancelFunc) {
+	if cl.prober.Alive(id) {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, cl.cfg.ProbeTimeout)
+}
+
+// clusterProxySubmit walks the job's rendezvous ranking and relays the
+// submission to the first live peer ranked above this daemon. It
+// returns false when the walk reaches self before any peer answers —
+// the caller then accepts the job locally (failover).
+func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body []byte, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string) bool {
+	cl := s.cl
+	reqID := r.Header.Get("X-Request-Id")
+	for i, m := range cl.router.Rank(key) {
+		if m.ID == cl.cfg.Self {
+			if i > 0 {
+				cl.cm.Failovers.Add(1)
+				s.logj(key, "owner unreachable; accepting locally", "rank", i)
+			}
+			return false
+		}
+		// A dead-marked peer still gets one short-fused attempt: the
+		// prober's verdict can be stale or a flap, and skipping a live
+		// owner here would fork a duplicate simulation elsewhere.
+		ctx, cancel := proxyContext(r.Context(), cl, m.ID)
+		resp, err := cl.pc.Submit(ctx, m, body, reqID)
+		cancel()
+		if err != nil {
+			cl.prober.MarkDead(m.ID, err)
+			s.logj(key, "peer submit failed", "peer", m.ID, "err", err)
+			continue
+		}
+		cl.prober.MarkSeen(m.ID)
+		cl.cm.ProxiedSubmits.Add(1)
+		s.relayPeerResponse(w, resp, m, key, req, cfg, combo, spec)
+		return true
+	}
+	return false
+}
+
+// relayPeerResponse relays a proxied submit response verbatim, tagged
+// with which peer produced it, and records the side effects: the
+// forwarded-job ledger entry (for promote-on-failover) and, when the
+// response already carries the finished result, the local cache fill.
+func (s *Server) relayPeerResponse(w http.ResponseWriter, resp *http.Response, m cluster.Member, key string, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec) {
+	cl := s.cl
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
+	if err != nil {
+		cl.prober.MarkDead(m.ID, err)
+		w.Header().Set(cluster.HeaderPeer, m.ID)
+		w.Header().Set(cluster.HeaderPeerURL, m.URL)
+		httpError(w, http.StatusBadGateway, "peer %s: reading response: %v", m.ID, err)
+		return
+	}
+	remember := func() {
+		cl.mu.Lock()
+		cl.forwarded[key] = &forwardedJob{cfg: cfg, design: req.Design, combo: combo, spec: spec, timeout: time.Duration(req.Timeout)}
+		cl.mu.Unlock()
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		// The owner journaled the job; remember enough to adopt it if
+		// the owner dies before finishing.
+		remember()
+	case http.StatusOK:
+		// 200 is either a cache hit (terminal, fill locally) or a dedup
+		// attach to the owner's in-flight job — the latter needs the
+		// ledger entry just like a fresh 202: the submitter holds an
+		// ack for a job only the owner is running.
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err == nil && st.ID == key {
+			switch st.State {
+			case StateQueued, StateRunning:
+				remember()
+			case StateDone:
+				s.peerFill(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), body)
+			}
+		}
+	}
+	relayRaw(w, resp, m, body)
+}
+
+// relayRaw writes a peer's response through to the client: status,
+// body bytes, and the headers that matter (ETag survives, so the
+// client sees the same strong validator no matter which peer answers).
+func relayRaw(w http.ResponseWriter, resp *http.Response, m cluster.Member, body []byte) {
+	hdr := w.Header()
+	hdr.Set(cluster.HeaderPeer, m.ID)
+	hdr.Set(cluster.HeaderPeerURL, m.URL)
+	for _, h := range []string{"Content-Type", "ETag", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			hdr.Set(h, v)
+		}
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	hdr.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// peerFill parses a proxied response body and, when it carries a
+// finished result, installs it locally: cache entry plus a synthesized
+// done job record, so every subsequent hit for this ID is local. The
+// result bytes are stored verbatim — determinism plus content
+// addressing make them identical to the owner's.
+func (s *Server) peerFill(key string, cfg system.Config, design string, combo workloads.Combo, spec ComboSpec, timeout time.Duration, body []byte) {
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil || st.State != StateDone || len(st.Result) == 0 || st.ID != key {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.jobs[key]; exists || s.draining {
+		return
+	}
+	s.cache.Put(key, st.Result)
+	j := s.newJobLocked(key, cfg, design, combo, spec, timeout, false)
+	j.markDurable(nil) // the result exists; nothing to journal
+	j.state = StateDone
+	j.finished = time.Now()
+	j.result = st.Result
+	close(j.done)
+	s.cl.cm.PeerFills.Add(1)
+	s.cl.mu.Lock()
+	delete(s.cl.forwarded, key)
+	s.cl.mu.Unlock()
+	s.logj(key, "cache filled from peer")
+}
+
+// clusterGet chases an unknown job ID down its rendezvous ranking. If
+// no live peer above this daemon knows the job but this daemon
+// forwarded its submission earlier, the owner died with it: the job is
+// promoted into the local journal-backed queue and re-run.
+func (s *Server) clusterGet(w http.ResponseWriter, r *http.Request, id string) {
+	cl := s.cl
+	reqID := r.Header.Get("X-Request-Id")
+	for i, m := range cl.router.Rank(id) {
+		if m.ID == cl.cfg.Self {
+			break
+		}
+		// As on the submit path: never silently skip a ranked peer on
+		// the prober's say-so alone — attempt it (short-fused when
+		// dead-marked) and let the request outcome decide.
+		ctx, cancel := proxyContext(r.Context(), cl, m.ID)
+		resp, err := cl.pc.GetJob(ctx, m, id, r.Header.Get("If-None-Match"), reqID)
+		cancel()
+		if err != nil {
+			cl.prober.MarkDead(m.ID, err)
+			if i == 0 {
+				cl.cm.Failovers.Add(1)
+			}
+			continue
+		}
+		cl.prober.MarkSeen(m.ID)
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			continue // this peer never saw it; try further down the ring
+		}
+		cl.cm.ProxiedGets.Add(1)
+		func() {
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusNotModified {
+				relayRaw(w, resp, m, nil)
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
+			if err != nil {
+				w.Header().Set(cluster.HeaderPeer, m.ID)
+				w.Header().Set(cluster.HeaderPeerURL, m.URL)
+				httpError(w, http.StatusBadGateway, "peer %s: reading response: %v", m.ID, err)
+				return
+			}
+			if resp.StatusCode == http.StatusOK {
+				if fw := s.lookupForwarded(id); fw != nil {
+					s.peerFill(id, fw.cfg, fw.design, fw.combo, fw.spec, fw.timeout, body)
+				}
+			}
+			relayRaw(w, resp, m, body)
+		}()
+		return
+	}
+	if j := s.promoteForwarded(id); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+	httpError(w, http.StatusNotFound, "no such job")
+}
+
+func (s *Server) lookupForwarded(id string) *forwardedJob {
+	s.cl.mu.Lock()
+	defer s.cl.mu.Unlock()
+	return s.cl.forwarded[id]
+}
+
+// promoteForwarded adopts a job this daemon proxied out whose owner is
+// now unreachable: journal the submit record here (the 202 the client
+// holds must stay replayable from SOME journal) and enqueue it. Returns
+// the local job, existing or new; nil when this daemon never forwarded
+// the ID or cannot take it.
+func (s *Server) promoteForwarded(id string) *job {
+	fw := s.lookupForwarded(id)
+	if fw == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		return j // already adopted (earlier poll, steal, or a racing submit)
+	}
+	if s.draining || s.failCount[id] >= s.opts.QuarantineAfter {
+		s.mu.Unlock()
+		return nil
+	}
+	j := s.newJobLocked(id, fw.cfg, fw.design, fw.combo, fw.spec, fw.timeout, false)
+	s.mu.Unlock()
+	if err := s.appendRecord(journalRecord{Type: recSubmit, ID: id, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: Duration(fw.timeout)}); err != nil {
+		j.markDurable(err)
+		s.abandonJob(j, "canceled: journal write failed")
+		return nil
+	}
+	j.markDurable(nil)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.abandonJob(j, msgShutdown)
+		return nil
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.abandonJob(j, msgQueueFull)
+		return nil
+	}
+	s.m.enqueued.Add(1)
+	s.m.queued.Add(1)
+	s.cl.cm.PromotedJobs.Add(1)
+	s.logj(id, "promoted after owner failure", "design", j.design, "combo", j.spec.ID)
+	return j
+}
+
+// handlePeerz serves this daemon's self-status plus its view of the
+// rest of the ring — the gossip surface the prober and stealer read.
+func (s *Server) handlePeerz(w http.ResponseWriter, r *http.Request) {
+	if s.cl == nil {
+		httpError(w, http.StatusNotFound, "not clustered")
+		return
+	}
+	s.mu.Lock()
+	draining, replaying := s.draining, s.replaying
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, cluster.PeerzPayload{
+		PeerStatus: cluster.PeerStatus{
+			ID:       s.cl.cfg.Self,
+			Queued:   s.m.queued.Load(),
+			Running:  s.m.running.Load(),
+			Draining: draining,
+			Ready:    !draining && !replaying,
+		},
+		Peers: s.cl.prober.Snapshot(),
+	})
+}
+
+// handleSteal hands one queued job to an idle peer. The job record
+// stays here — the owner keeps answering polls for it — and a watcher
+// goroutine mirrors the thief's terminal state back (or reclaims the
+// job if the thief dies).
+func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
+	if s.cl == nil {
+		httpError(w, http.StatusNotFound, "not clustered")
+		return
+	}
+	thiefID := r.Header.Get(cluster.HeaderForwarded)
+	thief, ok := s.cl.router.Member(thiefID)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown thief %q", thiefID)
+		return
+	}
+	j := s.popQueuedJob()
+	if j == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	req := JobRequest{Config: &j.cfg, Design: j.design, Combo: j.spec, Timeout: Duration(j.timeout)}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		// Cannot serialize the handoff; keep the job for ourselves.
+		s.requeueStolen(j)
+		httpError(w, http.StatusInternalServerError, "marshal handoff: %v", err)
+		return
+	}
+	s.cl.cm.StealsOut.Add(1)
+	s.logj(j.id, "stolen", "thief", thiefID)
+	go s.watchStolen(j, thief)
+	writeJSON(w, http.StatusOK, cluster.StolenJob{ID: j.id, Request: raw})
+}
+
+// popQueuedJob takes one runnable job off the queue without blocking;
+// nil when the queue is empty, closed, or the daemon is draining.
+func (s *Server) popQueuedJob() *job {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return nil
+	}
+	for {
+		select {
+		case j, ok := <-s.queue:
+			if !ok {
+				return nil
+			}
+			j.mu.Lock()
+			if j.state != StateQueued {
+				j.mu.Unlock()
+				continue // canceled while queued; the worker would skip it too
+			}
+			j.stolen = true
+			j.mu.Unlock()
+			s.m.queued.Add(-1)
+			return j
+		default:
+			return nil
+		}
+	}
+}
+
+// requeueStolen puts a popped job back on the queue (or runs it inline
+// when the queue has refilled meanwhile — an accepted job is never
+// dropped).
+func (s *Server) requeueStolen(j *job) {
+	j.mu.Lock()
+	j.stolen = false
+	j.mu.Unlock()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.abandonJob(j, msgShutdown)
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.m.queued.Add(1)
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.m.queued.Add(1)
+		go s.runJob(j)
+	}
+}
+
+// watchStolen polls the thief for the stolen job's fate: terminal
+// states are mirrored into the local record and journal (the job was
+// accepted HERE; its 202 contract is this daemon's), and a thief that
+// stops answering forfeits the job back to the local queue.
+func (s *Server) watchStolen(j *job, thief cluster.Member) {
+	cl := s.cl
+	// Floor the watch cadence: the thief needs time to journal and start
+	// the adopted job, and reclaiming while it is merely slow would run
+	// the simulation twice.
+	interval := cl.cfg.ProbeInterval
+	if interval < 500*time.Millisecond {
+		interval = 500 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	misses := 0
+	for {
+		select {
+		case <-cl.stealStop:
+			return // shutting down; the job replays from the journal
+		case <-j.done:
+			return // canceled locally while stolen
+		case <-t.C:
+		}
+		st, err := s.pollStolen(j.id, thief)
+		if err != nil {
+			misses++
+			if misses >= stolenMissLimit {
+				cl.cm.StealReturns.Add(1)
+				s.logj(j.id, "reclaiming stolen job", "thief", thief.ID, "err", err)
+				s.requeueStolen(j)
+				return
+			}
+			continue
+		}
+		misses = 0
+		switch st.State {
+		case StateDone:
+			s.cache.Put(j.id, st.Result)
+			if err := s.appendRecord(journalRecord{Type: StateDone, ID: j.id}); err != nil {
+				s.logj(j.id, "journal append failed", "state", StateDone, "err", err)
+			}
+			j.mu.Lock()
+			if j.state == StateQueued {
+				j.finish(StateDone, "", st.Result)
+			}
+			j.mu.Unlock()
+			s.m.completed.Add(1)
+			s.logj(j.id, "done remotely", "thief", thief.ID)
+			return
+		case StateFailed, StateCanceled, StateDeadline:
+			if err := s.appendRecord(journalRecord{Type: st.State, ID: j.id, Error: st.Error}); err != nil {
+				s.logj(j.id, "journal append failed", "state", st.State, "err", err)
+			}
+			j.mu.Lock()
+			if j.state == StateQueued {
+				j.finish(st.State, st.Error, nil)
+			}
+			j.mu.Unlock()
+			if st.State == StateFailed {
+				s.m.failed.Add(1)
+				s.noteFailure(j.id)
+			}
+			s.logj(j.id, "finished remotely", "thief", thief.ID, "state", st.State)
+			return
+		}
+	}
+}
+
+// pollStolen fetches the stolen job's status from the thief. A 404
+// (the thief rejected or lost the handoff) counts as an error so the
+// miss counter advances toward reclaim.
+func (s *Server) pollStolen(id string, thief cluster.Member) (JobStatus, error) {
+	resp, err := s.cl.pc.GetJob(context.Background(), thief, id, "", "")
+	if err != nil {
+		s.cl.prober.MarkDead(thief.ID, err)
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return JobStatus{}, errStatus(resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRelayBody)).Decode(&st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+type errStatus int
+
+func (e errStatus) Error() string { return "HTTP " + strconv.Itoa(int(e)) }
+
+// stealLoop is the thief side: when this daemon is idle, poll the
+// prober's gossip for the deepest-queued live peer and take one job.
+func (s *Server) stealLoop() {
+	cl := s.cl
+	defer close(cl.stealDone)
+	t := time.NewTicker(cl.cfg.StealInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-cl.stealStop:
+			return
+		case <-t.C:
+			s.stealOnce()
+		}
+	}
+}
+
+// stealOnce steals at most one job: only when this daemon has an empty
+// queue and a free worker, and only from a live, non-draining peer at
+// or above the configured queue-depth threshold.
+func (s *Server) stealOnce() {
+	cl := s.cl
+	if s.m.queued.Load() > 0 || s.m.running.Load() >= int64(s.opts.Workers) {
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return
+	}
+	var victim cluster.Member
+	depth := int64(cl.cfg.StealThreshold) - 1
+	for id, v := range cl.prober.Snapshot() {
+		if v.Alive && !v.Draining && v.Queued > depth {
+			if m, ok := cl.router.Member(id); ok {
+				victim, depth = m, v.Queued
+			}
+		}
+	}
+	if victim.ID == "" {
+		return
+	}
+	sj, err := cl.pc.Steal(context.Background(), victim)
+	if err != nil {
+		cl.prober.MarkDead(victim.ID, err)
+		return
+	}
+	if sj == nil {
+		return
+	}
+	s.adoptStolen(sj, victim)
+}
+
+// adoptStolen installs a stolen job locally: verify the handoff (the
+// request must hash to the advertised ID — content addressing is the
+// integrity check), journal the submit record, and enqueue. On any
+// failure the job is simply not adopted; the owner's watcher reclaims
+// it after a few missed polls.
+func (s *Server) adoptStolen(sj *cluster.StolenJob, from cluster.Member) {
+	var req JobRequest
+	if err := json.Unmarshal(sj.Request, &req); err != nil {
+		s.logj(sj.ID, "steal handoff undecodable", "from", from.ID, "err", err)
+		return
+	}
+	cfg, combo, spec, key, err := s.resolveRequest(&req)
+	if err != nil || key != sj.ID {
+		s.logj(sj.ID, "steal handoff rejected", "from", from.ID, "key", short(key), "err", err)
+		return
+	}
+	s.mu.Lock()
+	if _, exists := s.jobs[key]; exists || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), false)
+	s.mu.Unlock()
+	if err := s.appendRecord(journalRecord{Type: recSubmit, ID: key, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: req.Timeout}); err != nil {
+		j.markDurable(err)
+		s.abandonJob(j, "canceled: journal write failed")
+		return
+	}
+	j.markDurable(nil)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.abandonJob(j, msgShutdown)
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.abandonJob(j, msgQueueFull)
+		return
+	}
+	s.m.enqueued.Add(1)
+	s.m.queued.Add(1)
+	s.cl.cm.StealsIn.Add(1)
+	s.logj(key, "adopted stolen job", "from", from.ID)
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hydrogen-sim/hydrogen/internal/cluster"
 	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
 	"github.com/hydrogen-sim/hydrogen/internal/journal"
 	"github.com/hydrogen-sim/hydrogen/internal/obs"
@@ -78,6 +79,13 @@ type Options struct {
 	// never oversubscribe. Results are bit-identical either way, so
 	// this knob never affects cache keys or cached bytes.
 	SimParallel int
+	// Cluster, when set, joins this daemon to a static peer group:
+	// content-addressed job IDs route to their rendezvous-hash owner,
+	// non-owners proxy submissions and polls (filling their local cache
+	// from peer responses), idle peers steal queued work from saturated
+	// owners, and a front whose owner dies promotes forwarded jobs into
+	// its own journal-backed queue. Nil runs the daemon standalone.
+	Cluster *cluster.Config
 }
 
 // job is one submission's record. Its identity is its cache key, which
@@ -100,6 +108,7 @@ type job struct {
 
 	mu        sync.Mutex
 	state     string
+	stolen    bool // popped off the queue and running on a peer
 	err       string
 	submitted time.Time
 	started   time.Time
@@ -195,6 +204,10 @@ type Server struct {
 	// at startup — the design and combo tables cannot change at runtime.
 	designsJSON []byte
 	combosJSON  []byte
+
+	// cl holds the peer-cluster state (router, prober, peer client,
+	// forwarded-job ledger); nil when Options.Cluster is unset.
+	cl *clusterState
 }
 
 // reqMemoMax bounds the body-hash memo; 4096 distinct request bodies
@@ -311,6 +324,14 @@ func New(opts Options) (*Server, error) {
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
+	}
+	// The cluster loops start last: the stealer pushes into s.queue, so
+	// the queue must exist before any peer can hand this daemon work.
+	if opts.Cluster != nil {
+		if err := s.initCluster(opts.Cluster); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -520,6 +541,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeRaw(w, http.StatusOK, etagFor(key), enc...)
 		return
 	}
+	s.mu.Unlock()
+
+	// Unknown here. In a cluster the job belongs to its rendezvous owner:
+	// proxy unless this request was itself forwarded (the loop guard) or
+	// this daemon is the owner. A false return means every live candidate
+	// ranked above this daemon is gone — fail over and accept locally.
+	if s.cl != nil && r.Header.Get(cluster.HeaderForwarded) == "" && !s.cl.router.Owns(s.cl.cfg.Self, key) {
+		if s.clusterProxySubmit(w, r, body, &req, cfg, combo, spec, key) {
+			return
+		}
+	}
+	s.acceptLocal(w, &req, cfg, combo, spec, key)
+}
+
+// acceptLocal runs the accept tail of handleSubmit: re-check the job
+// table under the lock (the routing decision ran without s.mu, so an
+// identical submission may have landed meanwhile), then queue the job
+// behind the durability barrier.
+func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string) {
+	s.mu.Lock()
+	if j, ok := s.jobs[key]; ok {
+		switch j.snapshot().State {
+		case StateQueued, StateRunning:
+			s.mu.Unlock()
+			s.awaitDurable(w, j)
+			return
+		case StateDone:
+			if enc := s.encodedDone(j, true); enc != nil {
+				s.mu.Unlock()
+				s.m.cacheHits.Add(1)
+				writeRaw(w, http.StatusOK, etagFor(key), enc...)
+				return
+			}
+		}
+	}
 
 	if s.draining {
 		s.mu.Unlock()
@@ -725,6 +781,13 @@ func (s *Server) lookup(id string) *job {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
+		// In a cluster an unknown ID usually lives on another peer: chase
+		// it down the rendezvous ranking (unless this request was itself
+		// forwarded — a peer asking means the job should be here).
+		if s.cl != nil && r.Header.Get(cluster.HeaderForwarded) == "" {
+			s.clusterGet(w, r, r.PathValue("id"))
+			return
+		}
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
@@ -827,9 +890,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	switch j.state {
 	case StateQueued:
 		// The worker will skip it when it reaches the head of the queue.
+		// (A stolen job was already popped, so its gauge slot is gone.)
+		stolen := j.stolen
 		j.finish(StateCanceled, "canceled while queued", nil)
 		j.mu.Unlock()
-		s.m.queued.Add(-1)
+		if !stolen {
+			s.m.queued.Add(-1)
+		}
 		s.m.canceled.Add(1)
 		if err := s.appendRecord(journalRecord{Type: StateCanceled, ID: j.id, Error: "canceled while queued"}); err != nil {
 			s.logj(j.id, "journal cancel failed", "err", err)
@@ -898,6 +965,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+		return
+	}
+	// Clustered readiness is still 200 with a dead peer — this daemon can
+	// serve and fail over — but the degraded flag and per-peer state let
+	// orchestrators and operators see the cluster is running short-handed.
+	if s.cl != nil {
+		peers := s.cl.prober.Snapshot()
+		degraded := s.cl.prober.Degraded()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ready":    true,
+			"degraded": degraded,
+			"self":     s.cl.cfg.Self,
+			"peers":    peers,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
@@ -1103,6 +1184,7 @@ func (s *Server) noteFailure(id string) {
 // the spill directory. It is the SIGTERM path of cmd/hydroserved and is
 // idempotent.
 func (s *Server) Drain(ctx context.Context) error {
+	s.stopCluster()
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
@@ -1138,6 +1220,7 @@ func (s *Server) closeJournal() {
 // Close force-cancels everything and waits for the workers; for tests
 // and defer-style cleanup.
 func (s *Server) Close() error {
+	s.stopCluster()
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
@@ -1162,8 +1245,11 @@ func (s *Server) cancelAll() {
 		j.mu.Lock()
 		switch j.state {
 		case StateQueued:
+			stolen := j.stolen
 			j.finish(StateCanceled, msgShutdown, nil)
-			s.m.queued.Add(-1)
+			if !stolen {
+				s.m.queued.Add(-1)
+			}
 			s.m.canceled.Add(1)
 			droppedQueued = append(droppedQueued, j.id)
 		case StateRunning:
