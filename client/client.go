@@ -16,10 +16,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -167,6 +169,33 @@ func (e *apiError) Error() string {
 	return fmt.Sprintf("hydroserved: %d %s", e.Code, e.Msg)
 }
 
+// ErrOverloaded is the sentinel every 429 rejection unwraps to: the
+// server shed the request under admission control (queue full, CoDel
+// overload, or a deadline it projected as unmeetable). Callers match it
+// with errors.Is and pace themselves with RetryAfterHint, which carries
+// the server's own projected-wait estimate.
+var ErrOverloaded = errors.New("hydroserved: overloaded")
+
+// Unwrap lets errors.Is(err, ErrOverloaded) recognize shed requests
+// without exporting the concrete error type.
+func (e *apiError) Unwrap() error {
+	if e.Code == http.StatusTooManyRequests {
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// RetryAfterHint extracts the server's Retry-After duration from an
+// error returned by this client — the honest projected wait the daemon
+// computed when it shed the request. Zero when err carries no hint.
+func RetryAfterHint(err error) time.Duration {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
 // IsQueueFull reports whether err is the server's queue-full rejection,
 // which a submitter may retry after a backoff.
 func IsQueueFull(err error) bool {
@@ -231,6 +260,14 @@ func (c *Client) doCond(ctx context.Context, method, path, etag string, body, ou
 			return respMeta{}, err
 		}
 		req.Header.Set(obs.HeaderRequestID, reqID)
+		// Propagate the caller's remaining budget so the server can shed
+		// work it cannot finish in time instead of burning a worker on it.
+		// Minted per attempt: a retry after a backoff has less time left.
+		if dl, ok := ctx.Deadline(); ok {
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				req.Header.Set(cluster.HeaderDeadline, strconv.FormatInt(ms, 10))
+			}
+		}
 		if data != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}

@@ -3,11 +3,15 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/cluster"
 )
 
 // fastRetry keeps test wall-clock low while exercising the real loop.
@@ -209,5 +213,96 @@ func TestWaitTreatsDeadlineTerminal(t *testing.T) {
 	}
 	if st.State != "deadline_exceeded" {
 		t.Fatalf("state %q", st.State)
+	}
+}
+
+// TestDelayFloorsAtRetryAfter pins the pacing contract: jitter may
+// stretch a backoff step but must never cut a wait below the server's
+// Retry-After — the server's projected drain time is a floor, not a
+// suggestion.
+func TestDelayFloorsAtRetryAfter(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond}.withDefaults()
+	const ra = 250 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		for i := 0; i < 200; i++ {
+			if d := p.delay(attempt, ra); d < ra {
+				t.Fatalf("attempt %d: delay %v jittered below Retry-After %v", attempt, d, ra)
+			}
+		}
+	}
+	// Without a hint the jittered step still lands in [Max/2, Max].
+	for i := 0; i < 200; i++ {
+		if d := p.delay(10, 0); d < p.MaxDelay/2 || d > p.MaxDelay {
+			t.Fatalf("unhinted delay %v outside [%v, %v]", d, p.MaxDelay/2, p.MaxDelay)
+		}
+	}
+}
+
+// TestErrOverloadedAndHint: a 429 surfaces as ErrOverloaded with the
+// server's Retry-After recoverable via RetryAfterHint, so sweep
+// runners can pace resubmission to the daemon's own projection.
+func TestErrOverloadedAndHint(t *testing.T) {
+	h := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		status(http.StatusTooManyRequests)(w, r)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(h))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Budget: time.Millisecond}
+
+	_, err := c.Submit(context.Background(), JobRequest{Design: "Hydrogen", Combo: ComboSpec{ID: "C1"}})
+	if err == nil {
+		t.Fatal("Submit against a 429 server succeeded")
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrOverloaded)", err)
+	}
+	if got := RetryAfterHint(err); got != 7*time.Second {
+		t.Fatalf("RetryAfterHint = %v, want 7s", got)
+	}
+	// Non-429 errors are not "overloaded" and carry no false hint.
+	ts2 := httptest.NewServer(status(http.StatusNotFound))
+	defer ts2.Close()
+	c2 := New(ts2.URL)
+	c2.Retry = NoRetry
+	_, err = c2.Job(context.Background(), "deadbeef")
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatalf("404 reported as ErrOverloaded: %v", err)
+	}
+}
+
+// TestDeadlineHeaderMinted: a context deadline rides every request as
+// X-Hydro-Deadline so the server can shed work it cannot finish in
+// time.
+func TestDeadlineHeaderMinted(t *testing.T) {
+	var got atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get(cluster.HeaderDeadline); v != "" {
+			ms, _ := strconv.ParseInt(v, 10, 64)
+			got.Store(ms)
+		}
+		serveDesigns(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retry = NoRetry
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Designs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ms := got.Load(); ms <= 0 || ms > 30_000 {
+		t.Fatalf("minted deadline = %dms, want (0, 30000]", ms)
+	}
+
+	// No context deadline -> no header.
+	got.Store(-1)
+	if _, err := c.Designs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != -1 {
+		t.Fatal("deadline header sent without a context deadline")
 	}
 }

@@ -23,11 +23,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/debug"
 	"strings"
+	"time"
 
 	"github.com/hydrogen-sim/hydrogen/client"
 	"github.com/hydrogen-sim/hydrogen/experiments"
@@ -81,12 +83,27 @@ func main() {
 	if *server != "" {
 		cl := client.New(*server)
 		opts.Runner = func(cfg system.Config, design string, combo workloads.Combo) (system.Results, error) {
-			res, _, err := cl.Run(context.Background(), client.JobRequest{
+			req := client.JobRequest{
 				Config: &cfg,
 				Design: design,
 				Combo:  client.ComboSpec{ID: combo.ID, CPU: combo.CPU, GPU: combo.GPU},
-			})
-			return res, err
+			}
+			for {
+				res, _, err := cl.Run(context.Background(), req)
+				// A sweep has no deadline of its own: when the daemon sheds
+				// under load, pace to its projected wait and resubmit rather
+				// than fail the whole experiment. Content addressing makes
+				// the resubmit attach to any work already admitted.
+				if errors.Is(err, client.ErrOverloaded) {
+					wait := client.RetryAfterHint(err)
+					if wait <= 0 {
+						wait = time.Second
+					}
+					time.Sleep(wait)
+					continue
+				}
+				return res, err
+			}
 		}
 	}
 	if *combos != "" {

@@ -107,6 +107,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		self         = fs.String("self", "", "this daemon's member ID within -peers (required with -peers)")
 		peerProbe    = fs.Duration("peer-probe", 2*time.Second, "peer health probe interval")
 		stealInt     = fs.Duration("steal-interval", time.Second, "how often an idle member tries to steal queued work from a saturated peer; <0 disables stealing")
+		codelTarget  = fs.Duration("codel-target", 0, "CoDel queue-delay target: shed batch submissions while queue waits stay above it (0 disables)")
+		maxJournal   = fs.Int64("max-journal-bytes", 0, "compact the journal in place once it grows past this many bytes (0 disables)")
+		diskLow      = fs.Int64("disk-low-watermark", 0, "free-bytes floor on the journal/cache filesystem: below 2x prune spills, below 1x reject durable submits with 503 (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -136,6 +139,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		AccessLog:       *accessLog,
 		TelemetryPoints: *telemPoints,
 		SimParallel:     *simParallel,
+		CodelTarget:     *codelTarget,
+		MaxJournalBytes: *maxJournal,
+		DiskLowBytes:    *diskLow,
 	}
 	if *paper {
 		cfg := system.Paper()

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(clk *fakeClock, onOpen func(string)) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:       4,
+		MinSamples:   3,
+		FailureRatio: 0.5,
+		OpenFor:      5 * time.Second,
+	}, clk.now, onOpen)
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var opened []string
+	b := newTestBreaker(clk, func(p string) { opened = append(opened, p) })
+
+	// Below MinSamples nothing trips, even at 100% failure.
+	b.Record("a", false)
+	b.Record("a", false)
+	if got := b.State("a"); got != BreakerClosed {
+		t.Fatalf("state after 2 failures = %s, want closed (below MinSamples)", got)
+	}
+	if ok, _ := b.Allow("a"); !ok {
+		t.Fatal("closed breaker refused a call")
+	}
+
+	// Third failure reaches MinSamples at 100% failure rate: open.
+	b.Record("a", false)
+	if got := b.State("a"); got != BreakerOpen {
+		t.Fatalf("state after 3 failures = %s, want open", got)
+	}
+	if len(opened) != 1 || opened[0] != "a" {
+		t.Fatalf("onOpen calls = %v, want [a]", opened)
+	}
+	if ok, _ := b.Allow("a"); ok {
+		t.Fatal("open breaker allowed a call before OpenFor elapsed")
+	}
+}
+
+func TestBreakerMixedOutcomesBelowRatioStayClosed(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk, nil)
+	// Window 4, ratio 0.5: one failure in four outcomes is 25% — closed.
+	b.Record("a", false)
+	b.Record("a", true)
+	b.Record("a", true)
+	b.Record("a", true)
+	if got := b.State("a"); got != BreakerClosed {
+		t.Fatalf("state at 25%% failures = %s, want closed", got)
+	}
+	// Two more failures push the sliding window to 3/4 = 75%: open.
+	b.Record("a", false)
+	b.Record("a", false)
+	if got := b.State("a"); got != BreakerOpen {
+		t.Fatalf("state at 75%% failures = %s, want open", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.Record("a", false)
+	}
+	clk.advance(5 * time.Second)
+
+	ok, probe := b.Allow("a")
+	if !ok || !probe {
+		t.Fatalf("Allow after OpenFor = (%v, %v), want probe (true, true)", ok, probe)
+	}
+	// The probe slot is exclusive: a second caller still short-circuits.
+	if ok, _ := b.Allow("a"); ok {
+		t.Fatal("second caller got through while probe in flight")
+	}
+	b.Record("a", true)
+	if got := b.State("a"); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+	// The window reset with the close: one new failure is no trend.
+	b.Record("a", false)
+	if got := b.State("a"); got != BreakerClosed {
+		t.Fatalf("state after 1 post-close failure = %s, want closed (fresh window)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var opens int
+	b := newTestBreaker(clk, func(string) { opens++ })
+	for i := 0; i < 3; i++ {
+		b.Record("a", false)
+	}
+	clk.advance(5 * time.Second)
+	if ok, probe := b.Allow("a"); !ok || !probe {
+		t.Fatal("expected probe slot after OpenFor")
+	}
+	b.Record("a", false)
+	if got := b.State("a"); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	if opens != 2 {
+		t.Fatalf("onOpen fired %d times, want 2 (initial trip + failed probe)", opens)
+	}
+	// The fresh OpenFor starts at the failed probe, not the first trip.
+	clk.advance(4 * time.Second)
+	if ok, _ := b.Allow("a"); ok {
+		t.Fatal("re-opened breaker allowed a call before its new OpenFor elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if ok, probe := b.Allow("a"); !ok || !probe {
+		t.Fatal("expected a new probe after the re-opened OpenFor elapsed")
+	}
+}
+
+func TestBreakerPeersAreIsolated(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 4; i++ {
+		b.Record("a", false)
+		b.Record("b", true)
+	}
+	if got := b.State("a"); got != BreakerOpen {
+		t.Fatalf("peer a = %s, want open", got)
+	}
+	if got := b.State("b"); got != BreakerClosed {
+		t.Fatalf("peer b = %s, want closed", got)
+	}
+	if ok, _ := b.Allow("b"); !ok {
+		t.Fatal("healthy peer b short-circuited by peer a's failures")
+	}
+	if n := b.OpenCount(); n != 1 {
+		t.Fatalf("OpenCount = %d, want 1", n)
+	}
+}
+
+func TestBreakerDefaultsAndRealClock(t *testing.T) {
+	b := NewBreaker(BreakerConfig{}, nil, nil)
+	// Defaults: MinSamples 3, ratio 0.5, window 10.
+	for i := 0; i < 5; i++ {
+		b.Record("p", false)
+	}
+	if got := b.State("p"); got != BreakerOpen {
+		t.Fatalf("default-config breaker = %s after 5 failures, want open", got)
+	}
+	if ok, _ := b.Allow("p"); ok {
+		t.Fatal("freshly opened breaker (real clock) allowed a call")
+	}
+}

@@ -235,7 +235,7 @@ func TestPeerClientStealAndPeerz(t *testing.T) {
 
 func TestMetricsRegisterAndExpose(t *testing.T) {
 	r := obs.NewRegistry()
-	m := NewMetrics(r, func() int64 { return 3 }, func() int64 { return 2 })
+	m := NewMetrics(r, func() int64 { return 3 }, func() int64 { return 2 }, func() int64 { return 1 })
 	m.ProxiedSubmits.Add(1)
 	m.StealsIn.Add(2)
 	var b strings.Builder
@@ -258,6 +258,9 @@ func TestMetricsRegisterAndExpose(t *testing.T) {
 		"hydro_cluster_steal_returns_total 0",
 		"hydro_cluster_probe_errors_total 0",
 		"hydro_cluster_proxied_gets_total 0",
+		"hydro_cluster_breaker_opens_total 0",
+		"hydro_cluster_breaker_short_circuits_total 0",
+		"hydro_cluster_breakers_open 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, text)

@@ -15,11 +15,18 @@ type Metrics struct {
 	StealsOut      *obs.Counter
 	StealReturns   *obs.Counter
 	ProbeErrors    *obs.Counter
+
+	BreakerOpens         *obs.Counter
+	BreakerShortCircuits *obs.Counter
 }
 
 // NewMetrics registers the cluster family on r. peers and alive feed
-// the membership gauges at scrape time.
-func NewMetrics(r *obs.Registry, peers, alive func() int64) *Metrics {
+// the membership gauges at scrape time; openBreakers (nil reads as
+// zero) feeds the tripped-breaker gauge.
+func NewMetrics(r *obs.Registry, peers, alive, openBreakers func() int64) *Metrics {
+	if openBreakers == nil {
+		openBreakers = func() int64 { return 0 }
+	}
 	m := &Metrics{
 		ProxiedSubmits: r.Counter("hydro_cluster_proxied_submits_total",
 			"Job submissions proxied to their rendezvous owner on another peer."),
@@ -39,10 +46,16 @@ func NewMetrics(r *obs.Registry, peers, alive func() int64) *Metrics {
 			"Stolen jobs reclaimed after the thief died or rejected the handoff."),
 		ProbeErrors: r.Counter("hydro_cluster_probe_errors_total",
 			"Failed peer health probes."),
+		BreakerOpens: r.Counter("hydro_cluster_breaker_opens_total",
+			"Per-peer circuit breakers tripped open on failure rate."),
+		BreakerShortCircuits: r.Counter("hydro_cluster_breaker_short_circuits_total",
+			"Peer calls refused locally by an open breaker."),
 	}
 	r.GaugeFunc("hydro_cluster_peers",
 		"Configured cluster members, self included.", peers)
 	r.GaugeFunc("hydro_cluster_peers_alive",
 		"Configured peers currently reachable, self included.", alive)
+	r.GaugeFunc("hydro_cluster_breakers_open",
+		"Peers whose circuit breaker is currently open or half-open.", openBreakers)
 	return m
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -29,6 +30,12 @@ const (
 	// HeaderSelf is attached to every response a clustered daemon
 	// serves: its own member ID.
 	HeaderSelf = "X-Hydro-Self"
+	// HeaderDeadline carries the caller's remaining time budget in
+	// whole milliseconds. Clients mint it from their context deadline;
+	// each proxy hop re-mints it with the time already spent
+	// subtracted, so the budget shrinks as it crosses the cluster
+	// instead of resetting at every hop.
+	HeaderDeadline = "X-Hydro-Deadline"
 )
 
 // PeerStatus is one peer's self-report: the /v1/peerz core payload.
@@ -67,6 +74,10 @@ type PeerzPayload struct {
 type StolenJob struct {
 	ID      string          `json:"id"`
 	Request json.RawMessage `json:"request"`
+	// DeadlineMS is the job's remaining deadline budget at handoff time
+	// in milliseconds (0 = none): the same decrement-per-hop contract
+	// as HeaderDeadline, applied to stolen work.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // PeerClient issues cluster-internal requests. It is a thin wrapper
@@ -90,15 +101,20 @@ func NewPeerClient(self string, proxyTimeout, probeTimeout time.Duration) *PeerC
 	}
 }
 
-// Submit forwards a raw POST /v1/jobs body to m. The response is
-// returned as-is for relaying; the caller owns closing its body.
-func (p *PeerClient) Submit(ctx context.Context, m Member, body []byte, reqID string) (*http.Response, error) {
+// Submit forwards a raw POST /v1/jobs body to m. deadlineMS, when
+// positive, propagates the caller's remaining budget (HeaderDeadline)
+// to the peer. The response is returned as-is for relaying; the caller
+// owns closing its body.
+func (p *PeerClient) Submit(ctx context.Context, m Member, body []byte, reqID string, deadlineMS int64) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.URL+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(HeaderForwarded, p.self)
+	if deadlineMS > 0 {
+		req.Header.Set(HeaderDeadline, strconv.FormatInt(deadlineMS, 10))
+	}
 	if reqID != "" {
 		req.Header.Set("X-Request-Id", reqID)
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
@@ -177,4 +178,41 @@ func (c *resultCache) SpillAll() error {
 
 func (c *resultCache) spillPath(key string) string {
 	return filepath.Join(c.dir, key+".json")
+}
+
+// PruneSpills removes up to max of the oldest spill files — the disk
+// watermark's pressure valve. Spills are a cache tier, not durable
+// state: a pruned entry is re-simulated on demand, so shedding the
+// coldest ones is always safe. Returns how many files were removed.
+func (c *resultCache) PruneSpills(max int) int {
+	if c.dir == "" || max <= 0 {
+		return 0
+	}
+	paths, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil || len(paths) == 0 {
+		return 0
+	}
+	type aged struct {
+		path string
+		mod  int64
+	}
+	files := make([]aged, 0, len(paths))
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{p, fi.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	n := 0
+	for _, f := range files {
+		if n >= max {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			n++
+		}
+	}
+	return n
 }

@@ -25,6 +25,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strconv"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"github.com/hydrogen-sim/hydrogen/internal/cluster"
+	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
 )
@@ -46,11 +48,12 @@ const stolenMissLimit = 3
 
 // clusterState is the serve-side composition of the cluster package.
 type clusterState struct {
-	cfg    *cluster.Config
-	router *cluster.Router
-	pc     *cluster.PeerClient
-	prober *cluster.Prober
-	cm     *cluster.Metrics
+	cfg     *cluster.Config
+	router  *cluster.Router
+	pc      *cluster.PeerClient
+	prober  *cluster.Prober
+	cm      *cluster.Metrics
+	breaker *cluster.Breaker
 
 	// forwarded remembers every submission this daemon proxied out: the
 	// fully resolved job, so a dead owner's jobs can be promoted into
@@ -66,11 +69,13 @@ type clusterState struct {
 // forwardedJob is the promoted-on-failover payload: everything
 // acceptLocal needs, captured at proxy time.
 type forwardedJob struct {
-	cfg     system.Config
-	design  string
-	combo   workloads.Combo
-	spec    ComboSpec
-	timeout time.Duration
+	cfg      system.Config
+	design   string
+	combo    workloads.Combo
+	spec     ComboSpec
+	timeout  time.Duration
+	class    string
+	deadline time.Time
 }
 
 // initCluster validates the peer config and starts the cluster loops.
@@ -88,11 +93,21 @@ func (s *Server) initCluster(cfg *cluster.Config) error {
 		stealStop: make(chan struct{}),
 		stealDone: make(chan struct{}),
 	}
+	cl.breaker = cluster.NewBreaker(cluster.BreakerConfig{
+		Window:       cfg.BreakerWindow,
+		MinSamples:   cfg.BreakerMinSamples,
+		FailureRatio: cfg.BreakerRatio,
+		OpenFor:      cfg.BreakerOpenFor,
+	}, nil, func(peer string) {
+		cl.cm.BreakerOpens.Add(1)
+		s.logf("cluster: circuit breaker opened for peer %s", peer)
+	})
 	cl.prober = cluster.NewProber(cfg.Peers(), cl.pc, cfg.ProbeInterval,
 		func() { cl.cm.ProbeErrors.Add(1) })
 	cl.cm = cluster.NewMetrics(s.m.reg,
 		func() int64 { return int64(len(cfg.Members)) },
 		func() int64 { return cl.prober.AliveCount() + 1 }, // self counts
+		cl.breaker.OpenCount,
 	)
 	s.cl = cl
 	s.mux.HandleFunc("GET /v1/peerz", s.handlePeerz)
@@ -140,11 +155,61 @@ func proxyContext(parent context.Context, cl *clusterState, id string) (context.
 	return context.WithTimeout(parent, cl.cfg.ProbeTimeout)
 }
 
+// allowPeer consults peer id's circuit breaker. A false return means
+// the call must be short-circuited: the peer has been failing, and
+// burning a proxy timeout on it would stall this request for nothing.
+// Callers that get true MUST follow the call with recordPeer.
+func (cl *clusterState) allowPeer(id string) bool {
+	ok, _ := cl.breaker.Allow(id)
+	if !ok {
+		cl.cm.BreakerShortCircuits.Add(1)
+	}
+	return ok
+}
+
+// recordPeer feeds one call outcome into peer id's breaker. Only
+// transport-level failures count against the peer: an HTTP response of
+// any status proves the peer is alive and serving.
+func (cl *clusterState) recordPeer(id string, err error) {
+	cl.breaker.Record(id, err == nil)
+}
+
+// errPeerInjected is the transport-level failure the peer-error
+// failpoint simulates without touching the wire.
+var errPeerInjected = errors.New("faultinject: peer-error")
+
+// peerErrInjected reports whether the peer-error failpoint fires for
+// this call.
+func peerErrInjected() error {
+	if _, fired := faultinject.Hit(faultinject.PeerError); fired {
+		return errPeerInjected
+	}
+	return nil
+}
+
+// remainingMS converts an absolute deadline to the wire budget for the
+// next hop: whole milliseconds still available, floored at 1 so an
+// almost-expired deadline still propagates as a deadline (the receiver
+// sheds it honestly) instead of vanishing. Zero means no deadline.
+func remainingMS(deadline time.Time) int64 {
+	if deadline.IsZero() {
+		return 0
+	}
+	ms := int64(time.Until(deadline) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
 // clusterProxySubmit walks the job's rendezvous ranking and relays the
 // submission to the first live peer ranked above this daemon. It
 // returns false when the walk reaches self before any peer answers —
-// the caller then accepts the job locally (failover).
-func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body []byte, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string) bool {
+// the caller then accepts the job locally (failover). Peers whose
+// circuit breaker is open are skipped without touching the wire; the
+// caller's deadline budget is re-minted (time already spent subtracted)
+// for each attempt.
+func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body []byte, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string, class string, deadline time.Time) bool {
 	cl := s.cl
 	reqID := r.Header.Get("X-Request-Id")
 	for i, m := range cl.router.Rank(key) {
@@ -155,12 +220,21 @@ func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body
 			}
 			return false
 		}
+		if !cl.allowPeer(m.ID) {
+			s.logj(key, "peer short-circuited by breaker", "peer", m.ID)
+			continue
+		}
 		// A dead-marked peer still gets one short-fused attempt: the
 		// prober's verdict can be stale or a flap, and skipping a live
 		// owner here would fork a duplicate simulation elsewhere.
 		ctx, cancel := proxyContext(r.Context(), cl, m.ID)
-		resp, err := cl.pc.Submit(ctx, m, body, reqID)
+		var resp *http.Response
+		err := peerErrInjected()
+		if err == nil {
+			resp, err = cl.pc.Submit(ctx, m, body, reqID, remainingMS(deadline))
+		}
 		cancel()
+		cl.recordPeer(m.ID, err)
 		if err != nil {
 			cl.prober.MarkDead(m.ID, err)
 			s.logj(key, "peer submit failed", "peer", m.ID, "err", err)
@@ -168,7 +242,7 @@ func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body
 		}
 		cl.prober.MarkSeen(m.ID)
 		cl.cm.ProxiedSubmits.Add(1)
-		s.relayPeerResponse(w, resp, m, key, req, cfg, combo, spec)
+		s.relayPeerResponse(w, resp, m, key, req, cfg, combo, spec, class, deadline)
 		return true
 	}
 	return false
@@ -178,7 +252,7 @@ func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body
 // with which peer produced it, and records the side effects: the
 // forwarded-job ledger entry (for promote-on-failover) and, when the
 // response already carries the finished result, the local cache fill.
-func (s *Server) relayPeerResponse(w http.ResponseWriter, resp *http.Response, m cluster.Member, key string, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec) {
+func (s *Server) relayPeerResponse(w http.ResponseWriter, resp *http.Response, m cluster.Member, key string, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, class string, deadline time.Time) {
 	cl := s.cl
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
@@ -191,7 +265,7 @@ func (s *Server) relayPeerResponse(w http.ResponseWriter, resp *http.Response, m
 	}
 	remember := func() {
 		cl.mu.Lock()
-		cl.forwarded[key] = &forwardedJob{cfg: cfg, design: req.Design, combo: combo, spec: spec, timeout: time.Duration(req.Timeout)}
+		cl.forwarded[key] = &forwardedJob{cfg: cfg, design: req.Design, combo: combo, spec: spec, timeout: time.Duration(req.Timeout), class: class, deadline: deadline}
 		cl.mu.Unlock()
 	}
 	switch resp.StatusCode {
@@ -210,7 +284,7 @@ func (s *Server) relayPeerResponse(w http.ResponseWriter, resp *http.Response, m
 			case StateQueued, StateRunning:
 				remember()
 			case StateDone:
-				s.peerFill(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), body)
+				s.peerFill(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), class, body)
 			}
 		}
 	}
@@ -243,7 +317,7 @@ func relayRaw(w http.ResponseWriter, resp *http.Response, m cluster.Member, body
 // done job record, so every subsequent hit for this ID is local. The
 // result bytes are stored verbatim — determinism plus content
 // addressing make them identical to the owner's.
-func (s *Server) peerFill(key string, cfg system.Config, design string, combo workloads.Combo, spec ComboSpec, timeout time.Duration, body []byte) {
+func (s *Server) peerFill(key string, cfg system.Config, design string, combo workloads.Combo, spec ComboSpec, timeout time.Duration, class string, body []byte) {
 	var st JobStatus
 	if err := json.Unmarshal(body, &st); err != nil || st.State != StateDone || len(st.Result) == 0 || st.ID != key {
 		return
@@ -254,7 +328,7 @@ func (s *Server) peerFill(key string, cfg system.Config, design string, combo wo
 		return
 	}
 	s.cache.Put(key, st.Result)
-	j := s.newJobLocked(key, cfg, design, combo, spec, timeout, false)
+	j := s.newJobLocked(key, cfg, design, combo, spec, timeout, class, time.Time{}, false)
 	j.markDurable(nil) // the result exists; nothing to journal
 	j.state = StateDone
 	j.finished = time.Now()
@@ -278,12 +352,20 @@ func (s *Server) clusterGet(w http.ResponseWriter, r *http.Request, id string) {
 		if m.ID == cl.cfg.Self {
 			break
 		}
+		if !cl.allowPeer(m.ID) {
+			continue
+		}
 		// As on the submit path: never silently skip a ranked peer on
 		// the prober's say-so alone — attempt it (short-fused when
 		// dead-marked) and let the request outcome decide.
 		ctx, cancel := proxyContext(r.Context(), cl, m.ID)
-		resp, err := cl.pc.GetJob(ctx, m, id, r.Header.Get("If-None-Match"), reqID)
+		var resp *http.Response
+		err := peerErrInjected()
+		if err == nil {
+			resp, err = cl.pc.GetJob(ctx, m, id, r.Header.Get("If-None-Match"), reqID)
+		}
 		cancel()
+		cl.recordPeer(m.ID, err)
 		if err != nil {
 			cl.prober.MarkDead(m.ID, err)
 			if i == 0 {
@@ -312,14 +394,24 @@ func (s *Server) clusterGet(w http.ResponseWriter, r *http.Request, id string) {
 			}
 			if resp.StatusCode == http.StatusOK {
 				if fw := s.lookupForwarded(id); fw != nil {
-					s.peerFill(id, fw.cfg, fw.design, fw.combo, fw.spec, fw.timeout, body)
+					s.peerFill(id, fw.cfg, fw.design, fw.combo, fw.spec, fw.timeout, fw.class, body)
 				}
 			}
 			relayRaw(w, resp, m, body)
 		}()
 		return
 	}
-	if j := s.promoteForwarded(id); j != nil {
+	j, err := s.promoteForwarded(id)
+	if err != nil {
+		// This daemon forwarded the submission, the owner is gone, and
+		// adoption failed (full queue or a dead journal): the client's
+		// 202 is still backed by a journaled record here, so tell it to
+		// retry rather than pretend the job never existed.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "owner unreachable; local adoption failed: %v", err)
+		return
+	}
+	if j != nil {
 		writeJSON(w, http.StatusOK, j.snapshot())
 		return
 	}
@@ -335,49 +427,60 @@ func (s *Server) lookupForwarded(id string) *forwardedJob {
 // promoteForwarded adopts a job this daemon proxied out whose owner is
 // now unreachable: journal the submit record here (the 202 the client
 // holds must stay replayable from SOME journal) and enqueue it. Returns
-// the local job, existing or new; nil when this daemon never forwarded
-// the ID or cannot take it.
-func (s *Server) promoteForwarded(id string) *job {
+// the local job, existing or new; (nil, nil) when this daemon never
+// forwarded the ID or is legitimately refusing it (draining,
+// quarantined); a non-nil error when adoption was attempted and failed
+// — the job was NOT silently dropped (its submit record is neutralized
+// in the journal) and the caller owes the client an honest 503.
+func (s *Server) promoteForwarded(id string) (*job, error) {
 	fw := s.lookupForwarded(id)
 	if fw == nil {
-		return nil
+		return nil, nil
 	}
 	s.mu.Lock()
 	if j, ok := s.jobs[id]; ok {
 		s.mu.Unlock()
-		return j // already adopted (earlier poll, steal, or a racing submit)
+		return j, nil // already adopted (earlier poll, steal, or a racing submit)
 	}
 	if s.draining || s.failCount[id] >= s.opts.QuarantineAfter {
 		s.mu.Unlock()
-		return nil
+		return nil, nil
 	}
-	j := s.newJobLocked(id, fw.cfg, fw.design, fw.combo, fw.spec, fw.timeout, false)
+	j := s.newJobLocked(id, fw.cfg, fw.design, fw.combo, fw.spec, fw.timeout, fw.class, fw.deadline, false)
 	s.mu.Unlock()
-	if err := s.appendRecord(journalRecord{Type: recSubmit, ID: id, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: Duration(fw.timeout)}); err != nil {
+	rec := journalRecord{Type: recSubmit, ID: id, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: Duration(fw.timeout), Deadline: fw.deadline}
+	if j.class == classBatch {
+		rec.Priority = j.class
+	}
+	if err := s.appendRecord(rec); err != nil {
 		j.markDurable(err)
 		s.abandonJob(j, "canceled: journal write failed")
-		return nil
+		return nil, err
 	}
 	j.markDurable(nil)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.abandonJob(j, msgShutdown)
-		return nil
+		return nil, nil
 	}
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-	default:
+	if !s.queue.Push(j) {
 		s.mu.Unlock()
 		s.abandonJob(j, msgQueueFull)
-		return nil
+		// Neutralize the submit record just journaled: without this, a
+		// restart would resurrect a job whose adoption we reported as
+		// failed — the silent-drop bug this path used to have, inverted.
+		if err := s.appendRecord(journalRecord{Type: StateCanceled, ID: id, Error: msgQueueFull}); err != nil {
+			s.logj(id, "journal cancel failed", "err", err)
+		}
+		return nil, errors.New(msgQueueFull)
 	}
+	s.mu.Unlock()
 	s.m.enqueued.Add(1)
 	s.m.queued.Add(1)
 	s.cl.cm.PromotedJobs.Add(1)
 	s.logj(id, "promoted after owner failure", "design", j.design, "combo", j.spec.ID)
-	return j
+	return j, nil
 }
 
 // handlePeerz serves this daemon's self-status plus its view of the
@@ -423,6 +526,9 @@ func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := JobRequest{Config: &j.cfg, Design: j.design, Combo: j.spec, Timeout: Duration(j.timeout)}
+	if j.class == classBatch {
+		req.Priority = j.class
+	}
 	raw, err := json.Marshal(req)
 	if err != nil {
 		// Cannot serialize the handoff; keep the job for ourselves.
@@ -433,7 +539,9 @@ func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
 	s.cl.cm.StealsOut.Add(1)
 	s.logj(j.id, "stolen", "thief", thiefID)
 	go s.watchStolen(j, thief)
-	writeJSON(w, http.StatusOK, cluster.StolenJob{ID: j.id, Request: raw})
+	// The deadline budget crosses the handoff as remaining milliseconds,
+	// same contract as HeaderDeadline on proxied submits.
+	writeJSON(w, http.StatusOK, cluster.StolenJob{ID: j.id, Request: raw, DeadlineMS: remainingMS(j.deadline)})
 }
 
 // popQueuedJob takes one runnable job off the queue without blocking;
@@ -446,29 +554,25 @@ func (s *Server) popQueuedJob() *job {
 		return nil
 	}
 	for {
-		select {
-		case j, ok := <-s.queue:
-			if !ok {
-				return nil
-			}
-			j.mu.Lock()
-			if j.state != StateQueued {
-				j.mu.Unlock()
-				continue // canceled while queued; the worker would skip it too
-			}
-			j.stolen = true
-			j.mu.Unlock()
-			s.m.queued.Add(-1)
-			return j
-		default:
+		j := s.queue.TryPop()
+		if j == nil {
 			return nil
 		}
+		j.mu.Lock()
+		if j.state != StateQueued {
+			j.mu.Unlock()
+			continue // canceled while queued; the worker would skip it too
+		}
+		j.stolen = true
+		j.mu.Unlock()
+		s.m.queued.Add(-1)
+		return j
 	}
 }
 
-// requeueStolen puts a popped job back on the queue (or runs it inline
-// when the queue has refilled meanwhile — an accepted job is never
-// dropped).
+// requeueStolen puts a popped job back on the queue. ForcePush ignores
+// the lane cap — an accepted job is never dropped for depth — and only
+// refuses when the queue is closed, i.e. the daemon is shutting down.
 func (s *Server) requeueStolen(j *job) {
 	j.mu.Lock()
 	j.stolen = false
@@ -479,15 +583,13 @@ func (s *Server) requeueStolen(j *job) {
 		s.abandonJob(j, msgShutdown)
 		return
 	}
-	select {
-	case s.queue <- j:
-		s.m.queued.Add(1)
+	if !s.queue.ForcePush(j) {
 		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		s.m.queued.Add(1)
-		go s.runJob(j)
+		s.abandonJob(j, msgShutdown)
+		return
 	}
+	s.m.queued.Add(1)
+	s.mu.Unlock()
 }
 
 // watchStolen polls the thief for the stolen job's fate: terminal
@@ -564,6 +666,7 @@ func (s *Server) watchStolen(j *job, thief cluster.Member) {
 // miss counter advances toward reclaim.
 func (s *Server) pollStolen(id string, thief cluster.Member) (JobStatus, error) {
 	resp, err := s.cl.pc.GetJob(context.Background(), thief, id, "", "")
+	s.cl.recordPeer(thief.ID, err)
 	if err != nil {
 		s.cl.prober.MarkDead(thief.ID, err)
 		return JobStatus{}, err
@@ -627,7 +730,14 @@ func (s *Server) stealOnce() {
 	if victim.ID == "" {
 		return
 	}
+	if !cl.allowPeer(victim.ID) {
+		return // breaker open: don't poke a peer we just watched fail
+	}
 	sj, err := cl.pc.Steal(context.Background(), victim)
+	if err == nil {
+		err = peerErrInjected()
+	}
+	cl.recordPeer(victim.ID, err)
 	if err != nil {
 		cl.prober.MarkDead(victim.ID, err)
 		return
@@ -641,8 +751,10 @@ func (s *Server) stealOnce() {
 // adoptStolen installs a stolen job locally: verify the handoff (the
 // request must hash to the advertised ID — content addressing is the
 // integrity check), journal the submit record, and enqueue. On any
-// failure the job is simply not adopted; the owner's watcher reclaims
-// it after a few missed polls.
+// failure before journaling the job is simply not adopted; the owner's
+// watcher reclaims it after a few missed polls. After journaling, a
+// refused enqueue must neutralize the submit record — otherwise a
+// restart replays a job this daemon never owned up to running.
 func (s *Server) adoptStolen(sj *cluster.StolenJob, from cluster.Member) {
 	var req JobRequest
 	if err := json.Unmarshal(sj.Request, &req); err != nil {
@@ -654,14 +766,28 @@ func (s *Server) adoptStolen(sj *cluster.StolenJob, from cluster.Member) {
 		s.logj(sj.ID, "steal handoff rejected", "from", from.ID, "key", short(key), "err", err)
 		return
 	}
+	// A peer minted this priority, so an unknown value is a version skew,
+	// not a client error: fall back to interactive rather than reject.
+	class, ok := normalizeClass(req.Priority)
+	if !ok {
+		class = classInteractive
+	}
+	var deadline time.Time
+	if sj.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(sj.DeadlineMS) * time.Millisecond)
+	}
 	s.mu.Lock()
 	if _, exists := s.jobs[key]; exists || s.draining {
 		s.mu.Unlock()
 		return
 	}
-	j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), false)
+	j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), class, deadline, false)
 	s.mu.Unlock()
-	if err := s.appendRecord(journalRecord{Type: recSubmit, ID: key, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: req.Timeout}); err != nil {
+	rec := journalRecord{Type: recSubmit, ID: key, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: req.Timeout, Deadline: deadline}
+	if class == classBatch {
+		rec.Priority = class
+	}
+	if err := s.appendRecord(rec); err != nil {
 		j.markDurable(err)
 		s.abandonJob(j, "canceled: journal write failed")
 		return
@@ -673,14 +799,16 @@ func (s *Server) adoptStolen(sj *cluster.StolenJob, from cluster.Member) {
 		s.abandonJob(j, msgShutdown)
 		return
 	}
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-	default:
+	if !s.queue.Push(j) {
 		s.mu.Unlock()
 		s.abandonJob(j, msgQueueFull)
+		if err := s.appendRecord(journalRecord{Type: StateCanceled, ID: key, Error: msgQueueFull}); err != nil {
+			s.logj(key, "journal cancel failed", "err", err)
+		}
+		s.logj(key, "steal adoption refused: queue full", "from", from.ID)
 		return
 	}
+	s.mu.Unlock()
 	s.m.enqueued.Add(1)
 	s.m.queued.Add(1)
 	s.cl.cm.StealsIn.Add(1)

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package serve
+
+import "errors"
+
+// diskFreeBytes is unsupported off unix; the watermark loop treats the
+// error as "no opinion" and never trips the critical flag on it.
+func diskFreeBytes(dir string) (int64, error) {
+	return 0, errors.New("serve: disk free: unsupported platform")
+}

@@ -1,0 +1,16 @@
+//go:build unix
+
+package serve
+
+import "syscall"
+
+// diskFreeBytes reports the bytes available to unprivileged writes on
+// the filesystem holding dir (Bavail, not Bfree: the root-reserved
+// blocks are not headroom the daemon can spend).
+func diskFreeBytes(dir string) (int64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, err
+	}
+	return int64(st.Bavail) * int64(st.Bsize), nil
+}

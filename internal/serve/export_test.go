@@ -59,7 +59,7 @@ func (s *Server) Crash() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.queue.Close()
 	}
 	s.mu.Unlock()
 	s.cancelAll()

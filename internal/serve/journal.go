@@ -21,11 +21,16 @@ type journalRecord struct {
 	ID   string    `json:"id"`
 	Time time.Time `json:"time,omitzero"`
 
-	// Submit-only fields.
-	Config  *system.Config `json:"config,omitempty"`
-	Design  string         `json:"design,omitempty"`
-	Combo   *ComboSpec     `json:"combo,omitempty"`
-	Timeout Duration       `json:"timeout,omitempty"`
+	// Submit-only fields. Priority and Deadline ride along so a replay
+	// restores the job to its lane with its caller's deadline intact
+	// (an expired deadline replays as an honest deadline_exceeded
+	// instead of burning a worker).
+	Config   *system.Config `json:"config,omitempty"`
+	Design   string         `json:"design,omitempty"`
+	Combo    *ComboSpec     `json:"combo,omitempty"`
+	Timeout  Duration       `json:"timeout,omitempty"`
+	Priority string         `json:"priority,omitempty"`
+	Deadline time.Time      `json:"deadline,omitzero"`
 
 	// Terminal detail: the failure message, and — in compacted logs —
 	// the aggregated failure count for quarantine persistence.
@@ -44,9 +49,13 @@ const (
 // submit record cannot be made durable must not be accepted) and
 // counted.
 func (s *Server) appendRecord(rec journalRecord) error {
-	s.jlMu.Lock()
+	// The read lock is held across the Append itself: concurrent
+	// appenders still share group-commit batches (RLock admits them
+	// all), while the runtime compactor's write lock guarantees no
+	// record lands between its state snapshot and the rewritten file.
+	s.jlMu.RLock()
+	defer s.jlMu.RUnlock()
 	jl := s.jl
-	s.jlMu.Unlock()
 	if jl == nil {
 		return nil
 	}

@@ -1,0 +1,525 @@
+package serve_test
+
+// Overload-resilience tests: priority classes, adaptive admission
+// (deadline + CoDel shedding with honest Retry-After), deadline
+// propagation across cluster hops, circuit-breaker peer routing, disk
+// watermarks, and live journal compaction.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/cluster"
+	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
+	"github.com/hydrogen-sim/hydrogen/internal/serve"
+)
+
+// submitHdr posts a job with extra headers and returns the decoded
+// status (2xx only), the HTTP code, and the response headers.
+func submitHdr(t *testing.T, base string, req serve.JobRequest, hdr map[string]string) (serve.JobStatus, int, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode, resp.Header
+}
+
+func TestPriorityClassRoundtrip(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	cfg := tinyConfig()
+
+	st, code := submit(t, ts.URL, serve.JobRequest{
+		Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"},
+		Priority: "batch",
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("batch submit: HTTP %d, want 202", code)
+	}
+	if st.Priority != "batch" {
+		t.Fatalf("submit status priority = %q, want batch", st.Priority)
+	}
+	final := waitState(t, ts.URL, st.ID, serve.StateDone)
+	if final.Priority != "batch" {
+		t.Fatalf("final status priority = %q, want batch", final.Priority)
+	}
+
+	// Interactive is the default and stays off the wire (the pre-class
+	// format had no priority field; byte identity preserves that).
+	cfg2 := cfg
+	cfg2.Seed = 777
+	st2, code := submit(t, ts.URL, serve.JobRequest{Config: &cfg2, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}})
+	if code != http.StatusAccepted {
+		t.Fatalf("interactive submit: HTTP %d, want 202", code)
+	}
+	if st2.Priority != "" {
+		t.Fatalf("interactive priority = %q, want empty", st2.Priority)
+	}
+
+	_, code = submit(t, ts.URL, serve.JobRequest{
+		Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"},
+		Priority: "urgent",
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown priority: HTTP %d, want 400", code)
+	}
+}
+
+func TestAdmissionShedFailpointAndRetryAfter(t *testing.T) {
+	defer faultinject.Reset()
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	cfg := tinyConfig()
+	req := serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+
+	faultinject.Set(faultinject.AdmissionShed, 1, 0)
+	_, code, hdr := submitHdr(t, ts.URL, req, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("shed submit: HTTP %d, want 429", code)
+	}
+	ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("shed Retry-After = %q, want integer >= 1", hdr.Get("Retry-After"))
+	}
+	if n := metric(t, ts.URL, "hydroserved_admission_shed_total"); n != 1 {
+		t.Fatalf("shed_total = %d, want 1", n)
+	}
+	if n := metric(t, ts.URL, "hydroserved_admission_shed_overload_total"); n != 1 {
+		t.Fatalf("shed_overload_total = %d, want 1", n)
+	}
+
+	// Disarmed, the identical submission is admitted and completes.
+	st, code := submit(t, ts.URL, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("post-shed submit: HTTP %d, want 202", code)
+	}
+	waitState(t, ts.URL, st.ID, serve.StateDone)
+}
+
+func TestDeadlineExpiresBeforeStart(t *testing.T) {
+	defer faultinject.Reset()
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	cfg := tinyConfig()
+
+	// Hold the only worker so the deadlined job sits queued past its
+	// budget.
+	faultinject.Set(faultinject.SlowWorker, 1, 1500)
+	blocker, code := submit(t, ts.URL, serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}})
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker submit: HTTP %d, want 202", code)
+	}
+	waitState(t, ts.URL, blocker.ID, serve.StateRunning)
+
+	cfg2 := cfg
+	cfg2.Seed = 99
+	st, code, _ := submitHdr(t, ts.URL,
+		serve.JobRequest{Config: &cfg2, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}},
+		map[string]string{cluster.HeaderDeadline: "300"})
+	if code != http.StatusAccepted {
+		t.Fatalf("deadlined submit: HTTP %d, want 202 (cold cost model must admit)", code)
+	}
+	if st.Deadline.IsZero() {
+		t.Fatal("accepted status does not echo the propagated deadline")
+	}
+
+	final := waitState(t, ts.URL, st.ID, serve.StateDeadline)
+	if final.Error != "deadline exceeded before start" {
+		t.Fatalf("expired-in-queue error = %q, want %q", final.Error, "deadline exceeded before start")
+	}
+	waitState(t, ts.URL, blocker.ID, serve.StateDone)
+}
+
+func TestBatchCodelShedKeepsInteractiveOpen(t *testing.T) {
+	defer faultinject.Reset()
+	_, ts := newTestServer(t, serve.Options{Workers: 1, CodelTarget: time.Millisecond})
+	cfg := tinyConfig()
+	mkReq := func(seed int64, prio string) serve.JobRequest {
+		c := cfg
+		c.Seed = seed
+		return serve.JobRequest{Config: &c, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}, Priority: prio}
+	}
+
+	// Prime the cost model: one completed job teaches the EWMA this
+	// family's real cost (far above the 1ms CoDel target).
+	prime, code := submit(t, ts.URL, mkReq(1, ""))
+	if code != http.StatusAccepted {
+		t.Fatalf("prime submit: HTTP %d", code)
+	}
+	waitState(t, ts.URL, prime.ID, serve.StateDone)
+
+	// Occupy the worker, then queue one batch job to stand behind it.
+	faultinject.Set(faultinject.SlowWorker, 1, 3000)
+	blocker, code := submit(t, ts.URL, mkReq(2, ""))
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker submit: HTTP %d", code)
+	}
+	waitState(t, ts.URL, blocker.ID, serve.StateRunning)
+	if _, code = submit(t, ts.URL, mkReq(3, "batch")); code != http.StatusAccepted {
+		t.Fatalf("first batch submit: HTTP %d, want 202 (empty queue projects no wait)", code)
+	}
+
+	// The next batch job projects a wait behind the queued one — above
+	// target — and is shed with an honest Retry-After.
+	_, code, hdr := submitHdr(t, ts.URL, mkReq(4, "batch"), nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("standing-queue batch submit: HTTP %d, want 429", code)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("batch shed Retry-After = %q, want integer >= 1", hdr.Get("Retry-After"))
+	}
+	if n := metric(t, ts.URL, "hydroserved_admission_shed_overload_total"); n < 1 {
+		t.Fatalf("shed_overload_total = %d, want >= 1", n)
+	}
+
+	// Interactive work is never CoDel-shed: same load, still admitted.
+	if _, code = submit(t, ts.URL, mkReq(5, "interactive")); code != http.StatusAccepted {
+		t.Fatalf("interactive submit under batch backlog: HTTP %d, want 202", code)
+	}
+}
+
+func TestClusterDeadlinePropagation(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	cfg := tinyConfig()
+
+	// Pick a front that does NOT own the family's jobs, so every submit
+	// crosses one proxy hop.
+	mkReq := func(seed int64) serve.JobRequest {
+		c := cfg
+		c.Seed = seed
+		return serve.JobRequest{Config: &c, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+	}
+	prime := mkReq(1)
+	owner := tc.ownerIdx(t, jobKey(t, prime))
+	front := 1 - owner
+
+	// Generous budget: the deadline survives the hop (the owner echoes
+	// it in the status) and the job completes normally.
+	st, code, _ := submitHdr(t, tc.urls[front], prime, map[string]string{cluster.HeaderDeadline: "600000"})
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("proxied submit: HTTP %d", code)
+	}
+	final := waitState(t, tc.urls[front], st.ID, serve.StateDone)
+	if final.Deadline.IsZero() {
+		t.Fatal("deadline did not survive the proxy hop into the owner's job record")
+	}
+	// The owner's cost model is now warm for this family.
+
+	// Find another job of the same family owned by the same node: its
+	// 1ms budget is provably unmeetable against the warmed estimate, so
+	// the OWNER sheds it and the front relays the 429.
+	var shedReq serve.JobRequest
+	for seed := int64(100); ; seed++ {
+		r := mkReq(seed)
+		if tc.ownerIdx(t, jobKey(t, r)) == owner {
+			shedReq = r
+			break
+		}
+	}
+	_, code, hdr := submitHdr(t, tc.urls[front], shedReq, map[string]string{cluster.HeaderDeadline: "1"})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("unmeetable-deadline submit: HTTP %d, want 429 relayed from the owner", code)
+	}
+	if hdr.Get(cluster.HeaderPeer) != tc.ids[owner] {
+		t.Fatalf("429 tagged %q, want the owner %q (proof the OWNER shed it)", hdr.Get(cluster.HeaderPeer), tc.ids[owner])
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("relayed Retry-After = %q, want integer >= 1", hdr.Get("Retry-After"))
+	}
+	if n := metric(t, tc.urls[owner], "hydroserved_admission_shed_deadline_total"); n < 1 {
+		t.Fatalf("owner shed_deadline_total = %d, want >= 1", n)
+	}
+}
+
+func TestClusterBreakerTripsOnDeadPeer(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	cfg := tinyConfig()
+	mkReq := func(seed int64) serve.JobRequest {
+		c := cfg
+		c.Seed = seed
+		return serve.JobRequest{Config: &c, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+	}
+
+	// Kill node 2 outright: journal detached, listener gone.
+	dead := 2
+	tc.servers[dead].Crash()
+	tc.https[dead].CloseClientConnections()
+	tc.https[dead].Close()
+	front := 0
+
+	// Collect jobs owned by the dead node so every submit through the
+	// front attempts (or short-circuits) the dead peer first.
+	var owned []serve.JobRequest
+	for seed := int64(1); len(owned) < 5; seed++ {
+		r := mkReq(seed)
+		if tc.ownerIdx(t, jobKey(t, r)) == dead {
+			owned = append(owned, r)
+		}
+	}
+
+	// Every submit succeeds locally despite the dead owner: the first
+	// few burn a connection failure each, then the breaker opens and
+	// the rest skip the dial entirely.
+	for i, r := range owned {
+		_, code := submit(t, tc.urls[front], r)
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit %d with dead owner: HTTP %d, want 202/200", i, code)
+		}
+	}
+	if n := metric(t, tc.urls[front], "hydro_cluster_breaker_opens_total"); n != 1 {
+		t.Fatalf("breaker_opens_total = %d, want 1", n)
+	}
+	if n := metric(t, tc.urls[front], "hydro_cluster_breaker_short_circuits_total"); n < 1 {
+		t.Fatalf("breaker_short_circuits_total = %d, want >= 1", n)
+	}
+	if n := metric(t, tc.urls[front], "hydro_cluster_breakers_open"); n != 1 {
+		t.Fatalf("breakers_open gauge = %d, want 1", n)
+	}
+	// Node 1's breaker is untouched by node 2's death: peers isolate.
+	if n := metric(t, tc.urls[1], "hydro_cluster_breaker_opens_total"); n != 0 {
+		t.Fatalf("bystander breaker_opens_total = %d, want 0", n)
+	}
+}
+
+// TestClusterPromoteQueueFullNeutralized is the satellite regression
+// test: when a daemon adopts a forwarded job after its owner dies but
+// cannot enqueue it (lane full), the adoption must fail OBSERVABLY —
+// 503 to the poller, neutralizing cancel record in the journal — and a
+// restart must not resurrect the job.
+func TestClusterPromoteQueueFullNeutralized(t *testing.T) {
+	defer faultinject.Reset()
+	journals := make([]string, 2)
+	tc := newTestCluster(t, 2, func(i int, o *serve.Options) {
+		o.Workers = 1
+		o.QueueDepth = 1
+		journals[i] = o.JournalPath
+	})
+	cfg := tinyConfig()
+	mkReq := func(seed int64) serve.JobRequest {
+		c := cfg
+		c.Seed = seed
+		return serve.JobRequest{Config: &c, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+	}
+
+	// Orient: the target job's owner is one node; the other is the front
+	// that proxies it and will be asked to adopt it later.
+	target := mkReq(1)
+	targetKey := jobKey(t, target)
+	owner := tc.ownerIdx(t, targetKey)
+	front := 1 - owner
+
+	// Fill jobs owned by the FRONT keep its single worker busy and its
+	// one-deep interactive lane full.
+	var fill []serve.JobRequest
+	for seed := int64(50); len(fill) < 2; seed++ {
+		r := mkReq(seed)
+		if tc.ownerIdx(t, jobKey(t, r)) == front {
+			fill = append(fill, r)
+		}
+	}
+
+	// Two slow-worker charges: one for the front's worker (fill #1), one
+	// for the owner's worker (the target), so both stay in flight.
+	faultinject.Set(faultinject.SlowWorker, 2, 8000)
+
+	f1, code := submit(t, tc.urls[front], fill[0])
+	if code != http.StatusAccepted {
+		t.Fatalf("fill 1: HTTP %d", code)
+	}
+	waitState(t, tc.urls[front], f1.ID, serve.StateRunning)
+
+	st, code := submit(t, tc.urls[front], target)
+	if code != http.StatusAccepted {
+		t.Fatalf("target submit via front: HTTP %d", code)
+	}
+	waitState(t, tc.urls[front], st.ID, serve.StateRunning)
+
+	if _, code = submit(t, tc.urls[front], fill[1]); code != http.StatusAccepted {
+		t.Fatalf("fill 2: HTTP %d", code)
+	}
+
+	// Kill the owner mid-run.
+	tc.servers[owner].Crash()
+	tc.https[owner].CloseClientConnections()
+	tc.https[owner].Close()
+
+	// Polling the target through the front now walks to the dead owner,
+	// fails, and tries local adoption — which must be refused honestly:
+	// the queue is full, so the poller gets 503 + Retry-After, never a
+	// silent drop.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(tc.urls[front] + "/v1/jobs/" + targetKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("failed adoption 503 carries no Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("front never reported failed adoption (last HTTP %d)", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Crash the front and replay its journal standalone: the fill jobs
+	// (no terminal record) resurrect; the refused adoption must NOT —
+	// its submit record was neutralized by the cancel record.
+	tc.servers[front].Crash()
+	tc.https[front].Close()
+	faultinject.Reset() // replayed jobs should run at full speed
+
+	srv, err := serve.New(serve.Options{Workers: 1, QueueDepth: 4, JournalPath: journals[front]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if n := srv.ReplayedJobs(); n != 2 {
+		t.Fatalf("replay resurrected %d jobs, want 2 (the fills, not the refused adoption)", n)
+	}
+}
+
+func TestDiskWatermarks(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, serve.Options{
+		Workers:           1,
+		JournalPath:       filepath.Join(dir, "journal"),
+		CacheDir:          filepath.Join(dir, "spill"),
+		DiskLowBytes:      1 << 20,
+		WatermarkInterval: 10 * time.Millisecond,
+	})
+	if err := os.MkdirAll(filepath.Join(dir, "spill"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+
+	// A finished job spilled to disk gives the pressure path something
+	// to prune.
+	st, code := submit(t, ts.URL, serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, ts.URL, st.ID, serve.StateDone)
+	if err := srv.SpillForTest(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fake 1 byte free for every check until reset: the daemon must go
+	// critical, prune spills, and refuse durable submits with 503. Wait
+	// for a watermark tick to see the fake reading before submitting.
+	faultinject.Set(faultinject.DiskCritical, 10_000, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for metric(t, ts.URL, "hydroserved_disk_free_bytes") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("watermark loop never observed the injected free-space reading")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 7
+	req2 := serve.JobRequest{Config: &cfg2, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+	_, code, hdr := submitHdr(t, ts.URL, req2, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while disk-critical: HTTP %d, want 503", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("disk-critical 503 carries no Retry-After")
+	}
+	if n := metric(t, ts.URL, "hydroserved_disk_low_rejects_total"); n < 1 {
+		t.Fatalf("disk_low_rejects_total = %d, want >= 1", n)
+	}
+	if n := metric(t, ts.URL, "hydroserved_cache_spill_prunes_total"); n < 1 {
+		t.Fatalf("cache_spill_prunes_total = %d, want >= 1 (spill pruned under pressure)", n)
+	}
+
+	// Real free space again: hysteresis clears the flag and durable
+	// submits resume.
+	faultinject.Reset()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		stx, code, _ := submitHdr(t, ts.URL, req2, nil)
+		if code == http.StatusAccepted {
+			waitState(t, ts.URL, stx.ID, serve.StateDone)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never recovered from disk-critical (last HTTP %d)", code)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestJournalCompactionAtSizeCap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+	srv, ts := newTestServer(t, serve.Options{
+		Workers:           2,
+		JournalPath:       path,
+		MaxJournalBytes:   4096,
+		WatermarkInterval: 10 * time.Millisecond,
+	})
+	cfg := tinyConfig()
+	for seed := int64(1); seed <= 4; seed++ {
+		c := cfg
+		c.Seed = seed
+		st, code := submit(t, ts.URL, serve.JobRequest{Config: &c, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit seed %d: HTTP %d", seed, code)
+		}
+		waitState(t, ts.URL, st.ID, serve.StateDone)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for metric(t, ts.URL, "hydroserved_journal_compactions_total") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("journal never compacted past MaxJournalBytes")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Nothing was queued or running at compaction time, so the rewritten
+	// journal holds no live submits: it must be far under the cap.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 4096 {
+		t.Fatalf("compacted journal is %d bytes, want <= cap", fi.Size())
+	}
+	// The daemon keeps serving and journaling after the swap.
+	c := cfg
+	c.Seed = 99
+	st, code := submit(t, ts.URL, serve.JobRequest{Config: &c, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}})
+	if code != http.StatusAccepted {
+		t.Fatalf("post-compaction submit: HTTP %d", code)
+	}
+	waitState(t, ts.URL, st.ID, serve.StateDone)
+	_ = srv
+}

@@ -1,0 +1,95 @@
+package serve
+
+import "testing"
+
+func qjob(class string) *job { return &job{class: class} }
+
+func TestQueueInteractiveFirstWithBatchShare(t *testing.T) {
+	q := newJobQueue(16)
+	for i := 0; i < 8; i++ {
+		if !q.Push(qjob(classInteractive)) {
+			t.Fatal("interactive push refused")
+		}
+		if !q.Push(qjob(classBatch)) {
+			t.Fatal("batch push refused")
+		}
+	}
+	// Under contention batch gets exactly one pop in every batchEvery.
+	batchPops := 0
+	for i := 0; i < 8; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("pop failed with work queued")
+		}
+		if j.class == classBatch {
+			batchPops++
+		}
+	}
+	if batchPops != 8/batchEvery {
+		t.Fatalf("batch received %d of 8 contended pops, want %d", batchPops, 8/batchEvery)
+	}
+	// Once the interactive lane empties, batch drains freely.
+	for q.Len() > 0 {
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("pop failed during drain")
+		}
+	}
+}
+
+func TestQueuePerLaneCapacityAndForcePush(t *testing.T) {
+	q := newJobQueue(2)
+	if !q.Push(qjob(classBatch)) || !q.Push(qjob(classBatch)) {
+		t.Fatal("pushes under cap refused")
+	}
+	if q.Push(qjob(classBatch)) {
+		t.Fatal("push above lane cap accepted")
+	}
+	// A full batch lane must not consume interactive admission slots.
+	if !q.Push(qjob(classInteractive)) {
+		t.Fatal("interactive push refused while only the batch lane is full")
+	}
+	// ForcePush ignores the cap: owed jobs are never dropped for depth.
+	if !q.ForcePush(qjob(classBatch)) {
+		t.Fatal("ForcePush refused on a full (but open) lane")
+	}
+	if got := q.LaneLen(1); got != 3 {
+		t.Fatalf("batch lane depth = %d, want 3", got)
+	}
+}
+
+func TestQueueDrainsAfterClose(t *testing.T) {
+	q := newJobQueue(8)
+	q.Push(qjob(classInteractive))
+	q.Push(qjob(classBatch))
+	q.Close()
+	if q.Push(qjob(classInteractive)) {
+		t.Fatal("push accepted after close")
+	}
+	if q.ForcePush(qjob(classInteractive)) {
+		t.Fatal("ForcePush accepted after close")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d failed: closed queue must drain its backlog", i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop reported ok on a closed empty queue")
+	}
+}
+
+func TestQueueTryPopPrefersBatch(t *testing.T) {
+	q := newJobQueue(8)
+	q.Push(qjob(classInteractive))
+	q.Push(qjob(classBatch))
+	// Stealing ships batch backlog first; interactive stays local.
+	if j := q.TryPop(); j == nil || j.class != classBatch {
+		t.Fatalf("TryPop = %+v, want the batch job", j)
+	}
+	if j := q.TryPop(); j == nil || j.class != classInteractive {
+		t.Fatalf("TryPop = %+v, want the interactive job", j)
+	}
+	if j := q.TryPop(); j != nil {
+		t.Fatalf("TryPop on empty queue = %+v, want nil", j)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hydrogen-sim/hydrogen/internal/cluster"
@@ -86,6 +87,29 @@ type Options struct {
 	// owners, and a front whose owner dies promotes forwarded jobs into
 	// its own journal-backed queue. Nil runs the daemon standalone.
 	Cluster *cluster.Config
+
+	// CodelTarget is the CoDel-style queue-delay target for batch
+	// admission: when measured queue waits stay above it for a full
+	// interval, or a batch submission's projected wait alone exceeds
+	// it, batch work is shed with 429 + an honest Retry-After.
+	// Interactive work is never CoDel-shed. <=0 disables overload
+	// shedding (deadline-based shedding stays on).
+	CodelTarget time.Duration
+	// MaxJournalBytes triggers live journal compaction: when the
+	// journal file outgrows it, the log is rewritten in place to the
+	// minimal equivalent state (one submit record per queued/running
+	// job plus aggregated failure counts) without a restart. <=0
+	// disables runtime compaction (startup compaction still runs).
+	MaxJournalBytes int64
+	// DiskLowBytes is the free-disk watermark. Below 2x, the spill
+	// directory sheds its oldest entries each check; below 1x, the
+	// daemon refuses new durable work with 503 rather than ack 202s
+	// whose journal writes are about to hit ENOSPC. <=0 disables disk
+	// watermarking.
+	DiskLowBytes int64
+	// WatermarkInterval is the disk/journal watermark check cadence;
+	// <=0 selects 5s.
+	WatermarkInterval time.Duration
 }
 
 // job is one submission's record. Its identity is its cache key, which
@@ -98,6 +122,8 @@ type job struct {
 	combo    workloads.Combo
 	spec     ComboSpec
 	timeout  time.Duration // execution deadline, 0 = none
+	class    string        // admission lane: classInteractive or classBatch
+	deadline time.Time     // propagated caller deadline, zero = none
 	replayed bool          // re-enqueued from the journal after a restart
 
 	// telem and trace carry their own locks: handlers snapshot them
@@ -176,17 +202,33 @@ type Server struct {
 	m       *metrics
 	log     *slog.Logger
 
-	// jlMu guards the journal handle only; appends are serialized by
-	// the journal itself. Kept separate from mu so a crash-simulation
-	// hook can detach the journal without the server lock.
-	jlMu sync.Mutex
+	// jlMu guards the journal handle. Appenders hold it shared (the
+	// journal serializes appends internally, and RLock keeps
+	// group-commit batching intact); the runtime compactor holds it
+	// exclusive so no append can land between its state snapshot and
+	// the rewritten file. Kept separate from mu so a crash-simulation
+	// hook can detach the journal without the server lock. Lock order:
+	// jlMu before mu.
+	jlMu sync.RWMutex
 	jl   *journal.Journal
+
+	// adm is the adaptive admission controller (cost model + CoDel
+	// queue-delay window); see admission.go.
+	adm *admission
+
+	// diskCritical flips when free disk falls under DiskLowBytes; the
+	// submit path then refuses durable work with 503. diskFree mirrors
+	// the last free-bytes sample for /metrics. wmStop ends the
+	// watermark loop.
+	diskCritical atomic.Bool
+	diskFree     atomic.Int64
+	wmStop       chan struct{}
 
 	mu        sync.Mutex
 	jobs      map[string]*job
 	order     []string // job IDs in first-submission order, for listing
 	failCount map[string]int
-	queue     chan *job
+	queue     *jobQueue
 	draining  bool
 	replaying bool
 	workers   sync.WaitGroup
@@ -234,6 +276,9 @@ func New(opts Options) (*Server, error) {
 	if opts.TelemetryPoints <= 0 {
 		opts.TelemetryPoints = obs.DefaultRingPoints
 	}
+	if opts.WatermarkInterval <= 0 {
+		opts.WatermarkInterval = 5 * time.Second
+	}
 	opts.SimParallel = budgetSimParallel(opts.SimParallel, opts.Workers, runtime.GOMAXPROCS(0))
 	s := &Server{
 		opts:      opts,
@@ -242,6 +287,7 @@ func New(opts Options) (*Server, error) {
 		jobs:      make(map[string]*job),
 		failCount: make(map[string]int),
 		reqMemo:   make(map[[sha256.Size]byte]string),
+		adm:       newAdmission(opts.CodelTarget),
 	}
 	var err error
 	if s.designsJSON, err = encodeJSON(system.Designs()); err != nil {
@@ -262,23 +308,24 @@ func New(opts Options) (*Server, error) {
 		func() int64 { return int64(s.cache.Len()) },
 		s.cache.Bytes,
 		func() int64 {
-			s.jlMu.Lock()
+			s.jlMu.RLock()
 			jl := s.jl
-			s.jlMu.Unlock()
+			s.jlMu.RUnlock()
 			if jl == nil {
 				return 0
 			}
 			return jl.Size()
 		},
 		func() int64 {
-			s.jlMu.Lock()
+			s.jlMu.RLock()
 			jl := s.jl
-			s.jlMu.Unlock()
+			s.jlMu.RUnlock()
 			if jl == nil {
 				return 0
 			}
 			return jl.Syncs()
 		},
+		s.diskFree.Load,
 	)
 	s.cache.onEvict = func(spilled bool) {
 		s.m.cacheEvictions.Add(1)
@@ -310,11 +357,11 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The queue must hold every replayed job plus the configured depth
-	// of new work; it is sized once, before the workers start.
-	s.queue = make(chan *job, maxInt(opts.QueueDepth, len(pending)))
+	// Replayed jobs re-enter through ForcePush: a journaled 202 is a
+	// promise, so the configured depth never turns replayed work away.
+	s.queue = newJobQueue(opts.QueueDepth)
 	for _, j := range pending {
-		s.queue <- j
+		s.queue.ForcePush(j)
 		s.m.enqueued.Add(1)
 		s.m.queued.Add(1)
 		s.m.replayed.Add(1)
@@ -324,6 +371,12 @@ func New(opts Options) (*Server, error) {
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
+	}
+	// The watermark loop polices disk headroom and journal growth in the
+	// background; it only starts when either knob is set.
+	if opts.DiskLowBytes > 0 || opts.MaxJournalBytes > 0 {
+		s.wmStop = make(chan struct{})
+		go s.watermarkLoop()
 	}
 	// The cluster loops start last: the stealer pushes into s.queue, so
 	// the queue must exist before any peer can hand this daemon work.
@@ -367,7 +420,7 @@ func (s *Server) recover() ([]*job, error) {
 			// The crash landed between the result reaching the cache
 			// and the terminal record reaching the journal: the work is
 			// done, so synthesize the finished job instead of re-running.
-			j := s.newJobLocked(rec.ID, *rec.Config, rec.Design, workloads.Combo{}, *rec.Combo, time.Duration(rec.Timeout), true)
+			j := s.newJobLocked(rec.ID, *rec.Config, rec.Design, workloads.Combo{}, *rec.Combo, time.Duration(rec.Timeout), rec.Priority, rec.Deadline, true)
 			j.markDurable(nil) // its submit record is already in the journal
 			j.state = StateDone
 			j.finished = time.Now()
@@ -384,7 +437,7 @@ func (s *Server) recover() ([]*job, error) {
 			s.logj(rec.ID, "not replayed", "err", err)
 			continue
 		}
-		j := s.newJobLocked(rec.ID, *rec.Config, rec.Design, combo, spec, time.Duration(rec.Timeout), true)
+		j := s.newJobLocked(rec.ID, *rec.Config, rec.Design, combo, spec, time.Duration(rec.Timeout), rec.Priority, rec.Deadline, true)
 		j.markDurable(nil) // replayed from the journal: durable by definition
 		pending = append(pending, j)
 		still = append(still, r)
@@ -477,6 +530,9 @@ func (s *Server) resolveRequest(req *JobRequest) (system.Config, workloads.Combo
 const (
 	msgQueueFull = "canceled: queue full"
 	msgShutdown  = "canceled: server shutting down"
+	// msgExpiredQueued marks a job whose propagated deadline passed
+	// while it sat in the queue: finished honestly, never run.
+	msgExpiredQueued = "deadline exceeded before start"
 )
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -497,11 +553,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad job payload: negative timeout")
 		return
 	}
+	class, ok := normalizeClass(req.Priority)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "bad job payload: unknown priority %q (want %q or %q)", req.Priority, classInteractive, classBatch)
+		return
+	}
 	cfg, combo, spec, key, err := s.resolveRequest(&req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad job payload: %v", err)
 		return
 	}
+	deadline := parseDeadlineHeader(r.Header.Get(cluster.HeaderDeadline))
 	s.rememberBody(body, key)
 	s.m.submitted.Add(1)
 
@@ -529,7 +591,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	} else if data, ok := s.cache.Get(key); ok {
 		// No job record (e.g. fresh daemon with a warm spill directory)
 		// but the result exists: synthesize a done record.
-		j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), false)
+		j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), class, time.Time{}, false)
 		j.markDurable(nil) // nothing in flight: the result already exists
 		j.state = StateDone
 		j.finished = time.Now()
@@ -548,18 +610,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// this daemon is the owner. A false return means every live candidate
 	// ranked above this daemon is gone — fail over and accept locally.
 	if s.cl != nil && r.Header.Get(cluster.HeaderForwarded) == "" && !s.cl.router.Owns(s.cl.cfg.Self, key) {
-		if s.clusterProxySubmit(w, r, body, &req, cfg, combo, spec, key) {
+		if s.clusterProxySubmit(w, r, body, &req, cfg, combo, spec, key, class, deadline) {
 			return
 		}
 	}
-	s.acceptLocal(w, &req, cfg, combo, spec, key)
+	s.acceptLocal(w, &req, cfg, combo, spec, key, class, deadline)
 }
 
 // acceptLocal runs the accept tail of handleSubmit: re-check the job
 // table under the lock (the routing decision ran without s.mu, so an
-// identical submission may have landed meanwhile), then queue the job
-// behind the durability barrier.
-func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string) {
+// identical submission may have landed meanwhile), apply admission
+// control, then queue the job behind the durability barrier.
+func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string, class string, deadline time.Time) {
 	s.mu.Lock()
 	if j, ok := s.jobs[key]; ok {
 		switch j.snapshot().State {
@@ -590,7 +652,46 @@ func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.
 		httpError(w, http.StatusUnprocessableEntity, "job quarantined after %d failures; refusing to run it again", n)
 		return
 	}
-	j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), false)
+	if s.diskCritical.Load() && s.opts.JournalPath != "" {
+		// Acking 202 now would promise a journal write the disk is about
+		// to refuse; turning the job away first is the honest order.
+		s.mu.Unlock()
+		s.m.rejected.Add(1)
+		s.m.diskLowRejects.Add(1)
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "disk critically low: refusing durable work")
+		return
+	}
+
+	// Adaptive admission: shed before minting the job record or burning
+	// a journal fsync on work that cannot finish usefully.
+	now := time.Now()
+	wait := s.projectedWait(class)
+	est := s.adm.estimate(req.Design, spec.ID, cfg.Cycles)
+	if _, fired := faultinject.Hit(faultinject.AdmissionShed); fired {
+		s.mu.Unlock()
+		s.shed(w, s.m.shedOverload, wait, "admission: shed by failpoint")
+		return
+	}
+	if !deadline.IsZero() && now.Add(wait+est).After(deadline) {
+		// On a cold cost model wait and est are both zero, so this arm
+		// only fires for a deadline already in the past — admission
+		// never sheds on a guess it has no data for.
+		s.mu.Unlock()
+		s.shed(w, s.m.shedDeadline, wait,
+			"admission: projected completion in %s exceeds deadline in %s",
+			(wait + est).Round(time.Millisecond), time.Until(deadline).Round(time.Millisecond))
+		return
+	}
+	if class == classBatch && s.adm.target > 0 && (s.adm.overloaded(now) || wait > s.adm.target) {
+		s.mu.Unlock()
+		s.shed(w, s.m.shedOverload, wait,
+			"admission: queue overloaded (projected wait %s, target %s); batch work shed",
+			wait.Round(time.Millisecond), s.adm.target)
+		return
+	}
+
+	j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), class, deadline, false)
 	s.mu.Unlock()
 
 	// Durability barrier: the submit record must be on disk before the
@@ -600,7 +701,11 @@ func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.
 	// fsync each behind the server lock; attachers that found the job
 	// meanwhile block on j.durable until the fate of this record is
 	// known.
-	if err := s.appendRecord(journalRecord{Type: recSubmit, ID: key, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: req.Timeout}); err != nil {
+	rec := journalRecord{Type: recSubmit, ID: key, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: req.Timeout, Deadline: deadline}
+	if class == classBatch {
+		rec.Priority = class
+	}
+	if err := s.appendRecord(rec); err != nil {
 		j.markDurable(err)
 		s.abandonJob(j, "canceled: journal write failed")
 		s.m.rejected.Add(1)
@@ -627,10 +732,9 @@ func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
 		return
 	}
-	select {
-	case s.queue <- j:
+	if s.queue.Push(j) {
 		s.mu.Unlock()
-	default:
+	} else {
 		s.mu.Unlock()
 		s.abandonJob(j, msgQueueFull)
 		// Neutralize the submit record so a restart does not resurrect
@@ -639,7 +743,7 @@ func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.
 			s.logj(key, "journal cancel failed", "err", err)
 		}
 		s.m.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSecs(s.projectedWait(j.class)))
 		httpError(w, http.StatusTooManyRequests, "job queue full (%d deep)", s.opts.QueueDepth)
 		return
 	}
@@ -712,7 +816,7 @@ func (s *Server) awaitDurable(w http.ResponseWriter, j *job) {
 		switch st.Error {
 		case msgQueueFull:
 			s.m.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterSecs(s.projectedWait(j.class)))
 			httpError(w, http.StatusTooManyRequests, "job queue full (%d deep)", s.opts.QueueDepth)
 			return
 		case msgShutdown:
@@ -747,7 +851,10 @@ func (s *Server) abandonJob(j *job, reason string) {
 
 // newJobLocked creates and registers a job record; s.mu must be held.
 // A pre-existing terminal record under the same key is replaced.
-func (s *Server) newJobLocked(key string, cfg system.Config, design string, combo workloads.Combo, spec ComboSpec, timeout time.Duration, replayed bool) *job {
+func (s *Server) newJobLocked(key string, cfg system.Config, design string, combo workloads.Combo, spec ComboSpec, timeout time.Duration, class string, deadline time.Time, replayed bool) *job {
+	if class == "" {
+		class = classInteractive
+	}
 	j := &job{
 		id:        key,
 		cfg:       cfg,
@@ -755,6 +862,8 @@ func (s *Server) newJobLocked(key string, cfg system.Config, design string, comb
 		combo:     combo,
 		spec:      spec,
 		timeout:   timeout,
+		class:     class,
+		deadline:  deadline,
 		replayed:  replayed,
 		telem:     obs.NewRing(s.opts.TelemetryPoints),
 		trace:     obs.NewTrace(),
@@ -989,12 +1098,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.m.write(w)
 }
 
-// worker pops jobs until the queue is closed by Drain. A second
-// recover barrier around the whole loop body means even a bug in the
-// server's own bookkeeping cannot take the pool down.
+// worker pops jobs until the queue is closed by Drain and drained. A
+// second recover barrier around the whole loop body means even a bug in
+// the server's own bookkeeping cannot take the pool down.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		func() {
 			defer func() {
 				if p := recover(); p != nil {
@@ -1043,13 +1156,40 @@ func (s *Server) runJob(j *job) {
 		j.mu.Unlock()
 		return
 	}
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		// The propagated deadline expired while the job sat queued:
+		// nobody is waiting for this answer, so finish it honestly
+		// without burning a worker on it.
+		j.finish(StateDeadline, msgExpiredQueued, nil)
+		j.mu.Unlock()
+		s.m.queued.Add(-1)
+		s.m.deadlined.Add(1)
+		s.m.classLatency(j.class).Observe(time.Since(j.submitted).Seconds())
+		if err := s.appendRecord(journalRecord{Type: StateDeadline, ID: j.id, Error: msgExpiredQueued}); err != nil {
+			s.logj(j.id, "journal deadline failed", "err", err)
+		}
+		s.logj(j.id, "deadline expired before start")
+		return
+	}
+	// The execution budget is the tighter of the per-job timeout and
+	// the propagated caller deadline; both land at the next epoch
+	// boundary via the same context plumbing as cancellation. (The
+	// per-job timeout is measured from start; the propagated deadline
+	// is absolute and has been paying for queue wait all along.)
+	budget := j.timeout
+	if !j.deadline.IsZero() {
+		rem := time.Until(j.deadline)
+		if rem <= 0 {
+			rem = time.Nanosecond // raced past the check above; expire at once
+		}
+		if budget == 0 || rem < budget {
+			budget = rem
+		}
+	}
 	var ctx context.Context
 	var cancel context.CancelFunc
-	if j.timeout > 0 {
-		// The deadline covers execution, not queue wait; it lands at
-		// the next epoch boundary via the same context plumbing as
-		// cancellation.
-		ctx, cancel = context.WithTimeout(context.Background(), j.timeout)
+	if budget > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), budget)
 	} else {
 		ctx, cancel = context.WithCancel(context.Background())
 	}
@@ -1063,6 +1203,7 @@ func (s *Server) runJob(j *job) {
 	s.m.running.Add(1)
 	s.m.queueWaitNanos.Add(wait.Nanoseconds())
 	s.m.queueWaitSeconds.Observe(wait.Seconds())
+	s.adm.noteWait(wait, j.started)
 	j.trace.AddInterval("queue", j.submitted, wait)
 	s.logj(j.id, "running", "queue_wait", wait.Round(time.Millisecond))
 	jspan := obs.StartSpan("journal.start")
@@ -1129,12 +1270,13 @@ func (s *Server) runJob(j *job) {
 			state, result = StateDone, data
 			s.m.completed.Add(1)
 			s.m.simCycles.Add(int64(res.Cycles))
+			s.adm.observe(j.design, j.spec.ID, j.cfg.Cycles, elapsed)
 		}
 	case errors.Is(ctx.Err(), context.DeadlineExceeded):
 		state = StateDeadline
-		errMsg = fmt.Sprintf("deadline exceeded: ran %s of a %s budget", elapsed.Round(time.Millisecond), j.timeout)
+		errMsg = fmt.Sprintf("deadline exceeded: ran %s of a %s budget", elapsed.Round(time.Millisecond), budget)
 		s.m.deadlined.Add(1)
-		s.logj(j.id, "deadline exceeded", "budget", j.timeout)
+		s.logj(j.id, "deadline exceeded", "budget", budget)
 	case ctx.Err() != nil:
 		state, errMsg = StateCanceled, "canceled"
 		s.m.canceled.Add(1)
@@ -1153,6 +1295,7 @@ func (s *Server) runJob(j *job) {
 	j.finish(state, errMsg, result)
 	epochs := len(j.epochs)
 	j.mu.Unlock()
+	s.m.classLatency(j.class).Observe(time.Since(j.submitted).Seconds())
 	if state == StateDone {
 		s.logj(j.id, "done", "elapsed", elapsed.Round(time.Millisecond), "epochs", epochs)
 	}
@@ -1188,7 +1331,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.queue.Close()
+		if s.wmStop != nil {
+			close(s.wmStop)
+		}
 	}
 	s.mu.Unlock()
 
@@ -1224,7 +1370,10 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.queue.Close()
+		if s.wmStop != nil {
+			close(s.wmStop)
+		}
 	}
 	s.mu.Unlock()
 	s.cancelAll()
@@ -1384,6 +1533,7 @@ func (j *job) snapshot() JobStatus {
 		State:       j.state,
 		Design:      j.design,
 		Combo:       j.spec,
+		Deadline:    j.deadline,
 		Replayed:    j.replayed,
 		Timeout:     Duration(j.timeout),
 		SubmittedAt: j.submitted,
@@ -1392,6 +1542,11 @@ func (j *job) snapshot() JobStatus {
 		Epochs:      len(j.epochs),
 		Error:       j.err,
 		Spans:       j.trace.Records(),
+	}
+	if j.class == classBatch {
+		// Interactive is the default lane; leaving it implicit keeps the
+		// wire bytes of pre-priority submissions unchanged.
+		st.Priority = j.class
 	}
 	if j.state == StateDone {
 		st.Result = j.result
