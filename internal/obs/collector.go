@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanCollector is a per-node bounded store of recently finished spans,
+// keyed by trace ID. It backs /debug/tracez (recent and slowest traces
+// on this node) and /v1/traces/{id} (this node's slice of a distributed
+// trace). Capacity is counted in traces, not spans: when full the
+// oldest trace is evicted, ring-style, so a busy node holds a sliding
+// window of recent activity at a fixed memory bound.
+type SpanCollector struct {
+	mu      sync.Mutex
+	cap     int
+	byID    map[string]*traceEntry
+	order   []string // trace IDs, oldest first
+	evicted int64
+}
+
+// traceEntry is one trace's accumulated spans on this node.
+type traceEntry struct {
+	spans []SpanRecord
+	seen  time.Time // last update, for "recent"
+}
+
+// NewSpanCollector returns a collector bounded to capacity traces
+// (minimum 1).
+func NewSpanCollector(capacity int) *SpanCollector {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanCollector{cap: capacity, byID: make(map[string]*traceEntry)}
+}
+
+// Add merges finished spans into the trace's entry, creating it (and
+// evicting the oldest trace if at capacity) when new. Records without a
+// trace ID are ignored; callers pass the trace ID explicitly so a batch
+// with mixed stamping cannot land in the wrong bucket.
+func (c *SpanCollector) Add(traceID string, recs []SpanRecord) {
+	if c == nil || traceID == "" {
+		return
+	}
+	matched := recs[:0:0]
+	for _, r := range recs {
+		if r.TraceID == traceID {
+			matched = append(matched, r)
+		}
+	}
+	if len(matched) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byID[traceID]
+	if !ok {
+		for len(c.order) >= c.cap {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.byID, oldest)
+			c.evicted++
+		}
+		e = &traceEntry{}
+		c.byID[traceID] = e
+		c.order = append(c.order, traceID)
+	}
+	e.spans = append(e.spans, matched...)
+	e.seen = time.Now()
+}
+
+// Get returns a copy of the spans stored for a trace (nil if unknown).
+func (c *SpanCollector) Get(traceID string) []SpanRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byID[traceID]
+	if !ok {
+		return nil
+	}
+	return append([]SpanRecord(nil), e.spans...)
+}
+
+// Len returns the number of traces currently held.
+func (c *SpanCollector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byID)
+}
+
+// Evicted returns how many traces have been dropped to stay in bound.
+func (c *SpanCollector) Evicted() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+// TraceSummary is one trace's rollup for /debug/tracez listings.
+type TraceSummary struct {
+	TraceID  string        `json:"trace_id"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"-"`
+	Seconds  float64       `json:"seconds"`
+	Spans    int           `json:"spans"`
+	Nodes    []string      `json:"nodes,omitempty"`
+}
+
+// summarize rolls an entry up: start is the earliest span start,
+// duration spans from there to the latest span end.
+func summarize(id string, spans []SpanRecord) TraceSummary {
+	s := TraceSummary{TraceID: id, Spans: len(spans)}
+	var end time.Time
+	nodes := map[string]bool{}
+	for _, r := range spans {
+		if s.Start.IsZero() || r.Start.Before(s.Start) {
+			s.Start = r.Start
+		}
+		if e := r.Start.Add(r.Duration); e.After(end) {
+			end = e
+		}
+		if r.Node != "" && !nodes[r.Node] {
+			nodes[r.Node] = true
+			s.Nodes = append(s.Nodes, r.Node)
+		}
+	}
+	sort.Strings(s.Nodes)
+	if !s.Start.IsZero() {
+		s.Duration = end.Sub(s.Start)
+		s.Seconds = s.Duration.Seconds()
+	}
+	return s
+}
+
+// Recent returns summaries of the n most recently updated traces,
+// newest first.
+func (c *SpanCollector) Recent(n int) []TraceSummary {
+	return c.top(n, func(a, b *traceEntry) bool { return a.seen.After(b.seen) })
+}
+
+// Slowest returns summaries of the n longest traces, slowest first —
+// the entry point for "why was this request slow".
+func (c *SpanCollector) Slowest(n int) []TraceSummary {
+	out := c.top(n, nil)
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// top snapshots all entries, optionally ordering by less, and truncates
+// to n. less == nil returns every summary (caller sorts).
+func (c *SpanCollector) top(n int, less func(a, b *traceEntry) bool) []TraceSummary {
+	if c == nil || n <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	type kv struct {
+		id string
+		e  *traceEntry
+	}
+	all := make([]kv, 0, len(c.byID))
+	for id, e := range c.byID {
+		all = append(all, kv{id, e})
+	}
+	sums := make(map[string][]SpanRecord, len(all))
+	for _, p := range all {
+		sums[p.id] = append([]SpanRecord(nil), p.e.spans...)
+	}
+	if less != nil {
+		sort.Slice(all, func(i, j int) bool { return less(all[i].e, all[j].e) })
+	}
+	c.mu.Unlock()
+
+	out := make([]TraceSummary, 0, len(all))
+	for _, p := range all {
+		out = append(out, summarize(p.id, sums[p.id]))
+	}
+	if less != nil && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	tc := NewTraceContext(true)
+	if !tc.Valid() {
+		t.Fatalf("minted context invalid: %+v", tc)
+	}
+	h := tc.Header()
+	got, ok := ParseTraceHeader(h)
+	if !ok {
+		t.Fatalf("ParseTraceHeader(%q) not ok", h)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v want %+v", got, tc)
+	}
+	unsampled := NewTraceContext(false)
+	if !strings.HasSuffix(unsampled.Header(), "-00") {
+		t.Fatalf("unsampled header = %q, want -00 suffix", unsampled.Header())
+	}
+}
+
+func TestParseTraceHeaderRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"abc",
+		"zz" + strings.Repeat("0", 30) + "-" + strings.Repeat("0", 16) + "-01", // non-hex
+		strings.Repeat("0", 31) + "-" + strings.Repeat("0", 16) + "-01",        // short trace
+		strings.Repeat("0", 32) + "-" + strings.Repeat("0", 15) + "-01",        // short span
+		strings.Repeat("0", 32) + "-" + strings.Repeat("0", 16) + "-02",        // bad flags
+		strings.Repeat("0", 32) + "-" + strings.Repeat("0", 16),                // missing flags
+	}
+	for _, v := range bad {
+		if _, ok := ParseTraceHeader(v); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted, want reject", v)
+		}
+	}
+}
+
+func TestChildKeepsTraceMintsSpan(t *testing.T) {
+	tc := NewTraceContext(true)
+	ch := tc.Child()
+	if ch.TraceID != tc.TraceID || !ch.Sampled {
+		t.Fatalf("child lost identity: %+v from %+v", ch, tc)
+	}
+	if ch.SpanID == tc.SpanID {
+		t.Fatal("child span ID not fresh")
+	}
+}
+
+func TestSampleTraceDeterministicAndBounded(t *testing.T) {
+	id := NewTraceID()
+	if !SampleTrace(id, 1) || SampleTrace(id, 0) {
+		t.Fatal("fraction 1 must sample, fraction 0 must not")
+	}
+	if SampleTrace(id, 0.5) != SampleTrace(id, 0.5) {
+		t.Fatal("sampling not deterministic on trace ID")
+	}
+	// At 0.5 roughly half of many IDs should sample — allow a wide band.
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if SampleTrace(NewTraceID(), 0.5) {
+			hits++
+		}
+	}
+	if hits < n/4 || hits > 3*n/4 {
+		t.Fatalf("0.5 sampling hit %d/%d, way off", hits, n)
+	}
+}
+
+func TestTraceStampsRecords(t *testing.T) {
+	tr := NewTrace()
+	tc := NewTraceContext(true)
+	tr.SetContext(tc, "node-a")
+	tr.AddInterval("queue", time.Now(), time.Millisecond)
+	foreign := SpanRecord{Name: "run", TraceID: tc.TraceID, SpanID: "abcdabcdabcdabcd", ParentID: tc.SpanID, Node: "node-b"}
+	tr.Add(foreign)
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].TraceID != tc.TraceID || recs[0].ParentID != tc.SpanID || recs[0].Node != "node-a" {
+		t.Fatalf("local record not stamped: %+v", recs[0])
+	}
+	if recs[0].SpanID == "" || recs[0].SpanID == tc.SpanID {
+		t.Fatalf("local record span ID bad: %q", recs[0].SpanID)
+	}
+	if recs[1].Node != "node-b" || recs[1].SpanID != "abcdabcdabcdabcd" {
+		t.Fatalf("pre-stamped record rewritten: %+v", recs[1])
+	}
+}
+
+func TestSpanRecordJSONCompat(t *testing.T) {
+	// Untraced records keep the pre-tracing wire form exactly.
+	r := SpanRecord{Name: "run", Start: time.Unix(100, 0).UTC(), Duration: 1500 * time.Millisecond}
+	b, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"trace_id", "span_id", "parent_id", "node"} {
+		if strings.Contains(string(b), banned) {
+			t.Fatalf("untraced record leaked %q: %s", banned, b)
+		}
+	}
+	// Traced records round-trip identity through JSON.
+	r.TraceID, r.SpanID, r.ParentID, r.Node = "t", "s", "p", "n"
+	b, err = r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanRecord
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != "t" || back.SpanID != "s" || back.ParentID != "p" || back.Node != "n" {
+		t.Fatalf("identity lost in round trip: %+v", back)
+	}
+}
+
+func TestSpanCollectorBoundAndLookup(t *testing.T) {
+	c := NewSpanCollector(2)
+	add := func(id string, d time.Duration) {
+		c.Add(id, []SpanRecord{{Name: "run", TraceID: id, Start: time.Now().Add(-d), Duration: d, Node: "a"}})
+	}
+	add("t1", time.Millisecond)
+	add("t2", 3*time.Millisecond)
+	if got := len(c.Get("t1")); got != 1 {
+		t.Fatalf("t1 spans = %d, want 1", got)
+	}
+	add("t3", 2*time.Millisecond) // evicts t1
+	if c.Get("t1") != nil {
+		t.Fatal("t1 not evicted at capacity")
+	}
+	if c.Len() != 2 || c.Evicted() != 1 {
+		t.Fatalf("len=%d evicted=%d, want 2/1", c.Len(), c.Evicted())
+	}
+	slow := c.Slowest(1)
+	if len(slow) != 1 || slow[0].TraceID != "t2" {
+		t.Fatalf("Slowest(1) = %+v, want t2", slow)
+	}
+	recent := c.Recent(10)
+	if len(recent) != 2 || recent[0].TraceID != "t3" {
+		t.Fatalf("Recent = %+v, want t3 first", recent)
+	}
+	if len(recent[0].Nodes) != 1 || recent[0].Nodes[0] != "a" {
+		t.Fatalf("summary nodes = %v, want [a]", recent[0].Nodes)
+	}
+	// Mismatched trace IDs inside the batch are dropped, not misfiled.
+	c.Add("t4", []SpanRecord{{Name: "x", TraceID: "other"}})
+	if got := c.Get("t4"); got != nil {
+		t.Fatalf("mismatched record stored: %+v", got)
+	}
+}
+
+func TestHistogramExemplarsRenderAndValidate(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Test latency.", []float64{0.01, 1})
+	h.Observe(0.005)
+	h.ObserveExemplar(0.5, "74726163650000000000000000000000")
+	h.ObserveExemplar(30, "beef000000000000beef000000000000")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	want := `test_seconds_bucket{le="1"} 2 # {trace_id="74726163650000000000000000000000"} 0.5`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, text)
+	}
+	if !strings.Contains(text, `le="+Inf"} 3 # {trace_id="beef000000000000beef000000000000"} 30`) {
+		t.Fatalf("exposition missing +Inf exemplar:\n%s", text)
+	}
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("ValidateExposition rejected exemplar output: %v", err)
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Exemplars) != 2 {
+		t.Fatalf("snapshot exemplars = %+v", snap)
+	}
+	if snap[0].Exemplars[0].LE != "1" || snap[0].Exemplars[1].LE != "+Inf" {
+		t.Fatalf("exemplar bounds = %+v", snap[0].Exemplars)
+	}
+}
+
+func TestValidateExpositionRejectsBadExemplars(t *testing.T) {
+	head := "# HELP h x\n# TYPE h histogram\n"
+	cases := []string{
+		head + `h_bucket{le="1"} 2 # trace_id 0.5` + "\n",           // no braces
+		head + `h_bucket{le="1"} 2 # {trace_id=x} 0.5` + "\n",       // unquoted label
+		head + `h_bucket{le="1"} 2 # {trace_id="x"} y` + "\n",       // bad value
+		head + `h_sum 2 # {trace_id="x"} 0.5` + "\n",                // not a bucket
+		"# HELP c x\n# TYPE c counter\n" + `c 2 # {t="x"} 1` + "\n", // not a histogram
+	}
+	for i, text := range cases {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, text)
+		}
+	}
+}

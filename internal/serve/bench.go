@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 )
 
@@ -118,47 +119,8 @@ func BenchSubmit(submitters, hitsPer int) (BenchResult, error) {
 	}
 	res := BenchResult{ColdNs: time.Since(cold).Nanoseconds()}
 
-	// storm fans out submitters×hitsPer timed requests and returns the
-	// sorted latencies; fn performs one request on the worker's buffer.
-	// Each worker issues one untimed warmup request first, so connection
-	// establishment does not masquerade as serving latency in the tail.
 	storm := func(fn func(buf *bytes.Buffer, worker, k int) error) ([]int64, error) {
-		lat := make([][]int64, submitters)
-		errs := make(chan error, submitters)
-		var wg sync.WaitGroup
-		for i := 0; i < submitters; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				var buf bytes.Buffer
-				if err := fn(&buf, i, -1); err != nil {
-					errs <- err
-					return
-				}
-				mine := make([]int64, 0, hitsPer)
-				for k := 0; k < hitsPer; k++ {
-					t0 := time.Now()
-					if err := fn(&buf, i, k); err != nil {
-						errs <- err
-						return
-					}
-					mine = append(mine, time.Since(t0).Nanoseconds())
-				}
-				lat[i] = mine
-			}(i)
-		}
-		wg.Wait()
-		select {
-		case err := <-errs:
-			return nil, err
-		default:
-		}
-		var all []int64
-		for _, l := range lat {
-			all = append(all, l...)
-		}
-		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
-		return all, nil
+		return benchStorm(submitters, hitsPer, fn)
 	}
 
 	// Phase 1: POST cache hits (the resubmission path of a sweep).
@@ -232,6 +194,179 @@ func BenchSubmit(submitters, hitsPer int) (BenchResult, error) {
 	res.NotModSamples = len(notmod)
 	res.NotModP50Ns = percentile(notmod, 50)
 	res.NotModP99Ns = percentile(notmod, 99)
+	return res, nil
+}
+
+// benchStorm fans out submitters×hitsPer timed requests and returns
+// the sorted latencies; fn performs one request on the worker's buffer.
+// Each worker issues one untimed warmup request first, so connection
+// establishment does not masquerade as serving latency in the tail.
+func benchStorm(submitters, hitsPer int, fn func(buf *bytes.Buffer, worker, k int) error) ([]int64, error) {
+	lat := make([][]int64, submitters)
+	errs := make(chan error, submitters)
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if err := fn(&buf, i, -1); err != nil {
+				errs <- err
+				return
+			}
+			mine := make([]int64, 0, hitsPer)
+			for k := 0; k < hitsPer; k++ {
+				t0 := time.Now()
+				if err := fn(&buf, i, k); err != nil {
+					errs <- err
+					return
+				}
+				mine = append(mine, time.Since(t0).Nanoseconds())
+			}
+			lat[i] = mine
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	var all []int64
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	return all, nil
+}
+
+// TracedHitResult pairs the POST cache-hit latency distribution
+// measured with tracing off (no trace header on the wire) and on
+// (every request carries a sampled X-Hydro-Trace context) against the
+// same daemon, which has head-sampling fully armed either way. The
+// pair is the evidence behind the "<3% tracing overhead on the hit
+// path" gate: the body-hash fast path answers warmed hits before the
+// trace header is ever inspected, so the two distributions should be
+// statistically identical.
+type TracedHitResult struct {
+	OffP50Ns int64 // POST cache-hit p50, no trace header
+	OffP99Ns int64
+	OnP50Ns  int64 // POST cache-hit p50, sampled trace header on every request
+	OnP99Ns  int64
+	Samples  int // requests measured per variant
+}
+
+// BenchTracedHit boots an in-process daemon with TraceSample=1, warms
+// one traced job into the cache, then measures the POST cache-hit
+// storm twice — without and with an X-Hydro-Trace header — and reports
+// both latency distributions. It is the engine behind the tracing
+// overhead gate in `hydrobench -serve`.
+func BenchTracedHit(submitters, hitsPer int) (TracedHitResult, error) {
+	srv, err := New(Options{TraceSample: 1})
+	if err != nil {
+		return TracedHitResult{}, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * submitters,
+		MaxIdleConnsPerHost: 2 * submitters,
+	}}
+	cfg := benchConfig()
+	body, err := json.Marshal(JobRequest{Config: &cfg, Design: "Baseline", Combo: ComboSpec{ID: "C1"}})
+	if err != nil {
+		return TracedHitResult{}, err
+	}
+
+	// Warm the cache with one traced cold run, so both storms measure
+	// pure hits and the trace plane (collector deposit, exemplars) has
+	// genuinely fired once.
+	cold := obs.NewTraceContext(true)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return TracedHitResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.HeaderTrace, cold.Header())
+	resp, err := hc.Do(req)
+	if err != nil {
+		return TracedHitResult{}, err
+	}
+	var st JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return TracedHitResult{}, err
+	}
+	for {
+		resp, err := hc.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return TracedHitResult{}, err
+		}
+		var cur JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			return TracedHitResult{}, err
+		}
+		if cur.State == StateDone {
+			break
+		}
+		if cur.State == StateFailed || cur.State == StateCanceled {
+			return TracedHitResult{}, fmt.Errorf("traced cold job %s: %s", short(cur.ID), cur.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// One pre-minted header per worker: minting draws crypto/rand bytes,
+	// a client-side cost that must not pollute the timed region.
+	headers := make([]string, submitters)
+	for i := range headers {
+		headers[i] = obs.NewTraceContext(true).Header()
+	}
+	postHit := func(trace func(worker int) string) func(buf *bytes.Buffer, i, k int) error {
+		return func(buf *bytes.Buffer, i, k int) error {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if trace != nil {
+				req.Header.Set(obs.HeaderTrace, trace(i))
+			}
+			resp, err := hc.Do(req)
+			if err != nil {
+				return err
+			}
+			buf.Reset()
+			_, rerr := buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				return rerr
+			}
+			if resp.StatusCode != http.StatusOK || !bytes.Contains(buf.Bytes(), []byte(`"cached":true`)) {
+				return fmt.Errorf("traced hit %d/%d: status %d, body %.80s", i, k, resp.StatusCode, buf.Bytes())
+			}
+			return nil
+		}
+	}
+
+	var res TracedHitResult
+	off, err := benchStorm(submitters, hitsPer, postHit(nil))
+	if err != nil {
+		return TracedHitResult{}, err
+	}
+	res.OffP50Ns = percentile(off, 50)
+	res.OffP99Ns = percentile(off, 99)
+	on, err := benchStorm(submitters, hitsPer, postHit(func(i int) string { return headers[i] }))
+	if err != nil {
+		return TracedHitResult{}, err
+	}
+	res.OnP50Ns = percentile(on, 50)
+	res.OnP99Ns = percentile(on, 99)
+	res.Samples = len(on)
 	return res, nil
 }
 

@@ -34,6 +34,7 @@ import (
 
 	"github.com/hydrogen-sim/hydrogen/internal/cluster"
 	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
 	"github.com/hydrogen-sim/hydrogen/internal/system"
 	"github.com/hydrogen-sim/hydrogen/internal/workloads"
 )
@@ -76,6 +77,11 @@ type forwardedJob struct {
 	timeout  time.Duration
 	class    string
 	deadline time.Time
+
+	// Identity of the original submission, so a promoted job keeps the
+	// client's request ID and trace across the failover.
+	reqID string
+	trace obs.TraceContext
 }
 
 // initCluster validates the peer config and starts the cluster loops.
@@ -209,9 +215,9 @@ func remainingMS(deadline time.Time) int64 {
 // circuit breaker is open are skipped without touching the wire; the
 // caller's deadline budget is re-minted (time already spent subtracted)
 // for each attempt.
-func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body []byte, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string, class string, deadline time.Time) bool {
+func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body []byte, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string, class string, deadline time.Time, reqID string, tc obs.TraceContext) bool {
 	cl := s.cl
-	reqID := r.Header.Get("X-Request-Id")
+	start := time.Now()
 	for i, m := range cl.router.Rank(key) {
 		if m.ID == cl.cfg.Self {
 			if i > 0 {
@@ -231,7 +237,7 @@ func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body
 		var resp *http.Response
 		err := peerErrInjected()
 		if err == nil {
-			resp, err = cl.pc.Submit(ctx, m, body, reqID, remainingMS(deadline))
+			resp, err = cl.pc.Submit(ctx, m, body, reqID, tc.Header(), remainingMS(deadline))
 		}
 		cancel()
 		cl.recordPeer(m.ID, err)
@@ -242,7 +248,8 @@ func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body
 		}
 		cl.prober.MarkSeen(m.ID)
 		cl.cm.ProxiedSubmits.Add(1)
-		s.relayPeerResponse(w, resp, m, key, req, cfg, combo, spec, class, deadline)
+		s.relayPeerResponse(w, resp, m, key, req, cfg, combo, spec, class, deadline, reqID, tc)
+		s.recordSpan(tc, "proxy", start)
 		return true
 	}
 	return false
@@ -252,7 +259,7 @@ func (s *Server) clusterProxySubmit(w http.ResponseWriter, r *http.Request, body
 // with which peer produced it, and records the side effects: the
 // forwarded-job ledger entry (for promote-on-failover) and, when the
 // response already carries the finished result, the local cache fill.
-func (s *Server) relayPeerResponse(w http.ResponseWriter, resp *http.Response, m cluster.Member, key string, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, class string, deadline time.Time) {
+func (s *Server) relayPeerResponse(w http.ResponseWriter, resp *http.Response, m cluster.Member, key string, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, class string, deadline time.Time, reqID string, tc obs.TraceContext) {
 	cl := s.cl
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
@@ -265,7 +272,7 @@ func (s *Server) relayPeerResponse(w http.ResponseWriter, resp *http.Response, m
 	}
 	remember := func() {
 		cl.mu.Lock()
-		cl.forwarded[key] = &forwardedJob{cfg: cfg, design: req.Design, combo: combo, spec: spec, timeout: time.Duration(req.Timeout), class: class, deadline: deadline}
+		cl.forwarded[key] = &forwardedJob{cfg: cfg, design: req.Design, combo: combo, spec: spec, timeout: time.Duration(req.Timeout), class: class, deadline: deadline, reqID: reqID, trace: tc}
 		cl.mu.Unlock()
 	}
 	switch resp.StatusCode {
@@ -347,7 +354,8 @@ func (s *Server) peerFill(key string, cfg system.Config, design string, combo wo
 // promoted into the local journal-backed queue and re-run.
 func (s *Server) clusterGet(w http.ResponseWriter, r *http.Request, id string) {
 	cl := s.cl
-	reqID := r.Header.Get("X-Request-Id")
+	reqID := r.Header.Get(obs.HeaderRequestID)
+	trace := r.Header.Get(obs.HeaderTrace)
 	for i, m := range cl.router.Rank(id) {
 		if m.ID == cl.cfg.Self {
 			break
@@ -362,7 +370,7 @@ func (s *Server) clusterGet(w http.ResponseWriter, r *http.Request, id string) {
 		var resp *http.Response
 		err := peerErrInjected()
 		if err == nil {
-			resp, err = cl.pc.GetJob(ctx, m, id, r.Header.Get("If-None-Match"), reqID)
+			resp, err = cl.pc.GetJob(ctx, m, id, r.Header.Get("If-None-Match"), reqID, trace)
 		}
 		cancel()
 		cl.recordPeer(m.ID, err)
@@ -447,8 +455,13 @@ func (s *Server) promoteForwarded(id string) (*job, error) {
 		return nil, nil
 	}
 	j := s.newJobLocked(id, fw.cfg, fw.design, fw.combo, fw.spec, fw.timeout, fw.class, fw.deadline, false)
+	j.reqID = fw.reqID
+	j.trace.SetContext(fw.trace, s.node)
+	// A zero-length interval marking the adoption: the merged trace shows
+	// which node picked the job up after the owner died.
+	j.trace.AddInterval("promote", time.Now(), 0)
 	s.mu.Unlock()
-	rec := journalRecord{Type: recSubmit, ID: id, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: Duration(fw.timeout), Deadline: fw.deadline}
+	rec := journalRecord{Type: recSubmit, ID: id, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: Duration(fw.timeout), Deadline: fw.deadline, Spans: j.tracedSpans()}
 	if j.class == classBatch {
 		rec.Priority = j.class
 	}
@@ -540,8 +553,9 @@ func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
 	s.logj(j.id, "stolen", "thief", thiefID)
 	go s.watchStolen(j, thief)
 	// The deadline budget crosses the handoff as remaining milliseconds,
-	// same contract as HeaderDeadline on proxied submits.
-	writeJSON(w, http.StatusOK, cluster.StolenJob{ID: j.id, Request: raw, DeadlineMS: remainingMS(j.deadline)})
+	// same contract as HeaderDeadline on proxied submits; the request ID
+	// and trace context ride along so the thief's spans join the tree.
+	writeJSON(w, http.StatusOK, cluster.StolenJob{ID: j.id, Request: raw, DeadlineMS: remainingMS(j.deadline), RequestID: j.reqID, Trace: j.trace.Context().Header()})
 }
 
 // popQueuedJob takes one runnable job off the queue without blocking;
@@ -616,7 +630,7 @@ func (s *Server) watchStolen(j *job, thief cluster.Member) {
 			return // canceled locally while stolen
 		case <-t.C:
 		}
-		st, err := s.pollStolen(j.id, thief)
+		st, err := s.pollStolen(j, thief)
 		if err != nil {
 			misses++
 			if misses >= stolenMissLimit {
@@ -631,7 +645,11 @@ func (s *Server) watchStolen(j *job, thief cluster.Member) {
 		switch st.State {
 		case StateDone:
 			s.cache.Put(j.id, st.Result)
-			if err := s.appendRecord(journalRecord{Type: StateDone, ID: j.id}); err != nil {
+			// The thief's spans (already stamped with its node name) merge
+			// into the local record before the terminal journal write, so
+			// the trace survives both the migration and a later replay.
+			j.trace.AddAll(st.Spans)
+			if err := s.appendRecord(journalRecord{Type: StateDone, ID: j.id, Spans: j.tracedSpans()}); err != nil {
 				s.logj(j.id, "journal append failed", "state", StateDone, "err", err)
 			}
 			j.mu.Lock()
@@ -641,9 +659,11 @@ func (s *Server) watchStolen(j *job, thief cluster.Member) {
 			j.mu.Unlock()
 			s.m.completed.Add(1)
 			s.logj(j.id, "done remotely", "thief", thief.ID)
+			s.collectTrace(j, time.Since(j.submitted))
 			return
 		case StateFailed, StateCanceled, StateDeadline:
-			if err := s.appendRecord(journalRecord{Type: st.State, ID: j.id, Error: st.Error}); err != nil {
+			j.trace.AddAll(st.Spans)
+			if err := s.appendRecord(journalRecord{Type: st.State, ID: j.id, Error: st.Error, Spans: j.tracedSpans()}); err != nil {
 				s.logj(j.id, "journal append failed", "state", st.State, "err", err)
 			}
 			j.mu.Lock()
@@ -656,6 +676,7 @@ func (s *Server) watchStolen(j *job, thief cluster.Member) {
 				s.noteFailure(j.id)
 			}
 			s.logj(j.id, "finished remotely", "thief", thief.ID, "state", st.State)
+			s.collectTrace(j, time.Since(j.submitted))
 			return
 		}
 	}
@@ -664,8 +685,8 @@ func (s *Server) watchStolen(j *job, thief cluster.Member) {
 // pollStolen fetches the stolen job's status from the thief. A 404
 // (the thief rejected or lost the handoff) counts as an error so the
 // miss counter advances toward reclaim.
-func (s *Server) pollStolen(id string, thief cluster.Member) (JobStatus, error) {
-	resp, err := s.cl.pc.GetJob(context.Background(), thief, id, "", "")
+func (s *Server) pollStolen(j *job, thief cluster.Member) (JobStatus, error) {
+	resp, err := s.cl.pc.GetJob(context.Background(), thief, j.id, "", j.reqID, j.trace.Context().Header())
 	s.cl.recordPeer(thief.ID, err)
 	if err != nil {
 		s.cl.prober.MarkDead(thief.ID, err)
@@ -782,6 +803,10 @@ func (s *Server) adoptStolen(sj *cluster.StolenJob, from cluster.Member) {
 		return
 	}
 	j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), class, deadline, false)
+	j.reqID = sj.RequestID
+	if tc, ok := obs.ParseTraceHeader(sj.Trace); ok && tc.Sampled {
+		j.trace.SetContext(tc, s.node)
+	}
 	s.mu.Unlock()
 	rec := journalRecord{Type: recSubmit, ID: key, Config: &j.cfg, Design: j.design, Combo: &j.spec, Timeout: req.Timeout, Deadline: deadline}
 	if class == classBatch {

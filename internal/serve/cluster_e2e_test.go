@@ -436,4 +436,3 @@ func TestClusterPeerzGossip(t *testing.T) {
 		}
 	}
 }
-

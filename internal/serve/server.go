@@ -110,6 +110,26 @@ type Options struct {
 	// WatermarkInterval is the disk/journal watermark check cadence;
 	// <=0 selects 5s.
 	WatermarkInterval time.Duration
+
+	// NodeName stamps this daemon's spans in distributed traces. Empty
+	// selects the cluster member ID when clustered, else "local".
+	NodeName string
+	// TraceSample is the head-sampling fraction in [0, 1] for
+	// submissions that arrive without an X-Hydro-Trace header: the
+	// daemon mints a trace context and samples it with this probability
+	// (deterministic on the trace ID). 0 — the zero-value default —
+	// never mints server-side traces; incoming sampled headers are
+	// always honored regardless.
+	TraceSample float64
+	// SlowRequest is the end-to-end latency threshold past which a
+	// finished job emits a structured slow-request record carrying its
+	// full span tree inline (and bumps
+	// hydroserved_slow_requests_total). <=0 disables the forensic log.
+	SlowRequest time.Duration
+	// TraceBuffer bounds the per-node span collector, counted in traces
+	// (the /debug/tracez and /v1/traces/{id} backing store). <=0
+	// selects 256.
+	TraceBuffer int
 }
 
 // job is one submission's record. Its identity is its cache key, which
@@ -125,6 +145,7 @@ type job struct {
 	class    string        // admission lane: classInteractive or classBatch
 	deadline time.Time     // propagated caller deadline, zero = none
 	replayed bool          // re-enqueued from the journal after a restart
+	reqID    string        // submitter's X-Request-ID, propagated on cluster hops
 
 	// telem and trace carry their own locks: handlers snapshot them
 	// without j.mu, and the worker records spans into trace while
@@ -201,6 +222,11 @@ type Server struct {
 	cache   *resultCache
 	m       *metrics
 	log     *slog.Logger
+
+	// tracer holds this node's slice of recent distributed traces; node
+	// is the name stamped on every span recorded here.
+	tracer *obs.SpanCollector
+	node   string
 
 	// jlMu guards the journal handle. Appenders hold it shared (the
 	// journal serializes appends internally, and RLock keeps
@@ -279,6 +305,9 @@ func New(opts Options) (*Server, error) {
 	if opts.WatermarkInterval <= 0 {
 		opts.WatermarkInterval = 5 * time.Second
 	}
+	if opts.TraceBuffer <= 0 {
+		opts.TraceBuffer = 256
+	}
 	opts.SimParallel = budgetSimParallel(opts.SimParallel, opts.Workers, runtime.GOMAXPROCS(0))
 	s := &Server{
 		opts:      opts,
@@ -288,6 +317,15 @@ func New(opts Options) (*Server, error) {
 		failCount: make(map[string]int),
 		reqMemo:   make(map[[sha256.Size]byte]string),
 		adm:       newAdmission(opts.CodelTarget),
+		tracer:    obs.NewSpanCollector(opts.TraceBuffer),
+	}
+	s.node = opts.NodeName
+	if s.node == "" {
+		if opts.Cluster != nil {
+			s.node = opts.Cluster.Self
+		} else {
+			s.node = "local"
+		}
 	}
 	var err error
 	if s.designsJSON, err = encodeJSON(system.Designs()); err != nil {
@@ -346,6 +384,13 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/clusterz", s.handleClusterz)
+	s.mux.HandleFunc("GET /debug/tracez", s.handleTracez)
+	s.m.reg.GaugeFunc("hydroserved_traces_held", "Traces currently held by the span collector.",
+		func() int64 { return int64(s.tracer.Len()) })
+	s.m.reg.CounterFunc("hydroserved_traces_evicted_total", "Traces evicted from the bounded span collector.",
+		s.tracer.Evicted)
 	s.handler = &obs.Middleware{
 		Next:      s.mux,
 		Latency:   s.m.httpSeconds,
@@ -422,6 +467,7 @@ func (s *Server) recover() ([]*job, error) {
 			// done, so synthesize the finished job instead of re-running.
 			j := s.newJobLocked(rec.ID, *rec.Config, rec.Design, workloads.Combo{}, *rec.Combo, time.Duration(rec.Timeout), rec.Priority, rec.Deadline, true)
 			j.markDurable(nil) // its submit record is already in the journal
+			j.trace.AddAll(rec.Spans)
 			j.state = StateDone
 			j.finished = time.Now()
 			j.result = data
@@ -439,6 +485,7 @@ func (s *Server) recover() ([]*job, error) {
 		}
 		j := s.newJobLocked(rec.ID, *rec.Config, rec.Design, combo, spec, time.Duration(rec.Timeout), rec.Priority, rec.Deadline, true)
 		j.markDurable(nil) // replayed from the journal: durable by definition
+		j.trace.AddAll(rec.Spans)
 		pending = append(pending, j)
 		still = append(still, r)
 	}
@@ -564,6 +611,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	deadline := parseDeadlineHeader(r.Header.Get(cluster.HeaderDeadline))
+	reqID := r.Header.Get(obs.HeaderRequestID)
+	tc := s.traceFor(r)
 	s.rememberBody(body, key)
 	s.m.submitted.Add(1)
 
@@ -610,18 +659,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// this daemon is the owner. A false return means every live candidate
 	// ranked above this daemon is gone — fail over and accept locally.
 	if s.cl != nil && r.Header.Get(cluster.HeaderForwarded) == "" && !s.cl.router.Owns(s.cl.cfg.Self, key) {
-		if s.clusterProxySubmit(w, r, body, &req, cfg, combo, spec, key, class, deadline) {
+		if s.clusterProxySubmit(w, r, body, &req, cfg, combo, spec, key, class, deadline, reqID, tc) {
 			return
 		}
 	}
-	s.acceptLocal(w, &req, cfg, combo, spec, key, class, deadline)
+	s.acceptLocal(w, &req, cfg, combo, spec, key, class, deadline, reqID, tc)
 }
 
 // acceptLocal runs the accept tail of handleSubmit: re-check the job
 // table under the lock (the routing decision ran without s.mu, so an
 // identical submission may have landed meanwhile), apply admission
 // control, then queue the job behind the durability barrier.
-func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string, class string, deadline time.Time) {
+func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.Config, combo workloads.Combo, spec ComboSpec, key string, class string, deadline time.Time, reqID string, tc obs.TraceContext) {
 	s.mu.Lock()
 	if j, ok := s.jobs[key]; ok {
 		switch j.snapshot().State {
@@ -692,6 +741,8 @@ func (s *Server) acceptLocal(w http.ResponseWriter, req *JobRequest, cfg system.
 	}
 
 	j := s.newJobLocked(key, cfg, req.Design, combo, spec, time.Duration(req.Timeout), class, deadline, false)
+	j.reqID = reqID
+	j.trace.SetContext(tc, s.node) // no-op for an untraced submission
 	s.mu.Unlock()
 
 	// Durability barrier: the submit record must be on disk before the
@@ -1164,11 +1215,12 @@ func (s *Server) runJob(j *job) {
 		j.mu.Unlock()
 		s.m.queued.Add(-1)
 		s.m.deadlined.Add(1)
-		s.m.classLatency(j.class).Observe(time.Since(j.submitted).Seconds())
-		if err := s.appendRecord(journalRecord{Type: StateDeadline, ID: j.id, Error: msgExpiredQueued}); err != nil {
+		s.m.classLatency(j.class).ObserveExemplar(time.Since(j.submitted).Seconds(), j.traceID())
+		if err := s.appendRecord(journalRecord{Type: StateDeadline, ID: j.id, Error: msgExpiredQueued, Spans: j.tracedSpans()}); err != nil {
 			s.logj(j.id, "journal deadline failed", "err", err)
 		}
 		s.logj(j.id, "deadline expired before start")
+		s.collectTrace(j, time.Since(j.submitted))
 		return
 	}
 	// The execution budget is the tighter of the per-job timeout and
@@ -1243,7 +1295,7 @@ func (s *Server) runJob(j *job) {
 	elapsed := time.Since(j.started)
 	s.m.running.Add(-1)
 	s.m.simNanos.Add(elapsed.Nanoseconds())
-	s.m.jobSeconds.Observe(elapsed.Seconds())
+	s.m.jobSeconds.ObserveExemplar(elapsed.Seconds(), j.traceID())
 
 	var state, errMsg string
 	var result []byte
@@ -1288,14 +1340,18 @@ func (s *Server) runJob(j *job) {
 	}
 
 	tspan := obs.StartSpan("journal.terminal")
-	jerr := s.appendRecord(journalRecord{Type: state, ID: j.id, Error: errMsg})
+	// The terminal record carries the span list so a job that migrates
+	// (steal, failover promotion) or replays keeps its trace history.
+	jerr := s.appendRecord(journalRecord{Type: state, ID: j.id, Error: errMsg, Spans: j.tracedSpans()})
 	tspan.EndInto(j.trace)
 
 	j.mu.Lock()
 	j.finish(state, errMsg, result)
 	epochs := len(j.epochs)
 	j.mu.Unlock()
-	s.m.classLatency(j.class).Observe(time.Since(j.submitted).Seconds())
+	total := time.Since(j.submitted)
+	s.m.classLatency(j.class).ObserveExemplar(total.Seconds(), j.traceID())
+	s.collectTrace(j, total)
 	if state == StateDone {
 		s.logj(j.id, "done", "elapsed", elapsed.Round(time.Millisecond), "epochs", epochs)
 	}
@@ -1541,6 +1597,7 @@ func (j *job) snapshot() JobStatus {
 		FinishedAt:  j.finished,
 		Epochs:      len(j.epochs),
 		Error:       j.err,
+		TraceID:     j.trace.Context().TraceID,
 		Spans:       j.trace.Records(),
 	}
 	if j.class == classBatch {

@@ -1,0 +1,516 @@
+package serve_test
+
+// End-to-end tests for the cluster observability plane: trace context
+// propagation across proxy and failover hops, the merged /v1/traces
+// view, partial degradation under an open breaker, request-ID
+// correlation across members' access logs, span persistence in the
+// journal, and the federated /v1/clusterz snapshot.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hydrogen-sim/hydrogen/internal/cluster"
+	"github.com/hydrogen-sim/hydrogen/internal/faultinject"
+	"github.com/hydrogen-sim/hydrogen/internal/obs"
+	"github.com/hydrogen-sim/hydrogen/internal/serve"
+)
+
+// submitWithHeaders is submit with extra request headers (trace
+// context, request ID).
+func submitWithHeaders(t *testing.T, base string, req serve.JobRequest, hdr map[string]string) (serve.JobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// fetchTrace GETs /v1/traces/{id} and decodes the merged payload.
+func fetchTrace(t *testing.T, base, traceID string) (cluster.TracePayload, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p cluster.TracePayload
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, resp.StatusCode
+}
+
+// spanNames collects the distinct span names in a payload.
+func spanNames(p cluster.TracePayload) map[string]bool {
+	names := make(map[string]bool, len(p.Spans))
+	for _, s := range p.Spans {
+		names[s.Name] = true
+	}
+	return names
+}
+
+// TestClusterTraceMergedTree is the tentpole acceptance test: a traced
+// job submitted through a non-owner yields — from ANY member — one
+// merged trace tree whose spans carry the node names of every hop
+// (the front's proxy span, the owner's execution spans).
+func TestClusterTraceMergedTree(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	cfg := tinyConfig()
+	req := serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+	key := jobKey(t, req)
+	owner := tc.ownerIdx(t, key)
+	front := (owner + 1) % 3
+	third := (owner + 2) % 3
+
+	trace := obs.NewTraceContext(true)
+	st, code := submitWithHeaders(t, tc.urls[front], req, map[string]string{obs.HeaderTrace: trace.Header()})
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("traced submit via non-owner: HTTP %d", code)
+	}
+	if st.ID != key {
+		t.Fatalf("job ID %s != key %s", st.ID, key)
+	}
+	final := waitState(t, tc.urls[front], key, serve.StateDone)
+	if final.TraceID != trace.TraceID {
+		t.Fatalf("JobStatus.TraceID = %q, want the client-minted %q", final.TraceID, trace.TraceID)
+	}
+
+	// The owner deposits its spans moments after the status flips done;
+	// poll the THIRD member (neither front nor owner) until the fan-out
+	// sees both hops.
+	deadline := time.Now().Add(10 * time.Second)
+	var p cluster.TracePayload
+	for {
+		var status int
+		p, status = fetchTrace(t, tc.urls[third], trace.TraceID)
+		if status == http.StatusOK && len(p.Nodes) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merged trace never covered 2 nodes: HTTP %d, nodes %v, %d spans",
+				status, p.Nodes, len(p.Spans))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if p.Partial {
+		t.Fatalf("healthy cluster returned a partial trace: %+v", p.Nodes)
+	}
+	if p.TraceID != trace.TraceID {
+		t.Fatalf("payload trace ID %q, want %q", p.TraceID, trace.TraceID)
+	}
+	hasNode := map[string]bool{}
+	for _, n := range p.Nodes {
+		hasNode[n] = true
+	}
+	if !hasNode[tc.ids[front]] || !hasNode[tc.ids[owner]] {
+		t.Fatalf("merged trace nodes %v missing front %s or owner %s", p.Nodes, tc.ids[front], tc.ids[owner])
+	}
+	names := spanNames(p)
+	if !names["proxy"] {
+		t.Fatalf("merged trace has no proxy span from the front; names: %v", names)
+	}
+	for _, s := range p.Spans {
+		if s.TraceID != trace.TraceID {
+			t.Fatalf("span %q carries trace ID %q, want %q", s.Name, s.TraceID, trace.TraceID)
+		}
+		if s.Node == "" {
+			t.Fatalf("span %q has no node name", s.Name)
+		}
+	}
+	// The spans arrive time-ordered, so the tree reads as a timeline.
+	for i := 1; i < len(p.Spans); i++ {
+		if p.Spans[i].Start.Before(p.Spans[i-1].Start) {
+			t.Fatalf("spans out of start order at %d", i)
+		}
+	}
+}
+
+// TestClusterTracePartialOnBreakerOpen kills one member, trips the
+// front's breaker toward it, and asserts /v1/traces still answers with
+// the reachable slice of the trace and "partial": true — degraded, not
+// down.
+func TestClusterTracePartialOnBreakerOpen(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	cfg := tinyConfig()
+	front := 0
+
+	// A job owned by the front itself: its spans live in the front's own
+	// collector, reachable regardless of peer health.
+	var req serve.JobRequest
+	found := false
+	for seed := int64(1); seed < 500; seed++ {
+		c := cfg
+		c.Seed = seed
+		r := serve.JobRequest{Config: &c, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+		if tc.ownerIdx(t, jobKey(t, r)) == front {
+			req, found = r, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no front-owned seed found")
+	}
+	trace := obs.NewTraceContext(true)
+	if _, code := submitWithHeaders(t, tc.urls[front], req, map[string]string{obs.HeaderTrace: trace.Header()}); code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, tc.urls[front], jobKey(t, req), serve.StateDone)
+
+	// Kill node 2 and burn submissions it owns through the front until
+	// the breaker opens.
+	dead := 2
+	tc.servers[dead].Crash()
+	tc.https[dead].CloseClientConnections()
+	tc.https[dead].Close()
+	var owned []serve.JobRequest
+	for seed := int64(1000); len(owned) < 5; seed++ {
+		c := cfg
+		c.Seed = seed
+		r := serve.JobRequest{Config: &c, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+		if tc.ownerIdx(t, jobKey(t, r)) == dead {
+			owned = append(owned, r)
+		}
+	}
+	for i, r := range owned {
+		if _, code := submit(t, tc.urls[front], r); code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("breaker-priming submit %d: HTTP %d", i, code)
+		}
+	}
+	if n := metric(t, tc.urls[front], "hydro_cluster_breaker_opens_total"); n < 1 {
+		t.Fatalf("breaker never opened toward the dead peer (opens_total = %d)", n)
+	}
+
+	p, status := fetchTrace(t, tc.urls[front], trace.TraceID)
+	if status != http.StatusOK {
+		t.Fatalf("trace fetch with open breaker: HTTP %d, want 200", status)
+	}
+	if !p.Partial {
+		t.Fatal("trace payload not marked partial with a dead peer")
+	}
+	if len(p.Spans) == 0 {
+		t.Fatal("partial trace dropped the locally-held spans")
+	}
+}
+
+// syncWriter serializes concurrent slog writes into one buffer so the
+// test can read the accumulated log text race-free.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestClusterRequestIDPropagation is the satellite regression test: a
+// submission carrying an X-Request-ID through a non-owner appears under
+// that SAME request ID in both the front's and the owner's access logs,
+// so one grep correlates the hop chain.
+func TestClusterRequestIDPropagation(t *testing.T) {
+	logs := make([]*syncWriter, 3)
+	tc := newTestCluster(t, 3, func(i int, o *serve.Options) {
+		logs[i] = &syncWriter{}
+		o.AccessLog = true
+		o.Logger = obs.NewLogger(logs[i], true, slog.LevelInfo)
+	})
+	cfg := tinyConfig()
+	req := serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+	key := jobKey(t, req)
+	owner := tc.ownerIdx(t, key)
+	front := (owner + 1) % 3
+
+	const reqID = "reqid-e2e-regression-0001"
+	if _, code := submitWithHeaders(t, tc.urls[front], req, map[string]string{obs.HeaderRequestID: reqID}); code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, tc.urls[front], key, serve.StateDone)
+
+	// The access line lands after the handler returns; give each log a
+	// beat to flush.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if strings.Contains(logs[front].String(), reqID) && strings.Contains(logs[owner].String(), reqID) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("request ID %s missing from access logs: front has it %v, owner has it %v",
+				reqID, strings.Contains(logs[front].String(), reqID), strings.Contains(logs[owner].String(), reqID))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterFailoverKeepsTraceHistory kills the owner mid-job and
+// asserts the promoted re-run keeps the trace: the finished job's spans
+// include the front's proxy hop and the promote marker, all under the
+// client-minted trace ID, and /v1/traces serves the (partial — one
+// member is dead) tree.
+func TestClusterFailoverKeepsTraceHistory(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	cfg := tinyConfig()
+	req := serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C2"}}
+	key := jobKey(t, req)
+	owner := tc.ownerIdx(t, key)
+	front := (owner + 1) % 3
+
+	faultinject.Set(faultinject.SlowWorker, 1, 2000)
+	defer faultinject.Reset()
+
+	trace := obs.NewTraceContext(true)
+	if _, code := submitWithHeaders(t, tc.urls[front], req, map[string]string{obs.HeaderTrace: trace.Header()}); code != http.StatusAccepted {
+		t.Fatalf("submit via non-owner: HTTP %d, want 202", code)
+	}
+	waitState(t, tc.urls[front], key, serve.StateRunning)
+
+	tc.servers[owner].Crash()
+	tc.https[owner].CloseClientConnections()
+	tc.https[owner].Close()
+
+	final := waitState(t, tc.urls[front], key, serve.StateDone)
+	if final.TraceID != trace.TraceID {
+		t.Fatalf("promoted job's TraceID = %q, want %q", final.TraceID, trace.TraceID)
+	}
+	var promoted bool
+	for _, s := range final.Spans {
+		if s.Name == "promote" {
+			promoted = true
+			if s.Node != tc.ids[front] {
+				t.Fatalf("promote span on node %q, want the front %q", s.Node, tc.ids[front])
+			}
+		}
+	}
+	if !promoted {
+		t.Fatalf("promoted job's spans carry no promote marker: %+v", final.Spans)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p, status := fetchTrace(t, tc.urls[front], trace.TraceID)
+		if status == http.StatusOK && spanNames(p)["promote"] && spanNames(p)["proxy"] {
+			if !p.Partial {
+				t.Fatal("trace with a dead member must be partial")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace never showed the failover hops: HTTP %d", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestJournalTerminalRecordCarriesSpans asserts the durable half of the
+// span-loss fix: a traced job's terminal journal record embeds its span
+// list (so migration and replay keep history), while untraced jobs —
+// TraceSample 0, no header — add no span bytes at all.
+func TestJournalTerminalRecordCarriesSpans(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+	_, ts := newTestServer(t, serve.Options{Workers: 1, JournalPath: path})
+	cfg := tinyConfig()
+
+	trace := obs.NewTraceContext(true)
+	traced := serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+	if _, code := submitWithHeaders(t, ts.URL, traced, map[string]string{obs.HeaderTrace: trace.Header()}); code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("traced submit: HTTP %d", code)
+	}
+	tracedKey := jobKey(t, traced)
+	waitState(t, ts.URL, tracedKey, serve.StateDone)
+
+	plainCfg := cfg
+	plainCfg.Seed = 77
+	plain := serve.JobRequest{Config: &plainCfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+	if _, code := submit(t, ts.URL, plain); code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("plain submit: HTTP %d", code)
+	}
+	plainKey := jobKey(t, plain)
+	waitState(t, ts.URL, plainKey, serve.StateDone)
+
+	// Journal appends are durable before the terminal state is
+	// observable, so the file is current by now.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	if !strings.Contains(text, trace.TraceID) {
+		t.Fatal("traced job's terminal record carries no trace ID")
+	}
+	if !strings.Contains(text, `"spans"`) {
+		t.Fatal("traced job's terminal record carries no span list")
+	}
+	// The untraced job's terminal record must stay span-free. The
+	// journal is CRC-framed, not line-framed, so cut the record's JSON
+	// object out by field order (t, id, time — nothing nested when no
+	// spans ride along).
+	marker := `"t":"done","id":"` + plainKey
+	idx := strings.Index(text, marker)
+	if idx < 0 {
+		t.Fatalf("untraced job %.12s has no done record", plainKey)
+	}
+	end := strings.Index(text[idx:], "}")
+	if end < 0 {
+		t.Fatal("unterminated done record")
+	}
+	if seg := text[idx : idx+end+1]; strings.Contains(seg, "spans") {
+		t.Fatalf("untraced job's terminal record grew a span list: %s", seg)
+	}
+}
+
+// TestClusterzFederation asserts GET /v1/clusterz merges every member
+// (self marked, peers alive, metrics snapshots attached) and that the
+// ?format=prometheus rendering is a valid exposition with node labels.
+func TestClusterzFederation(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+
+	resp, err := http.Get(tc.urls[0] + "/v1/clusterz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Self    string                `json:"self"`
+		Partial bool                  `json:"partial"`
+		Members []cluster.MemberStats `json:"members"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body.Partial {
+		t.Fatal("healthy cluster reported partial clusterz")
+	}
+	if body.Self != tc.ids[0] {
+		t.Fatalf("self = %q, want %q", body.Self, tc.ids[0])
+	}
+	if len(body.Members) != 3 {
+		t.Fatalf("clusterz has %d members, want 3", len(body.Members))
+	}
+	selfs := 0
+	for _, m := range body.Members {
+		if m.Self {
+			selfs++
+		}
+		if !m.Alive {
+			t.Fatalf("member %s not alive: %+v", m.ID, m)
+		}
+		if len(m.Metrics) == 0 {
+			t.Fatalf("member %s carries no metrics snapshot", m.ID)
+		}
+	}
+	if selfs != 1 {
+		t.Fatalf("clusterz marked %d members self, want 1", selfs)
+	}
+
+	resp, err = http.Get(tc.urls[0] + "/v1/clusterz?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(string(prom)); err != nil {
+		t.Fatalf("clusterz prometheus rendering invalid: %v", err)
+	}
+	for i := range tc.ids {
+		if !strings.Contains(string(prom), fmt.Sprintf("node=%q", tc.ids[i])) {
+			t.Fatalf("prometheus rendering missing node label for %s", tc.ids[i])
+		}
+	}
+}
+
+// TestTracezEndpoint sanity-checks /debug/tracez: after a traced job
+// finishes, the node's collector lists the trace among its recent and
+// slowest entries.
+func TestTracezEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	cfg := tinyConfig()
+	trace := obs.NewTraceContext(true)
+	req := serve.JobRequest{Config: &cfg, Design: "Hydrogen", Combo: serve.ComboSpec{ID: "C1"}}
+	if _, code := submitWithHeaders(t, ts.URL, req, map[string]string{obs.HeaderTrace: trace.Header()}); code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, ts.URL, jobKey(t, req), serve.StateDone)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/debug/tracez")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Node    string             `json:"node"`
+			Held    int                `json:"held"`
+			Recent  []obs.TraceSummary `json:"recent"`
+			Slowest []obs.TraceSummary `json:"slowest"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, s := range body.Recent {
+			if s.TraceID == trace.TraceID {
+				found = true
+				if s.Spans == 0 || len(s.Nodes) == 0 {
+					t.Fatalf("tracez summary empty: %+v", s)
+				}
+			}
+		}
+		if found {
+			if body.Node == "" || body.Held < 1 || len(body.Slowest) < 1 {
+				t.Fatalf("tracez shape wrong: node=%q held=%d slowest=%d", body.Node, body.Held, len(body.Slowest))
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trace never appeared in /debug/tracez")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

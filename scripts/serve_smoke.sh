@@ -83,8 +83,10 @@ wait "$pid" || { echo "daemon exited nonzero on SIGTERM"; exit 1; }
 pid="" # already reaped; disarm the trap's kill
 [ -f "$workdir/cache/$id.json" ] || { echo "no spilled result after drain"; exit 1; }
 
-# Hit-path regression gate: a quick serve bench must keep the cache-hit
-# p50 within 2x of the last recorded BENCH_serve.json operating point.
+# Hit-path regression gates: a quick serve bench must keep the cache-hit
+# p50 within 2x of the last recorded BENCH_serve.json operating point,
+# and the tracing-on hit p50 within 3% of tracing-off (the hydrobench
+# gate enforces both).
 go run ./cmd/hydrobench -serve -quick -out "" -gate 2 || { echo "serve bench regression gate failed"; exit 1; }
 echo "serve bench gate OK"
 echo "serve smoke OK"
